@@ -1,0 +1,1 @@
+examples/adaptive_streaming.ml: Array Format List Netsim Printf Scenarios String Video

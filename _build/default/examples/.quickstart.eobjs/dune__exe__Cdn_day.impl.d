@@ -1,0 +1,1 @@
+examples/cdn_day.ml: Fibbing Format Igp Kit List Netsim Option Scenarios Video

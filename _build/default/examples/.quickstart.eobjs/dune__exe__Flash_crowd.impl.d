@@ -1,0 +1,1 @@
+examples/flash_crowd.ml: Fibbing Format Igp Kit List Netgraph Scenarios Video

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fibbing Format Igp List Netgraph

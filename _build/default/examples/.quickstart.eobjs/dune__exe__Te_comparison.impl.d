@@ -1,0 +1,1 @@
+examples/te_comparison.ml: Fibbing Format Igp Kit List Mpls Netgraph Netsim Printf Result Te

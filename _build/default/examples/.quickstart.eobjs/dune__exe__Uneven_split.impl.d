@@ -1,0 +1,1 @@
+examples/uneven_split.ml: Fibbing Format Igp List Netgraph Netsim Option Printf String

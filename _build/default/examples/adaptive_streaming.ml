@@ -1,0 +1,87 @@
+(* Adaptive-bitrate clients on a flash crowd: beyond avoiding stalls,
+   Fibbing keeps ABR players on the high rungs of the bitrate ladder.
+   Unlike the fixed-rate demo streams, ABR sessions download chunks at
+   whatever rate the path offers (modelled as a 1 MB/s burst demand) and
+   pick their bitrate from the measured throughput.
+
+   Run with: dune exec examples/adaptive_streaming.exe *)
+
+module Demo = Scenarios.Demo
+
+let burst_demand = 1024. *. 1024. (* chunk downloads run at link speed *)
+
+let video_duration = 300.
+
+(* A gentler crowd than Fig. 2 (1 + 8 + 8 sessions) so that the ladder
+   contrast is visible: with Fibbing the network sustains the top rung
+   for everyone; without it the crowd is crammed onto B-R2. *)
+let load_abr_workload (d : Demo.t) =
+  let flow ~id ~src ~start_time =
+    Netsim.Flow.make ~id ~src ~prefix:Demo.prefix ~demand:burst_demand
+      ~start_time ~duration:video_duration ()
+  in
+  let flows =
+    flow ~id:0 ~src:d.topology.a ~start_time:0.
+    :: (List.init 8 (fun i -> flow ~id:(1 + i) ~src:d.topology.a ~start_time:15.)
+       @ List.init 8 (fun i -> flow ~id:(9 + i) ~src:d.topology.b ~start_time:35.))
+  in
+  List.iter (Netsim.Sim.add_flow d.sim) flows;
+  flows
+
+let run ?rate_model ~fibbing () =
+  let d = Demo.make ~fibbing ?rate_model () in
+  let flows = load_abr_workload d in
+  Demo.run d ~until:55.;
+  (d, flows)
+
+let abr_summary d flows =
+  let results =
+    List.map (fun flow -> Video.Abr.of_flow d.Demo.sim ~dt:d.Demo.dt flow) flows
+  in
+  let n = float_of_int (List.length results) in
+  let mean f = List.fold_left (fun acc r -> acc +. f r) 0. results /. n in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0. results in
+  ( mean (fun (r : Video.Abr.result) -> r.mean_bitrate),
+    total (fun (r : Video.Abr.result) -> float_of_int r.stall_count),
+    mean (fun (r : Video.Abr.result) -> r.time_at_top),
+    mean (fun (r : Video.Abr.result) -> float_of_int r.switches) )
+
+let print_row label d flows =
+  let mean_bitrate, stalls, top_time, switches = abr_summary d flows in
+  Format.printf "%-24s %14.0f %8.0f %12.1f %10.1f@." label mean_bitrate stalls
+    top_time switches
+
+let () =
+  let ladder = Video.Abr.default_config.ladder in
+  Format.printf
+    "ABR clients (1 at t=0, +8 at t=15 via A, +8 at t=35 via B).@.\
+     Ladder: %s bytes/s; sessions download at up to %.0f kB/s.@.@."
+    (String.concat " / "
+       (Array.to_list (Array.map (fun r -> Printf.sprintf "%.0f" r) ladder)))
+    (burst_demand /. 1024.);
+  Format.printf "%-24s %14s %8s %12s %10s@." "scenario" "mean bitrate" "stalls"
+    "s at top" "switches";
+
+  let d_on, flows_on = run ~fibbing:true () in
+  print_row "fibbing ON" d_on flows_on;
+  let d_off, flows_off = run ~fibbing:false () in
+  print_row "fibbing OFF" d_off flows_off;
+
+  Format.printf "@.Same comparison under AIMD (TCP-like) rate dynamics:@.@.";
+  Format.printf "%-24s %14s %8s %12s %10s@." "scenario" "mean bitrate" "stalls"
+    "s at top" "switches";
+  let d_on_aimd, flows_on_aimd =
+    run ~rate_model:(Netsim.Sim.Aimd (Netsim.Aimd.create ())) ~fibbing:true ()
+  in
+  print_row "fibbing ON (AIMD)" d_on_aimd flows_on_aimd;
+  let d_off_aimd, flows_off_aimd =
+    run ~rate_model:(Netsim.Sim.Aimd (Netsim.Aimd.create ())) ~fibbing:false ()
+  in
+  print_row "fibbing OFF (AIMD)" d_off_aimd flows_off_aimd;
+
+  Format.printf
+    "@.Without the controller, players survive by dropping down the@.\
+     ladder (low mean bitrate, little time at the top rung); with it,@.\
+     the same network sustains the top of the ladder. The AIMD model@.\
+     shows the identical ordering with slower convergence after each@.\
+     surge.@."

@@ -1,0 +1,52 @@
+(* The paper's demo, end to end: video flash crowds hit the Fig. 1a
+   network while the Fibbing controller watches link loads over
+   SNMP-style polling and injects fake LSAs on demand.
+
+   Run with: dune exec examples/flash_crowd.exe *)
+
+module Demo = Scenarios.Demo
+
+let run ~fibbing =
+  let d = Demo.make ~fibbing () in
+  let flows = Demo.load_fig2_workload d in
+  Demo.run d ~until:55.;
+  (d, flows)
+
+let () =
+  Format.printf
+    "Flash-crowd demo: 1 stream at t=0, +30 at t=15, +31 (from S2) at t=35.@.";
+  Format.printf "Streams are %.0f kB/s videos; bottleneck links carry ~21.@.@."
+    (Demo.stream_rate /. 1024.);
+
+  Format.printf "=== Run 1: Fibbing controller enabled ===@.@.";
+  let d_on, flows_on = run ~fibbing:true in
+  Format.printf "Throughput on the paper's three links (Fig. 2):@.";
+  Format.printf "%a@." (Kit.Timeseries.pp_rows ~step:2.5) (Demo.fig2_series d_on);
+
+  (match d_on.controller with
+  | Some controller ->
+    Format.printf "Controller actions:@.";
+    List.iter
+      (fun (a : Fibbing.Controller.action) ->
+        Format.printf "  [%5.1f s] %s (fakes installed: %d)@." a.time
+          a.description a.fakes_installed)
+      (Fibbing.Controller.actions controller);
+    Format.printf "Fake LSAs now in the IGP:@.";
+    List.iter
+      (fun fake ->
+        Format.printf "  %a@."
+          (Igp.Lsa.pp ~names:(Netgraph.Graph.name d_on.topology.graph))
+          (Fake fake))
+      (Igp.Network.fakes d_on.net)
+  | None -> ());
+
+  Format.printf "@.=== Run 2: controller disabled (plain IGP) ===@.@.";
+  let d_off, flows_off = run ~fibbing:false in
+  Format.printf "%a@." (Kit.Timeseries.pp_rows ~step:5.) (Demo.fig2_series d_off);
+
+  Format.printf "=== Quality of experience (playback-buffer model) ===@.";
+  Format.printf "  with Fibbing:    %a@." Video.Qoe.pp (Demo.qoe d_on ~flows:flows_on);
+  Format.printf "  without Fibbing: %a@." Video.Qoe.pp (Demo.qoe d_off ~flows:flows_off);
+  Format.printf
+    "@.The paper's observation holds: playbacks are smooth with the@.\
+     controller and stutter without it.@."

@@ -1,0 +1,130 @@
+(* Traffic-engineering shoot-out on a random ISP-like topology:
+
+     - plain IGP/ECMP (no reaction at all),
+     - IGP link-weight re-optimization (Fortz-Thorup local search),
+     - MPLS RSVP-TE tunnels,
+     - Fibbing realizing the (1-eps)-optimal min-max flow.
+
+   For each scheme: the max link utilization it reaches and what it
+   costs in control messages / state / reconfigured devices — the
+   quantitative version of the paper's Section 2 argument.
+
+   Run with: dune exec examples/te_comparison.exe *)
+
+module G = Netgraph.Graph
+
+let () =
+  let prng = Kit.Prng.create ~seed:2016 in
+  let g = Netgraph.Topologies.two_level prng ~core:8 ~edge_per_core:2 in
+  let n = G.node_count g in
+  Format.printf "Two-level topology: %d routers, %d links.@." n (G.edge_count g / 2);
+
+  (* The flash crowd: three edge routers send a surge towards one
+     content prefix. *)
+  let egress = G.find_node_exn g "C0" in
+  let sources = [ "E3_0"; "E4_1"; "E5_0" ] in
+  let demand_each = 120. in
+  let capacity = 100. in
+  let caps = Netsim.Link.capacities ~default:capacity in
+  let prefix = "cdn" in
+
+  let fresh_net () =
+    let net = Igp.Network.create (G.copy g) in
+    Igp.Network.announce_prefix net prefix ~origin:egress ~cost:0;
+    net
+  in
+  let demands net =
+    List.map
+      (fun name ->
+        {
+          Netsim.Loadmap.src = G.find_node_exn (Igp.Network.graph net) name;
+          prefix;
+          amount = demand_each;
+        })
+      sources
+  in
+  let max_util net =
+    let loads = Netsim.Loadmap.propagate net (demands net) in
+    match Netsim.Loadmap.max_utilization loads caps with
+    | Some (_, u) -> u
+    | None -> 0.
+  in
+
+  Format.printf "@.%-22s %10s %12s %14s@." "scheme" "max util" "ctrl msgs"
+    "router state";
+
+  (* 1. Plain IGP/ECMP. *)
+  let net_igp = fresh_net () in
+  Format.printf "%-22s %10.2f %12d %14d@." "IGP/ECMP (static)" (max_util net_igp) 0 0;
+
+  (* 2. Weight re-optimization. *)
+  let net_w = fresh_net () in
+  let outcome = Te.Weightopt.optimize ~max_rounds:3 net_w (demands net_w) caps in
+  let wcost = Te.Weightopt.apply_cost net_w outcome in
+  Format.printf "%-22s %10.2f %12d %14s@." "weight re-opt"
+    outcome.max_utilization wcost.messages
+    (Printf.sprintf "%d weights" (List.length outcome.changed_weights));
+
+  (* 3. MPLS RSVP-TE: one tunnel per source, sized to the demand; the
+     head end splits across parallel tunnels where one does not fit. *)
+  let net_m = fresh_net () in
+  let gm = Igp.Network.graph net_m in
+  let tunnels = Mpls.Tunnels.create gm caps in
+  let mpls_ok =
+    List.for_all
+      (fun name ->
+        let head = G.find_node_exn gm name in
+        (* demand 120 > capacity 100: needs two tunnels of 60. *)
+        List.for_all Result.is_ok
+          [
+            Mpls.Tunnels.establish tunnels ~head ~tail:egress
+              ~bandwidth:(demand_each /. 2.);
+            Mpls.Tunnels.establish tunnels ~head ~tail:egress
+              ~bandwidth:(demand_each /. 2.);
+          ])
+      sources
+  in
+  let refresh = Mpls.Tunnels.refresh_messages tunnels ~period:30. ~duration:3600. in
+  Format.printf "%-22s %10s %12d %14d@."
+    (if mpls_ok then "MPLS RSVP-TE" else "MPLS RSVP-TE (part.)")
+    "<= 1.00"
+    (Mpls.Tunnels.signaling_messages tunnels + refresh)
+    (Mpls.Tunnels.total_state tunnels);
+
+  (* 4. Fibbing: optimal min-max flow, decomposed and compiled. *)
+  let net_f = fresh_net () in
+  let gf = Igp.Network.graph net_f in
+  let commodities =
+    List.map
+      (fun name ->
+        {
+          Te.Mcf.src = G.find_node_exn gf name;
+          dst = egress;
+          prefix;
+          demand = demand_each;
+        })
+      sources
+  in
+  let result = Te.Mcf.solve ~epsilon:0.1 gf ~capacities:(fun _ -> capacity) commodities in
+  let reqs =
+    Te.Decompose.to_requirements net_f ~prefix (List.assoc prefix result.flows)
+  in
+  (match Fibbing.Augmentation.compile ~max_entries:16 net_f reqs with
+  | Error e -> Format.printf "%-22s failed: %s@." "Fibbing" e
+  | Ok plan ->
+    let plan = Fibbing.Merger.minimize net_f reqs plan in
+    Fibbing.Augmentation.apply net_f plan;
+    Format.printf "%-22s %10.2f %12d %14s@." "Fibbing (opt min-max)"
+      (max_util net_f)
+      (Igp.Network.control_cost net_f).messages
+      (Printf.sprintf "%d fake LSAs" (Fibbing.Augmentation.fake_count plan)));
+
+  Format.printf
+    "@.Fibbing reaches (near-)optimal utilization for a one-shot flood of@.\
+     a few fake LSAs: no weight changes, no per-tunnel state, no refresh@.\
+     traffic. MPLS respects capacities too, but pays per-router state and@.\
+     continuous soft-state refreshes; weight re-optimization touches many@.\
+     devices and shifts unrelated traffic (the paper's Section 2).@.";
+  Format.printf "(min-max optimum for this surge: %.2f at lambda=%.2f)@."
+    (Te.Mcf.max_utilization gf ~capacities:(fun _ -> capacity) result)
+    result.lambda

@@ -1,0 +1,67 @@
+(* Uneven load-balancing with stock ECMP hardware: how Fibbing encodes
+   fractional ratios as fake-route multiplicities, and what precision a
+   given FIB width buys.
+
+   Run with: dune exec examples/uneven_split.exe *)
+
+let () =
+  let d = Netgraph.Topologies.demo () in
+  let net = Igp.Network.create d.graph in
+  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  let names = Netgraph.Graph.name d.graph in
+
+  let desired = [ (d.r2, 0.28); (d.r3, 0.72) ] in
+  Format.printf "Desired split at B: %s@."
+    (String.concat ", "
+       (List.map (fun (nh, f) -> Printf.sprintf "%s=%.2f" (names nh) f) desired));
+
+  (* How the approximation improves with the FIB width budget. *)
+  Format.printf "@.%8s %14s %18s %11s@." "entries" "multiplicities"
+    "realized fractions" "max error";
+  let splits =
+    List.map
+      (fun (next_hop, fraction) -> { Fibbing.Requirements.next_hop; fraction })
+      desired
+  in
+  List.iter
+    (fun max_entries ->
+      let weighted = Fibbing.Splitting.multiplicities ~max_entries splits in
+      let realized = Fibbing.Splitting.realized_fractions weighted in
+      let error = Fibbing.Splitting.approximation_error splits weighted in
+      Format.printf "%8d %14s %18s %11.4f@." max_entries
+        (String.concat ":" (List.map (fun (_, m) -> string_of_int m) weighted))
+        (String.concat "/"
+           (List.map (fun (_, f) -> Printf.sprintf "%.3f" f) realized))
+        error)
+    [ 2; 4; 8; 16; 32 ];
+
+  (* Install the 16-entry version and measure what actually happens to
+     fluid traffic. *)
+  let reqs = { Fibbing.Requirements.prefix = "blue"; routers = [ { router = d.b; splits } ] } in
+  match Fibbing.Augmentation.compile ~max_entries:16 net reqs with
+  | Error e -> Format.printf "compilation failed: %s@." e
+  | Ok plan ->
+    Fibbing.Augmentation.apply net plan;
+    Format.printf "@.Installed %d fake LSAs at B (cost %d each).@."
+      (Fibbing.Augmentation.fake_count plan)
+      (List.assoc d.b plan.costs);
+    let loads =
+      Netsim.Loadmap.propagate net
+        [ { src = d.b; prefix = "blue"; amount = 1000. } ]
+    in
+    Format.printf "Fluid load for 1000 units entering at B:@.";
+    Format.printf "%a"
+      (fun fmt -> Netsim.Loadmap.pp d.graph fmt)
+      loads;
+    (* And the per-flow view: hashing 1000 flows approximates the same
+       ratio without any per-flow state in the network. *)
+    let fib = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+    let to_r3 = ref 0 in
+    let flows = 1000 in
+    for flow_id = 0 to flows - 1 do
+      match Netsim.Hashing.select ~flow_id ~router:d.b fib with
+      | Some nh when nh = d.r3 -> incr to_r3
+      | Some _ | None -> ()
+    done;
+    Format.printf "Of %d hashed flows, %.1f%% chose R3 (target 72%%).@." flows
+      (100. *. float_of_int !to_r3 /. float_of_int flows)

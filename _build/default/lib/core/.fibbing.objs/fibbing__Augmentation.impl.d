@@ -1,0 +1,1 @@
+lib/core/augmentation.ml: Format Hashtbl Igp List Netgraph Option Printf Requirements Result Splitting Verify

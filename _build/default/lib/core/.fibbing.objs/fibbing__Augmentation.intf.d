@@ -1,0 +1,1 @@
+lib/core/augmentation.mli: Igp Netgraph Requirements

@@ -1,0 +1,1 @@
+lib/core/budget.ml: Array Kit List Netgraph Printf Requirements

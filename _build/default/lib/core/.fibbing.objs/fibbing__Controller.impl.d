@@ -1,0 +1,1 @@
+lib/core/controller.ml: Augmentation Format Hashtbl Igp List Netgraph Netsim Option Printf Requirements Splitting String Transient

@@ -1,0 +1,1 @@
+lib/core/merger.ml: Augmentation Igp List Requirements String Verify

@@ -1,0 +1,1 @@
+lib/core/merger.mli: Augmentation Igp Requirements

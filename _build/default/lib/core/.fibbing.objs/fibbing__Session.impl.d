@@ -1,0 +1,1 @@
+lib/core/session.ml: Format Igp List Netgraph

@@ -1,0 +1,1 @@
+lib/core/splitting.ml: Array Kit List Option Requirements

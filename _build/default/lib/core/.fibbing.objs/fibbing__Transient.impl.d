@@ -1,0 +1,1 @@
+lib/core/transient.ml: Array Augmentation Igp List Netgraph Printf Queue String

@@ -1,0 +1,101 @@
+module Graph = Netgraph.Graph
+
+type mode = Extends | Overrides
+
+type router_audit = {
+  router : Graph.node;
+  prefix : Igp.Lsa.prefix;
+  weights : (Graph.node * int) list;
+  fractions : (Graph.node * float) list;
+  fakes : Igp.Lsa.fake list;
+  mode : mode;
+  honest_distance : int;
+  lied_distance : int;
+}
+
+type t = {
+  per_router : router_audit list;
+  total_fakes : int;
+  wire_bytes : int;
+  prefixes : Igp.Lsa.prefix list;
+}
+
+let run net =
+  let fakes = Igp.Network.fakes net in
+  (* The honest view: everything the IGP would do without the lies. *)
+  let honest = Igp.Network.clone net in
+  Igp.Network.retract_all_fakes honest;
+  let lied_routers =
+    List.sort_uniq compare
+      (List.map (fun (f : Igp.Lsa.fake) -> (f.prefix, f.attachment)) fakes)
+  in
+  let per_router =
+    List.filter_map
+      (fun (prefix, router) ->
+        match Igp.Network.fib net ~router prefix with
+        | None -> None (* inert lies towards an unreachable prefix *)
+        | Some fib ->
+          let honest_distance =
+            Option.value ~default:max_int
+              (Igp.Network.distance honest ~router prefix)
+          in
+          let lied_distance = fib.Igp.Fib.distance in
+          Some
+            {
+              router;
+              prefix;
+              weights = Igp.Fib.weights fib;
+              fractions = Igp.Fib.fractions fib;
+              fakes =
+                List.filter
+                  (fun (f : Igp.Lsa.fake) ->
+                    f.attachment = router && String.equal f.prefix prefix)
+                  fakes;
+              mode =
+                (if lied_distance < honest_distance then Overrides else Extends);
+              honest_distance;
+              lied_distance;
+            })
+      lied_routers
+  in
+  let wire_bytes =
+    List.fold_left
+      (fun acc fake ->
+        acc
+        + Igp.Codec.wire_length { Igp.Codec.lsa = Igp.Lsa.Fake fake; sequence = 0 })
+      0 fakes
+  in
+  {
+    per_router =
+      List.sort
+        (fun a b -> compare (a.prefix, a.router) (b.prefix, b.router))
+        per_router;
+    total_fakes = List.length fakes;
+    wire_bytes;
+    prefixes =
+      List.sort_uniq compare (List.map (fun (f : Igp.Lsa.fake) -> f.prefix) fakes);
+  }
+
+let pp ~names fmt t =
+  if t.total_fakes = 0 then Format.fprintf fmt "no lies installed@."
+  else begin
+    Format.fprintf fmt "%d fake LSAs (%d bytes in every LSDB) over %d prefixes@."
+      t.total_fakes t.wire_bytes
+      (List.length t.prefixes);
+    List.iter
+      (fun audit ->
+        Format.fprintf fmt "  %s @@ %s: %s, cost %d (honest %d), %s via %a@."
+          audit.prefix (names audit.router)
+          (match audit.mode with
+          | Extends -> "extends ECMP"
+          | Overrides -> "overrides routing")
+          audit.lied_distance audit.honest_distance
+          (String.concat "+"
+             (List.map (fun (f : Igp.Lsa.fake) -> f.fake_id) audit.fakes))
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+             (fun fmt (nh, fraction) ->
+               Format.fprintf fmt "%s=%.2f" (names nh) fraction))
+          audit.fractions)
+      t.per_router
+  end

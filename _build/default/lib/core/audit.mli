@@ -1,0 +1,42 @@
+(** Introspection of installed lies.
+
+    An operator inheriting a fibbed network asks: {e what are these fake
+    LSAs doing?} [run] reconstructs the answer from the network state
+    alone — no access to the plans that created it: per lied-to router
+    and prefix, the realized FIB weights and traffic fractions, whether
+    each lie extends the IGP's paths (equal cost) or overrides them
+    (undercutting), and what the whole lie costs in LSDB memory (wire
+    bytes replicated in every router). The audit is the inverse of
+    [Augmentation]: compiling, applying and auditing returns the plan's
+    expected weights. *)
+
+type mode = Extends | Overrides
+
+type router_audit = {
+  router : Netgraph.Graph.node;
+  prefix : Igp.Lsa.prefix;
+  weights : (Netgraph.Graph.node * int) list;  (** Realized FIB weights. *)
+  fractions : (Netgraph.Graph.node * float) list;
+  fakes : Igp.Lsa.fake list;  (** The lies attached at this router. *)
+  mode : mode;
+      (** [Extends] when the lies sit at the router's honest SPF cost
+          (they add paths); [Overrides] when they undercut it. *)
+  honest_distance : int;
+      (** The router's SPF cost with every fake removed. *)
+  lied_distance : int;  (** Its current SPF cost. *)
+}
+
+type t = {
+  per_router : router_audit list;  (** Sorted by (prefix, router). *)
+  total_fakes : int;
+  wire_bytes : int;
+      (** Encoded size of all fake LSAs — the LSDB overhead replicated
+          in every router of the domain. *)
+  prefixes : Igp.Lsa.prefix list;  (** Prefixes with at least one lie. *)
+}
+
+val run : Igp.Network.t -> t
+(** Read-only: the network is cloned internally to compute honest
+    distances. *)
+
+val pp : names:(Netgraph.Graph.node -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type request = {
+  router : Netgraph.Graph.node;
+  splits : Requirements.split list;
+}
+
+type allocation = {
+  weighted : (Netgraph.Graph.node * (Netgraph.Graph.node * int) list) list;
+  entries_used : int;
+  max_error : float;
+  per_router_error : (Netgraph.Graph.node * float) list;
+}
+
+let minimum_entries requests =
+  List.fold_left (fun acc r -> acc + List.length r.splits) 0 requests
+
+let fractions_of r =
+  Array.of_list (List.map (fun s -> s.Requirements.fraction) r.splits)
+
+let error_at r total =
+  let fractions = fractions_of r in
+  Kit.Ratio.max_error fractions (Kit.Ratio.apportion fractions ~total)
+
+let allocate ~budget requests =
+  if requests = [] then invalid_arg "Budget.allocate: no requests";
+  List.iter
+    (fun r ->
+      if r.splits = [] then invalid_arg "Budget.allocate: empty splits";
+      let sum = List.fold_left (fun acc s -> acc +. s.Requirements.fraction) 0. r.splits in
+      if abs_float (sum -. 1.) > 1e-6 then
+        invalid_arg "Budget.allocate: fractions must sum to 1")
+    requests;
+  let minimum = minimum_entries requests in
+  if budget < minimum then
+    invalid_arg
+      (Printf.sprintf "Budget.allocate: budget %d below minimum %d" budget minimum);
+  let requests = Array.of_list requests in
+  let totals = Array.map (fun r -> List.length r.splits) requests in
+  let errors = Array.mapi (fun i r -> error_at r totals.(i)) requests in
+  let used = ref minimum in
+  (* Greedy: spend each spare entry where it cuts the worst error. Stop
+     when no router's error improves with one more entry (an entry that
+     buys nothing is an LSA wasted). *)
+  let continue = ref true in
+  while !used < budget && !continue do
+    let best = ref None in
+    Array.iteri
+      (fun i r ->
+        let improved = error_at r (totals.(i) + 1) in
+        if improved < errors.(i) -. 1e-12 then begin
+          (* Prefer the router whose CURRENT error is worst. *)
+          match !best with
+          | Some (_, current_error, _) when current_error >= errors.(i) -> ()
+          | Some _ | None -> best := Some (i, errors.(i), improved)
+        end)
+      requests;
+    match !best with
+    | None -> continue := false
+    | Some (i, _, improved) ->
+      totals.(i) <- totals.(i) + 1;
+      errors.(i) <- improved;
+      incr used
+  done;
+  let weighted =
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           let m = Kit.Ratio.apportion (fractions_of r) ~total:totals.(i) in
+           ( r.router,
+             List.mapi (fun j s -> (s.Requirements.next_hop, m.(j))) r.splits ))
+         requests)
+  in
+  {
+    weighted;
+    entries_used = !used;
+    max_error = Array.fold_left max 0. errors;
+    per_router_error =
+      Array.to_list (Array.mapi (fun i r -> (r.router, errors.(i))) requests);
+  }

@@ -1,0 +1,36 @@
+(** Global fake-LSA budgeting across routers.
+
+    Every FIB entry beyond the first per next hop costs one fake LSA
+    (flooded, stored in every LSDB, re-flooded on refresh), so operators
+    cap the total lie size. Given the desired splits of several routers
+    and a global entry budget, [allocate] distributes entries to
+    minimize the worst per-router approximation error: start every
+    router at one entry per next hop, then repeatedly grant an entry
+    where it reduces the current maximum error the most.
+
+    The resulting weighted next hops plug directly into
+    [Augmentation.hybrid_plan]'s [pin] argument (which accepts explicit
+    multiplicities), bypassing the per-router [max_entries] quantizer. *)
+
+type request = {
+  router : Netgraph.Graph.node;
+  splits : Requirements.split list;  (** Fractions summing to 1. *)
+}
+
+type allocation = {
+  weighted : (Netgraph.Graph.node * (Netgraph.Graph.node * int) list) list;
+      (** Per router, (next hop, multiplicity); same order as the
+          requests. *)
+  entries_used : int;
+  max_error : float;  (** Worst per-router approximation error. *)
+  per_router_error : (Netgraph.Graph.node * float) list;
+}
+
+val minimum_entries : request list -> int
+(** One entry per next hop: the smallest feasible budget. *)
+
+val allocate : budget:int -> request list -> allocation
+(** Raises [Invalid_argument] when the budget is below
+    [minimum_entries], a request has no splits, or fractions are
+    invalid. The allocation never uses more than [budget] entries and
+    is deterministic. *)

@@ -1,0 +1,478 @@
+module Graph = Netgraph.Graph
+module Sim = Netsim.Sim
+module Monitor = Netsim.Monitor
+module Link = Netsim.Link
+module Flow = Netsim.Flow
+
+type strategy = Local_deflection | Global_optimal
+
+type config = {
+  max_entries : int;
+  cooldown : float;
+  min_avail_fraction : float;
+  relax_after : float;
+  escalation_depth : int;
+  strategy : strategy;
+}
+
+let default_config =
+  {
+    max_entries = 4;
+    cooldown = 4.;
+    min_avail_fraction = 0.05;
+    relax_after = 60.;
+    escalation_depth = 4;
+    strategy = Local_deflection;
+  }
+
+type reoptimizer =
+  Igp.Network.t ->
+  prefix:Igp.Lsa.prefix ->
+  capacities:(Netsim.Link.t -> float) ->
+  demands:(Graph.node * float) list ->
+  egress:Graph.node ->
+  Requirements.router_requirement list
+
+type action = { time : float; description : string; fakes_installed : int }
+
+type prefix_state = {
+  mutable reqs : Requirements.t;
+  mutable plan : Augmentation.plan;
+  mutable last_action : float;
+}
+
+type t = {
+  net : Igp.Network.t;
+  config : config;
+  reoptimize : reoptimizer option;
+  states : (Igp.Lsa.prefix, prefix_state) Hashtbl.t;
+  mutable log : action list; (* newest first *)
+  mutable calm_since : float option;
+}
+
+let create ?(config = default_config) ?reoptimize net =
+  {
+    net;
+    config;
+    reoptimize;
+    states = Hashtbl.create 4;
+    log = [];
+    calm_since = None;
+  }
+
+let record t ~time ~prefix description =
+  let fakes_installed =
+    match Hashtbl.find_opt t.states prefix with
+    | Some s -> Augmentation.fake_count s.plan
+    | None -> 0
+  in
+  t.log <- { time; description; fakes_installed } :: t.log
+
+let actions t = List.rev t.log
+
+let fake_count t =
+  Hashtbl.fold
+    (fun _ s acc -> acc + Augmentation.fake_count s.plan)
+    t.states 0
+
+let requirements t prefix =
+  Option.map (fun s -> s.reqs) (Hashtbl.find_opt t.states prefix)
+
+let withdraw_all t =
+  Hashtbl.iter (fun _ s -> Augmentation.revert t.net s.plan) t.states;
+  Hashtbl.reset t.states
+
+(* Demand-based directed link loads, split into the part caused by flows
+   (of the given prefix) passing through [via] and everything else. *)
+let demand_loads sim ~prefix ~via =
+  let own : (Link.t, float) Hashtbl.t = Hashtbl.create 32 in
+  let other : (Link.t, float) Hashtbl.t = Hashtbl.create 32 in
+  let bump table link amount =
+    Hashtbl.replace table link
+      (amount +. Option.value ~default:0. (Hashtbl.find_opt table link))
+  in
+  List.iter
+    (fun (flow : Flow.t) ->
+      match Sim.flow_path sim flow.id with
+      | None -> ()
+      | Some path ->
+        let mine = String.equal flow.prefix prefix && List.mem via path in
+        let rec walk = function
+          | u :: (v :: _ as rest) ->
+            bump (if mine then own else other) (u, v) flow.demand;
+            walk rest
+          | _ -> ()
+        in
+        walk path)
+    (Sim.active_flows sim);
+  (own, other)
+
+let announcers_of net prefix =
+  List.filter_map
+    (fun (p, origin, _) -> if String.equal p prefix then Some origin else None)
+    (Igp.Lsdb.prefixes (Igp.Network.lsdb net))
+
+let announcer_of net prefix =
+  match announcers_of net prefix with [] -> None | origin :: _ -> Some origin
+
+(* Capacity available to [v]'s traffic through candidate next hop [n]:
+   the residual max-flow from n to the prefix's egress(es) once all
+   foreign demand is subtracted, paths through v excluded, capped by the
+   v->n link's own residual. Anycast prefixes use a super-sink fed by
+   every announcer. *)
+let availability t sim ~v ~egresses ~other n =
+  let g = Igp.Network.graph t.net in
+  let caps = Sim.capacities sim in
+  let residual link =
+    let foreign = Option.value ~default:0. (Hashtbl.find_opt other link) in
+    max 0. (Link.capacity caps link -. foreign)
+  in
+  let first_hop = residual (v, n) in
+  if List.mem n egresses then first_hop
+  else begin
+    let table : Netgraph.Maxflow.capacities = Hashtbl.create 32 in
+    (* The maxflow runs on an augmented copy so a virtual super-sink can
+       drain every announcer; node ids of g are preserved by copy. *)
+    let g' = Graph.copy g in
+    let sink = Graph.add_node g' ~name:"super-sink" in
+    List.iter
+      (fun egress ->
+        Graph.add_edge g' egress sink ~weight:1;
+        Hashtbl.replace table (egress, sink) infinity)
+      egresses;
+    List.iter
+      (fun (a, b, _) ->
+        if a <> v && b <> v then Hashtbl.replace table (a, b) (residual (a, b)))
+      (Graph.edges g);
+    min first_hop (Netgraph.Maxflow.max_flow g' table ~source:n ~sink)
+  end
+
+(* Candidate next hops at [v]: current ones plus loop-free alternates
+   (neighbors n with D(n) < w(v->n reversed) + D(v), the standard LFA
+   condition with the direct-link upper bound on dist(n, v)). *)
+let candidates t ~prefix ~v =
+  let g = Igp.Network.graph t.net in
+  let current = Igp.Network.next_hops t.net ~router:v prefix in
+  let dv = Igp.Network.distance t.net ~router:v prefix in
+  let alternates =
+    match dv with
+    | None -> []
+    | Some dv ->
+      List.filter_map
+        (fun (n, _) ->
+          if List.mem n current then None
+          else begin
+            match
+              (Igp.Network.distance t.net ~router:n prefix, Graph.weight g n v)
+            with
+            | Some dn, Some w_nv when dn < w_nv + dv -> Some n
+            | Some _, (Some _ | None) | None, _ -> None
+          end)
+        (Graph.succ g v)
+  in
+  current @ alternates
+
+(* Two requirement sets are equivalent when they compile to the same FIB
+   entry multiplicities everywhere: re-lying for a sub-quantum change is
+   pure churn. *)
+let same_requirements ~max_entries a b =
+  let norm routers =
+    List.sort compare
+      (List.map
+         (fun (rr : Requirements.router_requirement) ->
+           (rr.router, List.sort compare (Splitting.multiplicities ~max_entries rr.splits)))
+         routers)
+  in
+  norm a = norm b
+
+(* Install (or refresh) requirements for a prefix. Returns true when
+   something was changed. *)
+let install_requirements t ~time ~prefix ~description routers =
+  let previous = Hashtbl.find_opt t.states prefix in
+  let unchanged =
+    match previous with
+    | Some s ->
+      same_requirements ~max_entries:t.config.max_entries s.reqs.routers routers
+    | None -> false
+  in
+  if unchanged then false
+  else begin
+    let reqs = { Requirements.prefix; routers } in
+    let rollback message =
+      Option.iter
+        (fun s ->
+          Augmentation.apply t.net s.plan;
+          s.last_action <- time)
+        previous;
+      record t ~time ~prefix message;
+      false
+    in
+    (* Recompile from a clean slate: retract our previous lies first. *)
+    Option.iter (fun s -> Augmentation.revert t.net s.plan) previous;
+    match Augmentation.compile ~max_entries:t.config.max_entries t.net reqs with
+    | Ok plan ->
+      (* Safety gate: requirements merged across reactions were each
+         computed against a lied-to network, so the combination could
+         form a forwarding cycle even though every router obeys it.
+         Reject any steering whose end state is not loop-free. *)
+      let scratch = Igp.Network.clone t.net in
+      Augmentation.apply scratch plan;
+      (match Transient.state_safe scratch ~prefix with
+      | Error reason ->
+        rollback (Printf.sprintf "rejected steering (unsafe end state): %s" reason)
+      | Ok () ->
+        (* Inject in a transiently safe order when one exists; a verified
+           plan always has one in practice, but never leave the network
+           half-fixed if the search fails. *)
+        (match Transient.apply_safely t.net plan with
+        | Ok () -> ()
+        | Error _ -> Augmentation.apply t.net plan);
+        Hashtbl.replace t.states prefix { reqs; plan; last_action = time };
+        record t ~time ~prefix description;
+        true)
+    | Error message -> rollback (Printf.sprintf "compile failed: %s" message)
+  end
+
+(* Merge one router's new splits into the prefix's requirements. *)
+let install t ~time ~prefix ~router splits =
+  let g = Igp.Network.graph t.net in
+  let merged =
+    { Requirements.router; splits }
+    ::
+    (match Hashtbl.find_opt t.states prefix with
+    | None -> []
+    | Some s ->
+      List.filter
+        (fun (rr : Requirements.router_requirement) -> rr.router <> router)
+        s.reqs.routers)
+  in
+  let unchanged_at_router =
+    match Hashtbl.find_opt t.states prefix with
+    | Some s ->
+      (match Requirements.find s.reqs router with
+      | Some rr ->
+        same_requirements ~max_entries:t.config.max_entries [ rr ]
+          [ { Requirements.router; splits } ]
+      | None -> false)
+    | None -> false
+  in
+  if unchanged_at_router then false
+  else
+    install_requirements t ~time ~prefix
+      ~description:
+        (Format.asprintf "steer %s at %s: %a" prefix (Graph.name g router)
+           (Format.pp_print_list
+              ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+              (fun fmt (s : Requirements.split) ->
+                Format.fprintf fmt "%s=%.2f" (Graph.name g s.next_hop) s.fraction))
+           splits)
+      merged
+
+let cooldown_active t ~time prefix =
+  match Hashtbl.find_opt t.states prefix with
+  | Some s -> time -. s.last_action < t.config.cooldown
+  | None -> false
+
+let rec handle_router t sim ~time ~prefix ~visited ~depth v =
+  let g = Igp.Network.graph t.net in
+  if List.mem v visited || depth > t.config.escalation_depth then ()
+  else begin
+    match announcers_of t.net prefix with
+    | [] -> ()
+    | egresses when List.mem v egresses -> ()
+    | egresses ->
+      let own, other = demand_loads sim ~prefix ~via:v in
+      let own_demand =
+        (* Demand entering v for this prefix: flows through v, counted
+           once each (their demand on the first outgoing link sums to the
+           total since each flow leaves v exactly once). *)
+        List.fold_left
+          (fun acc (flow : Flow.t) ->
+            match Sim.flow_path sim flow.id with
+            | Some path when String.equal flow.prefix prefix && List.mem v path ->
+              acc +. flow.demand
+            | Some _ | None -> acc)
+          0. (Sim.active_flows sim)
+      in
+      let cands = candidates t ~prefix ~v in
+      let avails =
+        List.map (fun n -> (n, availability t sim ~v ~egresses ~other n)) cands
+      in
+      let total_avail = List.fold_left (fun acc (_, a) -> acc +. a) 0. avails in
+      let kept =
+        List.filter
+          (fun (_, a) -> a > t.config.min_avail_fraction *. total_avail)
+          avails
+      in
+      (* The FIB width bounds how many next hops a lie can install: keep
+         the most capacious candidates. *)
+      let kept =
+        List.filteri
+          (fun i _ -> i < t.config.max_entries)
+          (List.stable_sort (fun (_, a) (_, b) -> compare b a) kept)
+        |> List.sort compare
+      in
+      let kept_total = List.fold_left (fun acc (_, a) -> acc +. a) 0. kept in
+      (if List.length kept >= 1 && kept_total > 0.
+          && not (cooldown_active t ~time prefix)
+      then begin
+        let splits =
+          List.map
+            (fun (n, a) ->
+              { Requirements.next_hop = n; fraction = a /. kept_total })
+            kept
+        in
+        ignore (install t ~time ~prefix ~router:v splits)
+      end);
+      (* Not enough capacity from here: walk towards the heaviest
+         upstream neighbor feeding v. *)
+      if kept_total < own_demand -. 1e-9 then begin
+        ignore own;
+        let inflow = Hashtbl.create 4 in
+        List.iter
+          (fun (flow : Flow.t) ->
+            match Sim.flow_path sim flow.id with
+            | Some path when String.equal flow.prefix prefix ->
+              let rec find_pred = function
+                | u :: (w :: _ as rest) ->
+                  if w = v then
+                    Hashtbl.replace inflow u
+                      (flow.Flow.demand
+                      +. Option.value ~default:0. (Hashtbl.find_opt inflow u))
+                  else find_pred rest
+                | _ -> ()
+              in
+              find_pred path
+            | Some _ | None -> ())
+          (Sim.active_flows sim);
+        let best =
+          Hashtbl.fold
+            (fun u d acc ->
+              match acc with
+              | Some (_, bd) when bd >= d -> acc
+              | Some _ | None -> Some (u, d))
+            inflow None
+        in
+        match best with
+        | Some (u, _) when u <> v ->
+          handle_router t sim ~time ~prefix ~visited:(v :: visited)
+            ~depth:(depth + 1) u
+        | Some _ | None -> ignore g
+      end
+  end
+
+(* Global strategy: recompute the optimal splits for the prefix's whole
+   demand set and install them wholesale. *)
+let handle_global t sim ~time ~prefix =
+  if cooldown_active t ~time prefix then ()
+  else begin
+    match (announcer_of t.net prefix, t.reoptimize) with
+    | None, _ -> ()
+    | Some _, None ->
+      record t ~time ~prefix "global strategy needs a reoptimizer; skipping"
+    | Some egress, Some reoptimize ->
+      let by_src = Hashtbl.create 4 in
+      List.iter
+        (fun (flow : Flow.t) ->
+          if String.equal flow.prefix prefix && flow.src <> egress then
+            Hashtbl.replace by_src flow.src
+              (flow.demand
+              +. Option.value ~default:0. (Hashtbl.find_opt by_src flow.src)))
+        (Sim.active_flows sim);
+      let demands =
+        Hashtbl.fold (fun src d acc -> (src, d) :: acc) by_src []
+        |> List.sort compare
+      in
+      if demands <> [] then begin
+        (* Compute the target routing against a lie-free clone. *)
+        let scratch = Igp.Network.clone t.net in
+        (match Hashtbl.find_opt t.states prefix with
+        | Some s -> Augmentation.revert scratch s.plan
+        | None -> ());
+        let capacities link = Netsim.Link.capacity (Sim.capacities sim) link in
+        let routers = reoptimize scratch ~prefix ~capacities ~demands ~egress in
+        if routers <> [] then
+          ignore
+            (install_requirements t ~time ~prefix
+               ~description:
+                 (Printf.sprintf "re-optimize %s: %d routers steered" prefix
+                    (List.length routers))
+               routers)
+      end
+  end
+
+let handle_link t sim ~time (x, y) =
+  (* Dominant prefix on the congested link, by offered demand. *)
+  let by_prefix = Hashtbl.create 4 in
+  List.iter
+    (fun (flow : Flow.t) ->
+      match Sim.flow_path sim flow.id with
+      | None -> ()
+      | Some path ->
+        let rec crosses = function
+          | u :: (v :: _ as rest) -> (u = x && v = y) || crosses rest
+          | _ -> false
+        in
+        if crosses path then
+          Hashtbl.replace by_prefix flow.prefix
+            (flow.demand
+            +. Option.value ~default:0. (Hashtbl.find_opt by_prefix flow.prefix)))
+    (Sim.active_flows sim);
+  let dominant =
+    Hashtbl.fold
+      (fun prefix d acc ->
+        match acc with
+        | Some (_, bd) when bd >= d -> acc
+        | Some _ | None -> Some (prefix, d))
+      by_prefix None
+  in
+  match dominant with
+  | None -> ()
+  | Some (prefix, _) ->
+    (match t.config.strategy with
+    | Local_deflection -> handle_router t sim ~time ~prefix ~visited:[] ~depth:0 x
+    | Global_optimal -> handle_global t sim ~time ~prefix)
+
+let react t sim _alarms =
+  match Sim.monitor sim with
+  | None -> ()
+  | Some monitor ->
+    let time = Sim.time sim in
+    let utilizations = Monitor.utilizations monitor in
+    (* Withdrawal: sustained calm retracts all lies. *)
+    let calm =
+      List.for_all
+        (fun (_, u) -> u < Monitor.clear_threshold monitor)
+        utilizations
+    in
+    (match (calm, t.calm_since) with
+    | false, _ -> t.calm_since <- None
+    | true, None -> t.calm_since <- Some time
+    | true, Some since ->
+      if time -. since >= t.config.relax_after && fake_count t > 0 then begin
+        withdraw_all t;
+        t.log <-
+          { time; description = "calm period over: all lies withdrawn";
+            fakes_installed = 0 }
+          :: t.log;
+        t.calm_since <- None
+      end);
+    (* React to the currently hottest link above threshold (not only to
+       edge-triggered alarms: a link stuck above threshold after an
+       insufficient fix must be revisited). *)
+    let hot =
+      List.filter (fun (_, u) -> u > Monitor.threshold monitor) utilizations
+    in
+    let worst =
+      List.fold_left
+        (fun acc (link, u) ->
+          match acc with
+          | Some (_, bu) when bu >= u -> acc
+          | Some _ | None -> Some (link, u))
+        None hot
+    in
+    (match worst with
+    | Some (link, _) -> handle_link t sim ~time link
+    | None -> ())
+
+let attach t sim = Sim.on_poll sim (fun sim alarms -> react t sim alarms)

@@ -1,0 +1,101 @@
+(** The on-demand load-balancing controller of the paper's demo.
+
+    The controller monitors link loads (SNMP in the demo, the [Netsim]
+    monitor here) and, when a link exceeds the utilization threshold,
+    computes where and how to deflect traffic:
+
+    + find the congested link's upstream router [v] and the dominant
+      destination prefix on the link;
+    + gather candidate next hops at [v]: the current ones plus every
+      loop-free alternate neighbor;
+    + estimate the capacity available {i to v's traffic} through each
+      candidate as the residual max-flow from the candidate to the
+      prefix's egress, after subtracting the demand of flows not passing
+      through [v] (the paper's controller knows the demands: "the servers
+      notify the controller when they have a new client");
+    + split traffic across candidates proportionally to that availability,
+      compile the splits with [Augmentation.compile], and inject the fake
+      LSAs;
+    + when the available capacity at [v] cannot cover the demand, walk
+      one hop upstream (towards the ingress) and repeat — this is what
+      moves the intervention from B (even ECMP, the paper's Fig. 1c fB)
+      to A (1/3–2/3 split, fakes fA) when the second flash crowd hits.
+
+    Reactions are rate-limited per prefix by a cooldown, and all installed
+    lies are withdrawn after a configurable calm period. Every action is
+    recorded in an event log used by the experiments. *)
+
+type strategy =
+  | Local_deflection
+      (** The demo's reactive scheme: split at (or just upstream of) the
+          congested link, proportionally to residual capacity. Minimal
+          lies, no global knowledge needed beyond demands. *)
+  | Global_optimal
+      (** On every reaction, recompute the (1−ε)-optimal min–max flow
+          for the prefix's current demands ([Te]-style pipeline supplied
+          via [reoptimize]) and install it. More fakes, optimal
+          utilization. *)
+
+type config = {
+  max_entries : int;
+      (** FIB entries a reaction may use per router (default 4: small
+          lies first — the demo's interventions use at most 3). *)
+  cooldown : float;  (** Seconds between reactions for one prefix (4.). *)
+  min_avail_fraction : float;
+      (** Candidates offering less than this fraction of the total
+          available capacity are dropped (default 0.05). *)
+  relax_after : float;
+      (** Withdraw all lies after this many seconds with every link below
+          the monitor's clear threshold (default 60.). *)
+  escalation_depth : int;
+      (** Maximum upstream hops walked in one reaction (default 4). *)
+  strategy : strategy;  (** Default [Local_deflection]. *)
+}
+
+type reoptimizer =
+  Igp.Network.t ->
+  prefix:Igp.Lsa.prefix ->
+  capacities:(Netsim.Link.t -> float) ->
+  demands:(Netgraph.Graph.node * float) list ->
+  egress:Netgraph.Graph.node ->
+  Requirements.router_requirement list
+(** Computes the desired per-router splits for the prefix's demands on a
+    {e lie-free} view of the network. The [Te] library provides the
+    canonical implementation (Garg–Könemann + decomposition); it is
+    injected rather than imported to keep this library's dependencies
+    one-directional. *)
+
+val default_config : config
+
+type action = {
+  time : float;
+  description : string;
+  fakes_installed : int;  (** Fakes now installed for the prefix. *)
+}
+
+type t
+
+val create : ?config:config -> ?reoptimize:reoptimizer -> Igp.Network.t -> t
+(** [reoptimize] is required (at [react] time) when the strategy is
+    [Global_optimal]; reactions fall back to local deflection and log an
+    error if it is missing. *)
+
+val attach : t -> Netsim.Sim.t -> unit
+(** Register the controller on the simulation's monitor poll hook. The
+    simulation must have been created with a monitor. *)
+
+val react : t -> Netsim.Sim.t -> Netsim.Monitor.alarm list -> unit
+(** One control iteration (called by the poll hook; callable directly in
+    tests). *)
+
+val withdraw_all : t -> unit
+(** Retract every fake installed by this controller. *)
+
+val requirements : t -> Igp.Lsa.prefix -> Requirements.t option
+(** The requirements currently enforced for a prefix, if any. *)
+
+val actions : t -> action list
+(** Event log, oldest first. *)
+
+val fake_count : t -> int
+(** Fakes currently installed by this controller. *)

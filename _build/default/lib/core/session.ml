@@ -1,0 +1,137 @@
+type state = Down | Init | TwoWay | ExStart | Exchange | Loading | Full
+
+let pp_state fmt s =
+  Format.pp_print_string fmt
+    (match s with
+    | Down -> "Down"
+    | Init -> "Init"
+    | TwoWay -> "2-Way"
+    | ExStart -> "ExStart"
+    | Exchange -> "Exchange"
+    | Loading -> "Loading"
+    | Full -> "Full")
+
+let next_state = function
+  | Down -> Init
+  | Init -> TwoWay
+  | TwoWay -> ExStart
+  | ExStart -> Exchange
+  | Exchange -> Loading
+  | Loading -> Full
+  | Full -> Full
+
+type t = {
+  net : Igp.Network.t;
+  attachment : Netgraph.Graph.node;
+  hello_interval : float;
+  dead_interval : float;
+  mutable state : state;
+  mutable clock : float;
+  mutable last_hello_sent : float;
+  mutable last_hello_heard : float;
+  mutable peer_reachable : bool;
+  mutable injected : string list; (* newest first *)
+  mutable hellos_sent : int;
+  mutable last_state_change : float;
+}
+
+let create ?(hello_interval = 10.) ?(dead_interval = 40.) net ~attachment =
+  if hello_interval <= 0. then invalid_arg "Session.create: hello interval";
+  if dead_interval <= hello_interval then
+    invalid_arg "Session.create: dead interval must exceed the hello interval";
+  ignore (Netgraph.Graph.name (Igp.Network.graph net) attachment);
+  {
+    net;
+    attachment;
+    hello_interval;
+    dead_interval;
+    state = Down;
+    clock = 0.;
+    last_hello_sent = neg_infinity;
+    last_hello_heard = neg_infinity;
+    peer_reachable = true;
+    injected = [];
+    hellos_sent = 0;
+    last_state_change = 0.;
+  }
+
+let state t = t.state
+
+let attachment t = t.attachment
+
+let injected t = List.rev t.injected
+
+let hellos_sent t = t.hellos_sent
+
+let last_state_change t = t.last_state_change
+
+let transition t ~now state =
+  if t.state <> state then begin
+    t.state <- state;
+    t.last_state_change <- now
+  end
+
+(* The neighbor died: OSPF flushes the adjacency, and the LSAs the
+   controller originated age out of every LSDB. *)
+let collapse t ~now =
+  List.iter
+    (fun fake_id ->
+      match Igp.Network.retract_fake t.net ~fake_id with
+      | () -> ()
+      | exception Not_found -> () (* already withdrawn by other means *))
+    t.injected;
+  t.injected <- [];
+  transition t ~now Down
+
+let peer_hello t ~now =
+  t.last_hello_heard <- now;
+  (* Hearing the neighbor advances the handshake one stage. *)
+  if t.state <> Full then transition t ~now (next_state t.state)
+
+let tick t ~now =
+  if now < t.clock -. 1e-9 then invalid_arg "Session.tick: time went backwards";
+  t.clock <- now;
+  (* Send our hello when due. *)
+  if now -. t.last_hello_sent >= t.hello_interval -. 1e-9 then begin
+    t.last_hello_sent <- now;
+    t.hellos_sent <- t.hellos_sent + 1;
+    (* A reachable peer answers in the same hello period. *)
+    if t.peer_reachable then peer_hello t ~now
+  end;
+  (* Dead-interval expiry. *)
+  if
+    t.state <> Down
+    && now -. t.last_hello_heard >= t.dead_interval -. 1e-9
+  then collapse t ~now
+
+let establish t ~now =
+  let start = max now t.clock in
+  (* Seven states: at most 7 hello exchanges take us to Full. *)
+  let steps = 8 in
+  for i = 0 to steps do
+    if t.state <> Full then
+      tick t ~now:(start +. (float_of_int i *. t.hello_interval))
+  done
+
+let set_peer_reachable t reachable = t.peer_reachable <- reachable
+
+let inject_wire t buf =
+  if t.state <> Full then
+    Error
+      (Format.asprintf "adjacency is %a, not Full: flooding refused" pp_state
+         t.state)
+  else begin
+    match Igp.Codec.decode buf with
+    | Error reason -> Error reason
+    | Ok { lsa = Igp.Lsa.Fake fake; _ } ->
+      (match Igp.Network.inject_fake t.net fake with
+      | () ->
+        if not (List.mem fake.fake_id t.injected) then
+          t.injected <- fake.fake_id :: t.injected;
+        Ok ()
+      | exception Invalid_argument reason -> Error reason)
+    | Ok _ -> Error "only fake LSAs may be flooded over the session"
+  end
+
+let inject t fake =
+  inject_wire t (Igp.Codec.encode { Igp.Codec.lsa = Igp.Lsa.Fake fake; sequence = 1 })

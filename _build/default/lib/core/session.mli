@@ -1,0 +1,69 @@
+(** The controller's OSPF adjacency.
+
+    The real Fibbing controller joins the IGP as one more router: in the
+    demo it is "connected to R3" and floods its forged LSAs through that
+    adjacency. This module models the control channel: the OSPF neighbor
+    state machine (Down → Init → 2-Way → ExStart → Exchange → Loading →
+    Full), hello keepalives with dead-interval expiry, and wire-encoded
+    LSA injection that is only accepted once the adjacency is Full.
+
+    The failure semantics matter most: if the controller loses its
+    adjacency (dead interval passes without a hello), every lie it
+    injected is purged from the network — Fibbing fails back to plain
+    IGP routing rather than wedging stale lies, exactly the safety
+    property the architecture advertises. *)
+
+type state = Down | Init | TwoWay | ExStart | Exchange | Loading | Full
+
+val pp_state : Format.formatter -> state -> unit
+
+type t
+
+val create :
+  ?hello_interval:float ->
+  ?dead_interval:float ->
+  Igp.Network.t ->
+  attachment:Netgraph.Graph.node ->
+  t
+(** An adjacency to [attachment] (the demo's R3). Defaults follow OSPF:
+    hello every 10 s, dead after 40 s. Requires
+    [dead_interval > hello_interval]. *)
+
+val state : t -> state
+
+val attachment : t -> Netgraph.Graph.node
+
+val tick : t -> now:float -> unit
+(** Drive the session's timers to [now]: sends hellos, advances the
+    handshake one stage per exchanged hello, and declares the neighbor
+    dead — purging every LSA injected over this session — when the peer
+    has been silent past the dead interval. [now] must not go
+    backwards. *)
+
+val establish : t -> now:float -> unit
+(** Run ticks (at hello granularity) until Full — the impatient
+    variant used by tests and setup code. *)
+
+val peer_hello : t -> now:float -> unit
+(** Record a hello from the peer. [tick] generates these implicitly
+    while [peer_reachable] is true; tests can drive them manually. *)
+
+val set_peer_reachable : t -> bool -> unit
+(** Simulate losing (or regaining) the adjacency's physical path.
+    While unreachable, no peer hellos arrive and the dead interval
+    eventually fires. *)
+
+val inject_wire : t -> bytes -> (unit, string) result
+(** Decode and install a fake LSA received over the session. Rejected
+    unless the adjacency is Full. *)
+
+val inject : t -> Igp.Lsa.fake -> (unit, string) result
+(** Encode through the wire codec, then [inject_wire] — the full path a
+    real controller exercises. *)
+
+val injected : t -> string list
+(** Fake ids currently installed through this session. *)
+
+val hellos_sent : t -> int
+
+val last_state_change : t -> float

@@ -1,0 +1,23 @@
+let default_max_entries = 16
+
+let multiplicities ?(max_entries = default_max_entries) splits =
+  let fractions =
+    Array.of_list (List.map (fun s -> s.Requirements.fraction) splits)
+  in
+  let m = Kit.Ratio.approximate ~max_total:max_entries fractions in
+  List.mapi (fun i s -> (s.Requirements.next_hop, m.(i))) splits
+
+let realized_fractions weighted =
+  let total = List.fold_left (fun acc (_, m) -> acc + m) 0 weighted in
+  if total = 0 then invalid_arg "Splitting.realized_fractions: zero total";
+  List.map
+    (fun (nh, m) -> (nh, float_of_int m /. float_of_int total))
+    weighted
+
+let approximation_error splits weighted =
+  let realized = realized_fractions weighted in
+  List.fold_left
+    (fun acc (s : Requirements.split) ->
+      let r = Option.value ~default:0. (List.assoc_opt s.next_hop realized) in
+      max acc (abs_float (r -. s.fraction)))
+    0. splits

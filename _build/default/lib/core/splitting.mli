@@ -1,0 +1,27 @@
+(** Compilation of fractional splits into FIB entry multiplicities.
+
+    ECMP hardware hashes uniformly over FIB entries, so a router can only
+    realize ratios of small integers; the number of entries is bounded by
+    the FIB width (16 on common platforms). Fibbing realizes multiplicity
+    [m] for a next hop by installing [m] equal-cost fake routes resolving
+    to it — except that a next hop the router already reaches over a real
+    shortest path gets one entry "for free". *)
+
+val default_max_entries : int
+(** 16, a common hardware ECMP group width. *)
+
+val multiplicities :
+  ?max_entries:int ->
+  Requirements.split list ->
+  (Netgraph.Graph.node * int) list
+(** Best bounded-total integer approximation of the splits, in input
+    order. Raises [Invalid_argument] on empty splits, more next hops than
+    [max_entries], or fractions not summing to 1. *)
+
+val realized_fractions :
+  (Netgraph.Graph.node * int) list -> (Netgraph.Graph.node * float) list
+
+val approximation_error :
+  Requirements.split list -> (Netgraph.Graph.node * int) list -> float
+(** Maximum absolute deviation between requested and realized fractions
+    (next hops matched by node). *)

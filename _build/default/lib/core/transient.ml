@@ -1,0 +1,140 @@
+module Graph = Netgraph.Graph
+
+type violation = { step : int; fake_id : string; problem : string }
+
+(* Loop and blackhole analysis of the current forwarding graph for one
+   prefix: Kahn's algorithm on the next-hop edges finds cycles; a
+   forward walk from every routed router must end at a local
+   delivery. *)
+let state_safe net ~prefix =
+  let g = Igp.Network.graph net in
+  let n = Graph.node_count g in
+  let fibs = Array.make n None in
+  List.iter (fun router -> fibs.(router) <- Igp.Network.fib net ~router prefix)
+    (Graph.nodes g);
+  let forwarding router =
+    match fibs.(router) with
+    | Some fib when not fib.Igp.Fib.local -> Igp.Fib.next_hops fib
+    | Some _ | None -> []
+  in
+  (* Cycle detection. *)
+  let indegree = Array.make n 0 in
+  List.iter
+    (fun router ->
+      List.iter (fun nh -> indegree.(nh) <- indegree.(nh) + 1) (forwarding router))
+    (Graph.nodes g);
+  let queue = Queue.create () in
+  Array.iteri (fun router d -> if d = 0 then Queue.push router queue) indegree;
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let router = Queue.pop queue in
+    incr processed;
+    List.iter
+      (fun nh ->
+        indegree.(nh) <- indegree.(nh) - 1;
+        if indegree.(nh) = 0 then Queue.push nh queue)
+      (forwarding router)
+  done;
+  if !processed < n then begin
+    let cyclic =
+      List.filter (fun router -> indegree.(router) > 0) (Graph.nodes g)
+      |> List.map (Graph.name g)
+    in
+    Error
+      (Printf.sprintf "forwarding loop for %s through {%s}" prefix
+         (String.concat ", " cyclic))
+  end
+  else begin
+    (* Blackholes: a routed router whose every forwarding chain dies.
+       With loop-freedom established, it suffices that every router with
+       a FIB has all next hops themselves routed (or local). *)
+    let routed router = fibs.(router) <> None in
+    let bad =
+      List.find_opt
+        (fun router ->
+          routed router
+          && List.exists (fun nh -> not (routed nh)) (forwarding router))
+        (Graph.nodes g)
+    in
+    match bad with
+    | Some router ->
+      Error
+        (Printf.sprintf "blackhole for %s at %s: a next hop has no route"
+           prefix (Graph.name g router))
+    | None -> Ok ()
+  end
+
+let check_order net ~prefix fakes =
+  let scratch = Igp.Network.clone net in
+  let rec steps index = function
+    | [] -> Ok ()
+    | (fake : Igp.Lsa.fake) :: rest ->
+      Igp.Network.inject_fake scratch fake;
+      (match state_safe scratch ~prefix with
+      | Ok () -> steps (index + 1) rest
+      | Error problem -> Error { step = index; fake_id = fake.fake_id; problem })
+  in
+  match state_safe scratch ~prefix with
+  | Error problem ->
+    Error { step = 0; fake_id = "<initial state>"; problem }
+  | Ok () -> steps 1 fakes
+
+(* Greedy order search over a step function: [advance scratch item]
+   mutates the scratch network; we pick any remaining item whose
+   application keeps the prefix safe, testing each candidate on a fresh
+   clone of the current scratch. *)
+let greedy_order net ~prefix items ~advance ~describe =
+  let scratch = Igp.Network.clone net in
+  match state_safe scratch ~prefix with
+  | Error problem -> Error (Printf.sprintf "unsafe initial state: %s" problem)
+  | Ok () ->
+    let rec pick ordered remaining =
+      match remaining with
+      | [] -> Ok (List.rev ordered)
+      | _ ->
+        let try_candidate item =
+          let trial = Igp.Network.clone scratch in
+          advance trial item;
+          match state_safe trial ~prefix with Ok () -> true | Error _ -> false
+        in
+        (match List.find_opt try_candidate remaining with
+        | None ->
+          Error
+            (Printf.sprintf
+               "no safe next step among {%s}; an intermediate state always \
+                loops"
+               (String.concat ", " (List.map describe remaining)))
+        | Some item ->
+          advance scratch item;
+          pick (item :: ordered)
+            (List.filter (fun other -> describe other <> describe item) remaining))
+    in
+    pick [] items
+
+let safe_order net (plan : Augmentation.plan) =
+  greedy_order net ~prefix:plan.prefix plan.fakes
+    ~advance:(fun scratch fake -> Igp.Network.inject_fake scratch fake)
+    ~describe:(fun (f : Igp.Lsa.fake) -> f.fake_id)
+
+let safe_removal_order net (plan : Augmentation.plan) =
+  greedy_order net ~prefix:plan.prefix plan.fakes
+    ~advance:(fun scratch (fake : Igp.Lsa.fake) ->
+      Igp.Network.retract_fake scratch ~fake_id:fake.fake_id)
+    ~describe:(fun (f : Igp.Lsa.fake) -> f.fake_id)
+
+let apply_safely net (plan : Augmentation.plan) =
+  match safe_order net plan with
+  | Error reason -> Error reason
+  | Ok order ->
+    List.iter (Igp.Network.inject_fake net) order;
+    Ok ()
+
+let revert_safely net (plan : Augmentation.plan) =
+  match safe_removal_order net plan with
+  | Error reason -> Error reason
+  | Ok order ->
+    List.iter
+      (fun (fake : Igp.Lsa.fake) ->
+        Igp.Network.retract_fake net ~fake_id:fake.fake_id)
+      order;
+    Ok ()

@@ -1,0 +1,1 @@
+lib/igp/codec.ml: Bytes Char Int32 List Lsa Printf String

@@ -1,0 +1,1 @@
+lib/igp/codec.mli: Lsa

@@ -1,0 +1,1 @@
+lib/igp/convergence.ml: Array Fib Hashtbl List Netgraph Network Option Printf Queue String

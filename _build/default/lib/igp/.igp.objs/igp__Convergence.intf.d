@@ -1,0 +1,1 @@
+lib/igp/convergence.mli: Fib Lsa Netgraph Network

@@ -1,0 +1,1 @@
+lib/igp/fib.ml: Format List Lsa Netgraph String

@@ -1,0 +1,1 @@
+lib/igp/fib.mli: Format Lsa Netgraph

@@ -1,0 +1,1 @@
+lib/igp/flooding.ml: Array Netgraph Queue

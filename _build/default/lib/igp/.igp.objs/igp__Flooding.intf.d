@@ -1,0 +1,1 @@
+lib/igp/flooding.mli: Netgraph

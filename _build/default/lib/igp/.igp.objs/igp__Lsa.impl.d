@@ -1,0 +1,1 @@
+lib/igp/lsa.ml: Format Netgraph Printf

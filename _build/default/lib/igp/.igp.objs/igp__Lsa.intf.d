@@ -1,0 +1,1 @@
+lib/igp/lsa.mli: Format Netgraph

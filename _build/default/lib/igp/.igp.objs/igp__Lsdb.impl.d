@@ -1,0 +1,1 @@
+lib/igp/lsdb.ml: Hashtbl List Lsa Netgraph Option Printf String

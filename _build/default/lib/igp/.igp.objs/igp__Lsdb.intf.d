@@ -1,0 +1,1 @@
+lib/igp/lsdb.mli: Lsa Netgraph

@@ -1,0 +1,1 @@
+lib/igp/network.ml: Codec Fib Flooding Hashtbl List Lsa Lsdb Netgraph Option Spf String

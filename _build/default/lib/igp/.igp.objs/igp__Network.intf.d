@@ -1,0 +1,1 @@
+lib/igp/network.mli: Fib Flooding Lsa Lsdb Netgraph

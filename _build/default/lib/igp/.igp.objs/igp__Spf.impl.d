@@ -1,0 +1,1 @@
+lib/igp/spf.ml: Fib Hashtbl List Lsa Lsdb Netgraph Option

@@ -1,0 +1,50 @@
+type entry = {
+  next_hop : Netgraph.Graph.node;
+  multiplicity : int;
+  via_fakes : string list;
+}
+
+type t = {
+  router : Netgraph.Graph.node;
+  prefix : Lsa.prefix;
+  distance : int;
+  local : bool;
+  entries : entry list;
+}
+
+let next_hops t = List.map (fun e -> e.next_hop) t.entries
+
+let weights t = List.map (fun e -> (e.next_hop, e.multiplicity)) t.entries
+
+let total_multiplicity t =
+  List.fold_left (fun acc e -> acc + e.multiplicity) 0 t.entries
+
+let fractions t =
+  let total = total_multiplicity t in
+  if total = 0 then []
+  else
+    List.map
+      (fun e -> (e.next_hop, float_of_int e.multiplicity /. float_of_int total))
+      t.entries
+
+let uses_fake t = List.exists (fun e -> e.via_fakes <> []) t.entries
+
+let equal_forwarding a b = weights a = weights b
+
+let pp ~names fmt t =
+  if t.local then
+    Format.fprintf fmt "%s -> %s: local (cost %d)" (names t.router) t.prefix
+      t.distance
+  else
+    Format.fprintf fmt "%s -> %s (cost %d): %a" (names t.router) t.prefix
+      t.distance
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (fun fmt e ->
+           if e.via_fakes = [] then
+             Format.fprintf fmt "%s x%d" (names e.next_hop) e.multiplicity
+           else
+             Format.fprintf fmt "%s x%d (via %s)" (names e.next_hop)
+               e.multiplicity
+               (String.concat "+" e.via_fakes)))
+      t.entries

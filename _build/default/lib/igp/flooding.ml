@@ -1,0 +1,29 @@
+module Graph = Netgraph.Graph
+
+type cost = { messages : int; rounds : int }
+
+let zero = { messages = 0; rounds = 0 }
+
+let add a b = { messages = a.messages + b.messages; rounds = max a.rounds b.rounds }
+
+let flood g ~origin =
+  let n = Graph.node_count g in
+  let depth = Array.make n (-1) in
+  depth.(origin) <- 0;
+  let queue = Queue.create () in
+  Queue.push origin queue;
+  let rounds = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_succ g u (fun v _ ->
+        if depth.(v) < 0 then begin
+          depth.(v) <- depth.(u) + 1;
+          rounds := max !rounds depth.(v);
+          Queue.push v queue
+        end)
+  done;
+  let messages =
+    Graph.fold_edges g ~init:0 ~f:(fun acc u v _ ->
+        if depth.(u) >= 0 && depth.(v) >= 0 then acc + 1 else acc)
+  in
+  { messages; rounds = !rounds }

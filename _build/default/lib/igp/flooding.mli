@@ -1,0 +1,23 @@
+(** Control-plane cost model for LSA flooding.
+
+    When an LSA is (re)originated, OSPF reliably floods it over every
+    adjacency: each directed link carries the update once (plus an ack we
+    do not count separately). The number of rounds until every router has
+    the update equals the origin's eccentricity in hops. These are the
+    quantities behind the paper's "very limited control-plane overhead"
+    claim and the TOVH experiment. *)
+
+type cost = {
+  messages : int;  (** LSA copies transmitted (one per directed link). *)
+  rounds : int;  (** Propagation depth from the origin (BFS hops). *)
+}
+
+val flood : Netgraph.Graph.t -> origin:Netgraph.Graph.node -> cost
+(** Cost of flooding one LSA originated at [origin] over the physical
+    topology. Only links between routers reachable from the origin
+    count. *)
+
+val zero : cost
+
+val add : cost -> cost -> cost
+(** Messages add; rounds take the maximum (floods proceed in parallel). *)

@@ -1,0 +1,36 @@
+type prefix = string
+
+type fake = {
+  fake_id : string;
+  attachment : Netgraph.Graph.node;
+  attachment_cost : int;
+  prefix : prefix;
+  announced_cost : int;
+  forwarding : Netgraph.Graph.node;
+}
+
+type t =
+  | Router of { origin : Netgraph.Graph.node; links : (Netgraph.Graph.node * int) list }
+  | Prefix of { origin : Netgraph.Graph.node; prefix : prefix; cost : int }
+  | Fake of fake
+
+let total_cost f = f.attachment_cost + f.announced_cost
+
+let key = function
+  | Router { origin; _ } -> Printf.sprintf "router:%d" origin
+  | Prefix { origin; prefix; _ } -> Printf.sprintf "prefix:%d:%s" origin prefix
+  | Fake { fake_id; _ } -> Printf.sprintf "fake:%s" fake_id
+
+let pp ~names fmt = function
+  | Router { origin; links } ->
+    Format.fprintf fmt "Router(%s: %a)" (names origin)
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (fun fmt (v, w) -> Format.fprintf fmt "%s/%d" (names v) w))
+      links
+  | Prefix { origin; prefix; cost } ->
+    Format.fprintf fmt "Prefix(%s via %s cost %d)" prefix (names origin) cost
+  | Fake f ->
+    Format.fprintf fmt "Fake(%s @@ %s link %d, %s cost %d -> fwd %s)" f.fake_id
+      (names f.attachment) f.attachment_cost f.prefix f.announced_cost
+      (names f.forwarding)

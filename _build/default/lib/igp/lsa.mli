@@ -1,0 +1,44 @@
+(** Link-state advertisements.
+
+    We model the three LSA kinds that matter to Fibbing:
+    - {b router LSAs}: a router's adjacencies and their costs, derived
+      from the physical topology;
+    - {b prefix LSAs}: a destination prefix announced by a real egress
+      router at some external cost (OSPF type-5 with a real origin);
+    - {b fake LSAs}: a forged stub node, attached to a real router at a
+      chosen link cost, announcing one prefix at a chosen cost and
+      carrying a forwarding-address mapping to a physical neighbor of the
+      attachment router. This is the Fibbing "lie". *)
+
+type prefix = string
+(** Destination prefixes are identified by name (the paper's "blue
+    prefix"). *)
+
+type fake = {
+  fake_id : string;  (** Unique identifier, e.g. ["fB"], ["fA#1"]. *)
+  attachment : Netgraph.Graph.node;
+      (** Real router the fake node hangs off. *)
+  attachment_cost : int;  (** Cost of the (fake) link attachment->fake. *)
+  prefix : prefix;  (** Prefix announced by the fake node. *)
+  announced_cost : int;  (** Cost at which the fake announces the prefix. *)
+  forwarding : Netgraph.Graph.node;
+      (** Physical next hop of [attachment] that the fake route resolves
+          to when installed in [attachment]'s FIB. Must be a neighbor of
+          [attachment]. *)
+}
+
+type t =
+  | Router of { origin : Netgraph.Graph.node; links : (Netgraph.Graph.node * int) list }
+  | Prefix of { origin : Netgraph.Graph.node; prefix : prefix; cost : int }
+  | Fake of fake
+
+val total_cost : fake -> int
+(** [attachment_cost + announced_cost]: the cost at which the attachment
+    router reaches the prefix through this fake. *)
+
+val key : t -> string
+(** Stable identity used by the LSDB for supersession: router LSAs are
+    keyed by origin, prefix LSAs by (origin, prefix), fake LSAs by
+    [fake_id]. *)
+
+val pp : names:(Netgraph.Graph.node -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,144 @@
+module Graph = Netgraph.Graph
+
+type view = {
+  graph : Graph.t;
+  real_nodes : int;
+  sink_of_prefix : (Lsa.prefix * Graph.node) list;
+  fake_of_node : (Graph.node * Lsa.fake) list;
+}
+
+type t = {
+  base : Graph.t;
+  mutable announcements : (Lsa.prefix * Graph.node * int) list; (* newest last *)
+  mutable fake_list : Lsa.fake list; (* newest last *)
+  sequences : (string, int) Hashtbl.t;
+  mutable version : int;
+  mutable last_origin : Graph.node option;
+  mutable cached_view : (int * view) option;
+}
+
+let create base =
+  {
+    base;
+    announcements = [];
+    fake_list = [];
+    sequences = Hashtbl.create 32;
+    version = 0;
+    last_origin = None;
+    cached_view = None;
+  }
+
+let base_graph t = t.base
+
+let bump t key =
+  let seq = Option.value ~default:0 (Hashtbl.find_opt t.sequences key) in
+  Hashtbl.replace t.sequences key (seq + 1);
+  t.version <- t.version + 1
+
+let announce_prefix t prefix ~origin ~cost =
+  if cost < 0 then invalid_arg "Lsdb.announce_prefix: negative cost";
+  ignore (Graph.name t.base origin);
+  t.last_origin <- Some origin;
+  t.announcements <-
+    List.filter (fun (p, o, _) -> not (String.equal p prefix && o = origin)) t.announcements
+    @ [ (prefix, origin, cost) ];
+  bump t (Lsa.key (Prefix { origin; prefix; cost }))
+
+let prefix_known t prefix =
+  List.exists (fun (p, _, _) -> String.equal p prefix) t.announcements
+
+let install_fake t (fake : Lsa.fake) =
+  if fake.attachment_cost <= 0 then
+    invalid_arg "Lsdb.install_fake: attachment cost must be positive";
+  if fake.announced_cost < 0 then
+    invalid_arg "Lsdb.install_fake: negative announced cost";
+  if not (Graph.has_edge t.base fake.attachment fake.forwarding) then
+    invalid_arg
+      (Printf.sprintf "Lsdb.install_fake: %s's forwarding address is not a neighbor of its attachment"
+         fake.fake_id);
+  if not (prefix_known t fake.prefix) then
+    invalid_arg
+      (Printf.sprintf "Lsdb.install_fake: unknown prefix %s" fake.prefix);
+  t.fake_list <-
+    List.filter (fun (f : Lsa.fake) -> not (String.equal f.fake_id fake.fake_id)) t.fake_list
+    @ [ fake ];
+  t.last_origin <- Some fake.attachment;
+  bump t (Lsa.key (Fake fake))
+
+let retract_fake t ~fake_id =
+  match
+    List.find_opt (fun (f : Lsa.fake) -> String.equal f.fake_id fake_id) t.fake_list
+  with
+  | None -> raise Not_found
+  | Some fake ->
+    t.fake_list <-
+      List.filter
+        (fun (f : Lsa.fake) -> not (String.equal f.fake_id fake_id))
+        t.fake_list;
+    t.last_origin <- Some fake.attachment;
+    bump t (Printf.sprintf "fake:%s" fake_id)
+
+let retract_all_fakes t =
+  List.iter (fun (f : Lsa.fake) -> retract_fake t ~fake_id:f.fake_id)
+    (List.rev t.fake_list)
+
+let fakes t = t.fake_list
+
+let fake_count t = List.length t.fake_list
+
+let prefixes t = t.announcements
+
+let prefix_list t =
+  List.sort_uniq compare (List.map (fun (p, _, _) -> p) t.announcements)
+
+let sequence t ~key = Hashtbl.find_opt t.sequences key
+
+let version t = t.version
+
+let last_origin t = t.last_origin
+
+let touch ?origin t =
+  (match origin with Some _ -> t.last_origin <- origin | None -> ());
+  t.version <- t.version + 1
+
+let build_view t =
+  let graph = Graph.copy t.base in
+  let real_nodes = Graph.node_count graph in
+  (* One stub node per fake: reachable only via its attachment. *)
+  let fake_of_node =
+    List.map
+      (fun (f : Lsa.fake) ->
+        let node = Graph.add_node graph ~name:f.fake_id in
+        Graph.add_edge graph f.attachment node ~weight:f.attachment_cost;
+        (node, f))
+      t.fake_list
+  in
+  (* One sink per prefix, fed by real announcers and by fakes. A cost of 0
+     is represented by a +1 offset on every announcer edge (Graph rejects
+     zero-weight edges), which preserves all cost comparisons. *)
+  let sink_of_prefix =
+    List.map
+      (fun prefix ->
+        let sink = Graph.add_node graph ~name:(Printf.sprintf "prefix:%s" prefix) in
+        List.iter
+          (fun (p, origin, cost) ->
+            if String.equal p prefix then
+              Graph.add_edge graph origin sink ~weight:(cost + 1))
+          t.announcements;
+        List.iter
+          (fun (node, (f : Lsa.fake)) ->
+            if String.equal f.prefix prefix then
+              Graph.add_edge graph node sink ~weight:(f.announced_cost + 1))
+          fake_of_node;
+        (prefix, sink))
+      (prefix_list t)
+  in
+  { graph; real_nodes; sink_of_prefix; fake_of_node }
+
+let view t =
+  match t.cached_view with
+  | Some (version, v) when version = t.version -> v
+  | Some _ | None ->
+    let v = build_view t in
+    t.cached_view <- Some (t.version, v);
+    v

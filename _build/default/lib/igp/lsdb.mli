@@ -1,0 +1,76 @@
+(** Link-state database shared by all routers.
+
+    A single LSDB instance models the (converged) flooded state of the
+    IGP domain: router LSAs are derived from the physical topology graph;
+    prefix and fake LSAs are installed explicitly. Each change bumps a
+    version and a per-LSA sequence number, mirroring OSPF supersession.
+
+    [view] materializes the augmented routing graph every router computes
+    SPF on: the physical graph, plus one stub node per fake LSA, plus one
+    virtual sink node per prefix with an incoming edge from every
+    announcer (real egress at its announced cost, fakes at theirs). *)
+
+type t
+
+type view = {
+  graph : Netgraph.Graph.t;
+      (** Augmented graph. Node identifiers [< real_nodes] coincide with
+          the physical graph's. *)
+  real_nodes : int;
+  sink_of_prefix : (Lsa.prefix * Netgraph.Graph.node) list;
+  fake_of_node : (Netgraph.Graph.node * Lsa.fake) list;
+}
+
+val create : Netgraph.Graph.t -> t
+(** The LSDB reads the physical graph lazily: weight changes made to the
+    graph afterwards are picked up after a call to [touch]. *)
+
+val base_graph : t -> Netgraph.Graph.t
+
+val announce_prefix : t -> Lsa.prefix -> origin:Netgraph.Graph.node -> cost:int -> unit
+(** Install (or supersede) the real announcement of a prefix. A prefix may
+    be announced by several origins (anycast); each (origin, prefix) pair
+    is one LSA. *)
+
+val install_fake : t -> Lsa.fake -> unit
+(** Inject a fake LSA; supersedes any previous fake with the same
+    [fake_id]. Raises [Invalid_argument] if the forwarding address is not
+    a physical neighbor of the attachment router, if the announced prefix
+    is unknown, or if costs are not positive. *)
+
+val retract_fake : t -> fake_id:string -> unit
+(** Raises [Not_found] if no such fake is installed. *)
+
+val retract_all_fakes : t -> unit
+
+val fakes : t -> Lsa.fake list
+(** Currently installed fakes, in installation order. *)
+
+val fake_count : t -> int
+
+val prefixes : t -> (Lsa.prefix * Netgraph.Graph.node * int) list
+(** Real prefix announcements [(prefix, origin, cost)]. *)
+
+val prefix_list : t -> Lsa.prefix list
+(** Distinct announced prefixes. *)
+
+val sequence : t -> key:string -> int option
+(** Current sequence number of the LSA with this [Lsa.key]; [None] if
+    never installed. Sequence numbers survive retraction (as in OSPF,
+    where a purged LSA's sequence keeps increasing). *)
+
+val version : t -> int
+(** Bumped on every change; cheap to poll. *)
+
+val last_origin : t -> Netgraph.Graph.node option
+(** The router that originated the most recent change (the attachment
+    of an installed/retracted fake, the origin of a prefix announcement,
+    or the node passed to [touch]); used by reconvergence models to
+    anchor the flooding schedule. *)
+
+val touch : ?origin:Netgraph.Graph.node -> t -> unit
+(** Signal that the physical graph was mutated externally (e.g. a weight
+    change at [origin]), invalidating cached views. *)
+
+val view : t -> view
+(** Cached per [version]. *)

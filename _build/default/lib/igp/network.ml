@@ -1,0 +1,109 @@
+module Graph = Netgraph.Graph
+
+type t = {
+  graph : Graph.t;
+  lsdb : Lsdb.t;
+  mutable control : Flooding.cost;
+  fib_cache : (int * Graph.node * Lsa.prefix, Fib.t option) Hashtbl.t;
+}
+
+let create graph =
+  {
+    graph;
+    lsdb = Lsdb.create graph;
+    control = Flooding.zero;
+    fib_cache = Hashtbl.create 64;
+  }
+
+let clone t =
+  let graph = Graph.copy t.graph in
+  let lsdb = Lsdb.create graph in
+  List.iter
+    (fun (prefix, origin, cost) -> Lsdb.announce_prefix lsdb prefix ~origin ~cost)
+    (Lsdb.prefixes t.lsdb);
+  List.iter (fun fake -> Lsdb.install_fake lsdb fake) (Lsdb.fakes t.lsdb);
+  { graph; lsdb; control = Flooding.zero; fib_cache = Hashtbl.create 64 }
+
+let graph t = t.graph
+
+let lsdb t = t.lsdb
+
+let announce_prefix t prefix ~origin ~cost =
+  Lsdb.announce_prefix t.lsdb prefix ~origin ~cost
+
+let account t ~origin =
+  t.control <- Flooding.add t.control (Flooding.flood t.graph ~origin)
+
+let inject_fake t fake =
+  Lsdb.install_fake t.lsdb fake;
+  account t ~origin:fake.Lsa.attachment
+
+let retract_fake t ~fake_id =
+  let fake =
+    List.find (fun (f : Lsa.fake) -> String.equal f.fake_id fake_id)
+      (Lsdb.fakes t.lsdb)
+  in
+  Lsdb.retract_fake t.lsdb ~fake_id;
+  account t ~origin:fake.Lsa.attachment
+
+let inject_fake_wire t buf =
+  match Codec.decode buf with
+  | Error reason -> Error reason
+  | Ok { lsa = Lsa.Fake fake; _ } ->
+    (match inject_fake t fake with
+    | () -> Ok ()
+    | exception Invalid_argument reason -> Error reason)
+  | Ok { lsa = Lsa.Router _ | Lsa.Prefix _; _ } ->
+    Error "wire packet is not a fake LSA"
+
+let router_lsa t ~origin =
+  Lsa.Router { origin; links = Graph.succ t.graph origin }
+
+let retract_all_fakes t =
+  List.iter (fun (f : Lsa.fake) -> retract_fake t ~fake_id:f.fake_id)
+    (Lsdb.fakes t.lsdb)
+
+let fakes t = Lsdb.fakes t.lsdb
+
+let fib t ~router prefix =
+  let key = (Lsdb.version t.lsdb, router, prefix) in
+  match Hashtbl.find_opt t.fib_cache key with
+  | Some fib -> fib
+  | None ->
+    let fib = Spf.compute_prefix (Lsdb.view t.lsdb) ~router prefix in
+    if Hashtbl.length t.fib_cache > 4096 then Hashtbl.reset t.fib_cache;
+    Hashtbl.add t.fib_cache key fib;
+    fib
+
+let fibs t prefix =
+  List.filter_map
+    (fun router ->
+      Option.map (fun f -> (router, f)) (fib t ~router prefix))
+    (Graph.nodes t.graph)
+
+let distance t ~router prefix =
+  Option.map (fun (f : Fib.t) -> f.distance) (fib t ~router prefix)
+
+let next_hops t ~router prefix =
+  match fib t ~router prefix with None -> [] | Some f -> Fib.next_hops f
+
+let set_weight t u v ~weight =
+  Graph.set_weight t.graph u v ~weight;
+  Lsdb.touch ~origin:u t.lsdb;
+  account t ~origin:u
+
+let control_cost t = t.control
+
+let refresh_cost t ~period ~duration =
+  if period <= 0. then invalid_arg "Network.refresh_cost: period";
+  let cycles = int_of_float (duration /. period) in
+  List.fold_left
+    (fun acc (fake : Lsa.fake) ->
+      let once = Flooding.flood t.graph ~origin:fake.attachment in
+      Flooding.add acc
+        { Flooding.messages = once.messages * cycles; rounds = once.rounds })
+    Flooding.zero (Lsdb.fakes t.lsdb)
+
+let reset_control_cost t = t.control <- Flooding.zero
+
+let routers t = Graph.nodes t.graph

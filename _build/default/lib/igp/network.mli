@@ -1,0 +1,69 @@
+(** Whole-network routing state: the physical topology, its LSDB, and the
+    FIBs of every router, recomputed (lazily, with caching) whenever the
+    LSDB changes. Also accounts the control-plane cost of every fake-LSA
+    operation, which the benchmarks compare against MPLS signaling. *)
+
+type t
+
+val create : Netgraph.Graph.t -> t
+
+val clone : t -> t
+(** Independent deep copy (graph, announcements, fakes); used to test a
+    candidate augmentation before touching the live network. Control-cost
+    counters start at zero in the clone. *)
+
+val graph : t -> Netgraph.Graph.t
+
+val lsdb : t -> Lsdb.t
+
+val announce_prefix :
+  t -> Lsa.prefix -> origin:Netgraph.Graph.node -> cost:int -> unit
+
+val inject_fake : t -> Lsa.fake -> unit
+(** Install a fake LSA and account its flooding cost. *)
+
+val retract_fake : t -> fake_id:string -> unit
+(** Retract (purge) a fake LSA; purges flood like installations. *)
+
+val retract_all_fakes : t -> unit
+
+val inject_fake_wire : t -> bytes -> (unit, string) result
+(** Decode a wire-format LSA packet ([Codec]) and inject it; the packet
+    must carry a fake LSA. This is the path a real Fibbing controller
+    takes: it forges bytes, the routers parse them. *)
+
+val router_lsa : t -> origin:Netgraph.Graph.node -> Lsa.t
+(** The router LSA [origin] would originate for its current adjacencies
+    (derived from the physical graph). *)
+
+val fakes : t -> Lsa.fake list
+
+val fib : t -> router:Netgraph.Graph.node -> Lsa.prefix -> Fib.t option
+(** Cached per LSDB version. *)
+
+val fibs : t -> Lsa.prefix -> (Netgraph.Graph.node * Fib.t) list
+(** FIB of every router that can reach the prefix, by router id. *)
+
+val distance : t -> router:Netgraph.Graph.node -> Lsa.prefix -> int option
+
+val next_hops : t -> router:Netgraph.Graph.node -> Lsa.prefix -> Netgraph.Graph.node list
+
+val set_weight : t -> Netgraph.Graph.node -> Netgraph.Graph.node -> weight:int -> unit
+(** Change a (directed) link weight; triggers a full reconvergence and
+    accounts the router-LSA reflood (both endpoints of the paper's
+    "per-device reconfiguration"). *)
+
+val control_cost : t -> Flooding.cost
+(** Cumulative control-plane cost of all fake/weight operations since
+    creation or the last [reset_control_cost]. *)
+
+val refresh_cost : t -> period:float -> duration:float -> Flooding.cost
+(** Steady-state cost of keeping the currently installed fakes alive for
+    [duration] seconds: OSPF re-originates every LSA each [period]
+    (1800 s by default in real deployments), and each re-origination
+    refloods. This is Fibbing's analogue of RSVP-TE's soft-state
+    refreshes — two orders of magnitude rarer. *)
+
+val reset_control_cost : t -> unit
+
+val routers : t -> Netgraph.Graph.node list

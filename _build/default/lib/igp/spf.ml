@@ -1,0 +1,72 @@
+module Graph = Netgraph.Graph
+module Dijkstra = Netgraph.Dijkstra
+
+let check_router (view : Lsdb.view) router =
+  if router < 0 || router >= view.real_nodes then
+    invalid_arg "Spf: not a real router"
+
+let fib_of_first_hops (view : Lsdb.view) ~router ~prefix ~sink result =
+  match Dijkstra.distance result sink with
+  | None -> None
+  | Some view_distance ->
+    (* Announcer edges carry a +1 offset (see Lsdb); undo it here. *)
+    let distance = view_distance - 1 in
+    let hops = Dijkstra.first_hops view.graph result ~target:sink in
+    let local = List.mem sink hops in
+    let forwarding_hops = List.filter (fun h -> h <> sink) hops in
+    let resolve h =
+      if h < view.real_nodes then (h, None)
+      else begin
+        match List.assoc_opt h view.fake_of_node with
+        | Some fake -> (fake.Lsa.forwarding, Some fake.Lsa.fake_id)
+        | None ->
+          (* Only fake stubs and sinks live above real_nodes, and sinks
+             were filtered out just above. *)
+          assert false
+      end
+    in
+    let resolved = List.map resolve forwarding_hops in
+    let by_next_hop = Hashtbl.create 4 in
+    List.iter
+      (fun (nh, fake) ->
+        let mult, fakes =
+          Option.value ~default:(0, []) (Hashtbl.find_opt by_next_hop nh)
+        in
+        let fakes = match fake with None -> fakes | Some id -> id :: fakes in
+        Hashtbl.replace by_next_hop nh (mult + 1, fakes))
+      resolved;
+    let entries =
+      Hashtbl.fold
+        (fun next_hop (multiplicity, fakes) acc ->
+          { Fib.next_hop; multiplicity; via_fakes = List.sort compare fakes }
+          :: acc)
+        by_next_hop []
+    in
+    let entries =
+      List.sort (fun a b -> compare a.Fib.next_hop b.Fib.next_hop) entries
+    in
+    Some { Fib.router; prefix; distance; local; entries }
+
+let compute_prefix (view : Lsdb.view) ~router prefix =
+  check_router view router;
+  match List.assoc_opt prefix view.sink_of_prefix with
+  | None -> None
+  | Some sink ->
+    let result = Dijkstra.run view.graph ~source:router in
+    fib_of_first_hops view ~router ~prefix ~sink result
+
+let compute (view : Lsdb.view) ~router =
+  check_router view router;
+  let result = Dijkstra.run view.graph ~source:router in
+  view.sink_of_prefix
+  |> List.sort (fun (p, _) (q, _) -> compare p q)
+  |> List.filter_map (fun (prefix, sink) ->
+         fib_of_first_hops view ~router ~prefix ~sink result)
+
+let distance (view : Lsdb.view) ~router prefix =
+  check_router view router;
+  match List.assoc_opt prefix view.sink_of_prefix with
+  | None -> None
+  | Some sink ->
+    let result = Dijkstra.run view.graph ~source:router in
+    Option.map (fun d -> d - 1) (Dijkstra.distance result sink)

@@ -1,0 +1,1 @@
+lib/kit/heap.mli:

@@ -1,0 +1,1 @@
+lib/kit/prng.ml: Array Int64

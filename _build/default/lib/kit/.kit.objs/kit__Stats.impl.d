@@ -1,0 +1,1 @@
+lib/kit/stats.ml: List

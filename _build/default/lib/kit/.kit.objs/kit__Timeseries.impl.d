@@ -1,0 +1,1 @@
+lib/kit/timeseries.ml: Buffer Format List Printf Stats

@@ -1,0 +1,22 @@
+(** Mutable binary min-heap keyed by float priorities.
+
+    Used by Dijkstra ([Netgraph.Dijkstra]) and the discrete event queue
+    ([Netsim.Events]). Duplicate insertions of the same element are
+    allowed; stale entries are the caller's concern (lazy deletion). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Number of stored entries (including any stale duplicates). *)
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry, if any. Ties are broken
+    arbitrarily but deterministically. *)
+
+val peek : 'a t -> (float * 'a) option

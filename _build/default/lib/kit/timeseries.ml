@@ -1,0 +1,76 @@
+type t = {
+  name : string;
+  mutable rev_samples : (float * float) list;
+  mutable last_time : float;
+  mutable count : int;
+}
+
+let create ~name = { name; rev_samples = []; last_time = neg_infinity; count = 0 }
+
+let name t = t.name
+
+let add t ~time value =
+  if time < t.last_time then invalid_arg "Timeseries.add: non-monotonic time";
+  t.rev_samples <- (time, value) :: t.rev_samples;
+  t.last_time <- time;
+  t.count <- t.count + 1
+
+let samples t = List.rev t.rev_samples
+
+let length t = t.count
+
+let value_at t time =
+  (* rev_samples is newest-first: the first sample at or before [time]. *)
+  let rec find = function
+    | [] -> 0.
+    | (sample_time, value) :: rest ->
+      if sample_time <= time then value else find rest
+  in
+  find t.rev_samples
+
+let peak t = List.fold_left (fun acc (_, v) -> max acc v) 0. t.rev_samples
+
+let window_mean t ~from ~until =
+  let in_window =
+    List.filter_map
+      (fun (time, v) -> if time >= from && time < until then Some v else None)
+      t.rev_samples
+  in
+  Stats.mean in_window
+
+let to_csv ?(step = 1.0) series =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer "time";
+  List.iter
+    (fun t ->
+      Buffer.add_char buffer ',';
+      Buffer.add_string buffer t.name)
+    series;
+  Buffer.add_char buffer '\n';
+  let horizon = List.fold_left (fun acc t -> max acc t.last_time) 0. series in
+  let steps = int_of_float (horizon /. step) in
+  for i = 0 to steps do
+    let time = float_of_int i *. step in
+    Buffer.add_string buffer (Printf.sprintf "%g" time);
+    List.iter
+      (fun t ->
+        Buffer.add_string buffer (Printf.sprintf ",%g" (value_at t time)))
+      series;
+    Buffer.add_char buffer '\n'
+  done;
+  Buffer.contents buffer
+
+let pp_rows ?(step = 1.0) fmt series =
+  let horizon =
+    List.fold_left (fun acc t -> max acc t.last_time) 0. series
+  in
+  Format.fprintf fmt "%10s" "time[s]";
+  List.iter (fun t -> Format.fprintf fmt " %14s" t.name) series;
+  Format.pp_print_newline fmt ();
+  let steps = int_of_float (horizon /. step) in
+  for i = 0 to steps do
+    let time = float_of_int i *. step in
+    Format.fprintf fmt "%10.1f" time;
+    List.iter (fun t -> Format.fprintf fmt " %14.0f" (value_at t time)) series;
+    Format.pp_print_newline fmt ()
+  done

@@ -1,0 +1,1 @@
+lib/mpls/cspf.ml: List Netgraph Netsim

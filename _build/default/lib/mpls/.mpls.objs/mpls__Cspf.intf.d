@@ -1,0 +1,1 @@
+lib/mpls/cspf.mli: Netgraph Netsim

@@ -1,0 +1,1 @@
+lib/mpls/splitter.ml: Hashtbl List Option Tunnels

@@ -1,0 +1,1 @@
+lib/mpls/splitter.mli: Tunnels

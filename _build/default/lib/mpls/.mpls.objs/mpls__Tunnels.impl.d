@@ -1,0 +1,1 @@
+lib/mpls/tunnels.ml: Cspf Hashtbl List Netgraph Netsim Option

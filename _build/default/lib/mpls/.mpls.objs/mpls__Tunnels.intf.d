@@ -1,0 +1,1 @@
+lib/mpls/tunnels.mli: Netgraph Netsim

@@ -1,0 +1,13 @@
+module Graph = Netgraph.Graph
+
+let path g ~capacities ~reserved ~bandwidth ~src ~dst =
+  (* Prune links lacking residual bandwidth, then ordinary SPF. *)
+  let pruned = Graph.copy g in
+  List.iter
+    (fun (u, v, _) ->
+      let residual = Netsim.Link.capacity capacities (u, v) -. reserved (u, v) in
+      if residual < bandwidth then Graph.remove_edge pruned u v)
+    (Graph.edges g);
+  match Netgraph.Paths.all_shortest ~limit:1 pruned ~source:src ~target:dst with
+  | [] -> None
+  | p :: _ -> Some p

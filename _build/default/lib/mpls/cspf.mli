@@ -1,0 +1,16 @@
+(** Constrained shortest path first, as used by RSVP-TE head ends.
+
+    Finds the IGP-shortest path that still has at least the requested
+    bandwidth available on every link, given current reservations. *)
+
+val path :
+  Netgraph.Graph.t ->
+  capacities:Netsim.Link.capacities ->
+  reserved:(Netsim.Link.t -> float) ->
+  bandwidth:float ->
+  src:Netgraph.Graph.node ->
+  dst:Netgraph.Graph.node ->
+  Netgraph.Graph.node list option
+(** [None] when no path with sufficient residual bandwidth exists. Ties
+    between equal-cost feasible paths break towards the lexicographically
+    smallest node sequence (deterministic). *)

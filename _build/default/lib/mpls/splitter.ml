@@ -1,0 +1,68 @@
+type t = {
+  targets : (Tunnels.tunnel * float) list; (* normalized weights *)
+  assigned : (int, Tunnels.tunnel * float) Hashtbl.t; (* flow -> tunnel, demand *)
+}
+
+let create weighted =
+  if weighted = [] then invalid_arg "Splitter.create: no tunnels";
+  List.iter
+    (fun (_, w) -> if w <= 0. then invalid_arg "Splitter.create: non-positive weight")
+    weighted;
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weighted in
+  {
+    targets = List.map (fun (tunnel, w) -> (tunnel, w /. total)) weighted;
+    assigned = Hashtbl.create 64;
+  }
+
+let shares t =
+  List.map
+    (fun ((tunnel : Tunnels.tunnel), _) ->
+      let share =
+        Hashtbl.fold
+          (fun _ ((assigned : Tunnels.tunnel), demand) acc ->
+            if assigned.id = tunnel.id then acc +. demand else acc)
+          t.assigned 0.
+      in
+      (tunnel, share))
+    t.targets
+
+let assign t ~flow_id ~demand =
+  match Hashtbl.find_opt t.assigned flow_id with
+  | Some (tunnel, _) -> tunnel (* sticky *)
+  | None ->
+    let current = shares t in
+    let total =
+      List.fold_left (fun acc (_, s) -> acc +. s) 0. current +. demand
+    in
+    (* Largest deficit against target share once this flow lands. *)
+    let best =
+      List.fold_left
+        (fun acc (tunnel, weight) ->
+          let share =
+            Option.value ~default:0.
+              (List.find_map
+                 (fun ((tl : Tunnels.tunnel), s) ->
+                   if tl.id = tunnel.Tunnels.id then Some s else None)
+                 current)
+          in
+          let deficit = (weight *. total) -. share in
+          match acc with
+          | Some (_, best_deficit) when best_deficit >= deficit -> acc
+          | Some _ | None -> Some (tunnel, deficit))
+        None t.targets
+    in
+    (match best with
+    | None -> assert false (* targets is non-empty *)
+    | Some (tunnel, _) ->
+      Hashtbl.replace t.assigned flow_id (tunnel, demand);
+      tunnel)
+
+let release t ~flow_id = Hashtbl.remove t.assigned flow_id
+
+let state_entries t = Hashtbl.length t.assigned
+
+let realized_fractions t =
+  let current = shares t in
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0. current in
+  if total <= 0. then List.map (fun (tunnel, _) -> (tunnel, 0.)) current
+  else List.map (fun (tunnel, s) -> (tunnel, s /. total)) current

@@ -1,0 +1,27 @@
+(** Head-end unequal load balancing across parallel tunnels.
+
+    RSVP-TE achieves uneven ratios by keeping per-flow state at the head
+    end: each new flow is assigned to the tunnel whose current share is
+    furthest below its target weight. This gets arbitrarily precise
+    ratios — the paper's point is the cost: per-flow state at the head
+    end and per-packet encapsulation, where Fibbing needs neither. *)
+
+type t
+
+val create : (Tunnels.tunnel * float) list -> t
+(** Tunnels with positive target weights (normalized internally). Raises
+    [Invalid_argument] when empty or weights are non-positive. *)
+
+val assign : t -> flow_id:int -> demand:float -> Tunnels.tunnel
+(** Sticky deficit-based assignment; remembers the flow. *)
+
+val release : t -> flow_id:int -> unit
+(** Forget a finished flow (no-op when unknown). *)
+
+val state_entries : t -> int
+(** Currently tracked flows — the "stateful" cost. *)
+
+val shares : t -> (Tunnels.tunnel * float) list
+(** Current demand share per tunnel (sums to the total assigned demand). *)
+
+val realized_fractions : t -> (Tunnels.tunnel * float) list

@@ -1,0 +1,1 @@
+lib/netgraph/dijkstra.ml: Array Fun Graph Hashtbl Kit List Seq

@@ -1,0 +1,1 @@
+lib/netgraph/dot.ml: Buffer Graph List Printf String

@@ -1,0 +1,1 @@
+lib/netgraph/paths.ml: Dijkstra Format Graph List

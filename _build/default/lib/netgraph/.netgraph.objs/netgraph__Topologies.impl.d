@@ -1,0 +1,1 @@
+lib/netgraph/topologies.ml: Array Graph Kit Printf

@@ -1,0 +1,1 @@
+lib/netgraph/topologies.mli: Graph Kit

@@ -1,0 +1,1 @@
+lib/netgraph/zoo.ml: Graph List Printf String

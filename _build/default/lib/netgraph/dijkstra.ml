@@ -1,0 +1,99 @@
+type result = {
+  source : Graph.node;
+  dist : int array; (* max_int encodes "unreachable" *)
+  preds : Graph.node list array;
+}
+
+let unreachable = max_int
+
+let run g ~source =
+  let n = Graph.node_count g in
+  let dist = Array.make n unreachable in
+  let preds = Array.make n [] in
+  let settled = Array.make n false in
+  let heap = Kit.Heap.create () in
+  dist.(source) <- 0;
+  Kit.Heap.push heap ~priority:0. source;
+  let rec loop () =
+    match Kit.Heap.pop heap with
+    | None -> ()
+    | Some (_, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        Graph.iter_succ g u (fun v w ->
+            let candidate = dist.(u) + w in
+            if candidate < dist.(v) then begin
+              dist.(v) <- candidate;
+              preds.(v) <- [ u ];
+              Kit.Heap.push heap ~priority:(float_of_int candidate) v
+            end
+            else if candidate = dist.(v) && not (List.mem u preds.(v)) then
+              preds.(v) <- u :: preds.(v));
+        loop ()
+      end
+      else loop ()
+  in
+  loop ();
+  { source; dist; preds }
+
+let source r = r.source
+
+let distance r v = if r.dist.(v) = unreachable then None else Some r.dist.(v)
+
+let distance_exn r v =
+  if r.dist.(v) = unreachable then raise Not_found else r.dist.(v)
+
+let reachable r v = r.dist.(v) <> unreachable
+
+let predecessors r v = if r.dist.(v) = unreachable then [] else r.preds.(v)
+
+(* Nodes on the shortest-path DAG between source and target: reverse DFS
+   from the target along predecessor sets. *)
+let dag_nodes r ~target =
+  if r.dist.(target) = unreachable then [||]
+  else begin
+    let marked = Array.make (Array.length r.dist) false in
+    let rec visit v =
+      if not marked.(v) then begin
+        marked.(v) <- true;
+        List.iter visit r.preds.(v)
+      end
+    in
+    visit target;
+    marked
+  end
+
+let first_hops g r ~target =
+  if target = r.source || r.dist.(target) = unreachable then []
+  else begin
+    let marked = dag_nodes r ~target in
+    let hops =
+      List.filter_map
+        (fun (v, w) ->
+          if r.dist.(v) = w && marked.(v) then Some v else None)
+        (Graph.succ g r.source)
+    in
+    List.sort_uniq compare hops
+  end
+
+let shortest_path_nodes r ~target =
+  let marked = dag_nodes r ~target in
+  if Array.length marked = 0 then []
+  else
+    List.filter (fun v -> marked.(v)) (List.init (Array.length marked) Fun.id)
+
+let all_distances g pairs =
+  let by_source = Hashtbl.create 16 in
+  let cached source =
+    match Hashtbl.find_opt by_source source with
+    | Some r -> r
+    | None ->
+      let r = run g ~source in
+      Hashtbl.add by_source source r;
+      r
+  in
+  Seq.filter_map
+    (fun (s, t) ->
+      let r = cached s in
+      match distance r t with None -> None | Some d -> Some (s, t, d))
+    pairs

@@ -1,0 +1,146 @@
+type node = int
+
+type t = {
+  mutable names : string array;
+  mutable out_adj : (node * int) list array; (* successor, weight *)
+  mutable in_adj : (node * int) list array; (* predecessor, weight *)
+  mutable count : int;
+  mutable edge_count : int;
+}
+
+let create () =
+  { names = [||]; out_adj = [||]; in_adj = [||]; count = 0; edge_count = 0 }
+
+let copy t =
+  {
+    names = Array.copy t.names;
+    out_adj = Array.copy t.out_adj;
+    in_adj = Array.copy t.in_adj;
+    count = t.count;
+    edge_count = t.edge_count;
+  }
+
+let reverse t =
+  {
+    names = Array.copy t.names;
+    out_adj = Array.copy t.in_adj;
+    in_adj = Array.copy t.out_adj;
+    count = t.count;
+    edge_count = t.edge_count;
+  }
+
+let check_node t v =
+  if v < 0 || v >= t.count then
+    invalid_arg (Printf.sprintf "Graph: unknown node %d" v)
+
+let add_node t ~name =
+  let capacity = Array.length t.names in
+  if t.count = capacity then begin
+    let capacity' = max 8 (2 * capacity) in
+    let names' = Array.make capacity' "" in
+    let out' = Array.make capacity' [] in
+    let in' = Array.make capacity' [] in
+    Array.blit t.names 0 names' 0 t.count;
+    Array.blit t.out_adj 0 out' 0 t.count;
+    Array.blit t.in_adj 0 in' 0 t.count;
+    t.names <- names';
+    t.out_adj <- out';
+    t.in_adj <- in'
+  end;
+  let v = t.count in
+  t.names.(v) <- name;
+  t.out_adj.(v) <- [];
+  t.in_adj.(v) <- [];
+  t.count <- t.count + 1;
+  v
+
+let node_count t = t.count
+
+let edge_count t = t.edge_count
+
+let name t v =
+  check_node t v;
+  t.names.(v)
+
+let find_node t target =
+  let rec search v =
+    if v >= t.count then None
+    else if String.equal t.names.(v) target then Some v
+    else search (v + 1)
+  in
+  search 0
+
+let find_node_exn t target =
+  match find_node t target with Some v -> v | None -> raise Not_found
+
+let has_edge t u v =
+  check_node t u;
+  check_node t v;
+  List.mem_assoc v t.out_adj.(u)
+
+let add_edge t u v ~weight =
+  check_node t u;
+  check_node t v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if weight <= 0 then invalid_arg "Graph.add_edge: weight must be positive";
+  if List.mem_assoc v t.out_adj.(u) then begin
+    t.out_adj.(u) <- List.map (fun (w, c) -> if w = v then (w, weight) else (w, c)) t.out_adj.(u);
+    t.in_adj.(v) <- List.map (fun (w, c) -> if w = u then (w, weight) else (w, c)) t.in_adj.(v)
+  end
+  else begin
+    t.out_adj.(u) <- t.out_adj.(u) @ [ (v, weight) ];
+    t.in_adj.(v) <- t.in_adj.(v) @ [ (u, weight) ];
+    t.edge_count <- t.edge_count + 1
+  end
+
+let add_link t u v ~weight =
+  add_edge t u v ~weight;
+  add_edge t v u ~weight
+
+let remove_edge t u v =
+  check_node t u;
+  check_node t v;
+  if List.mem_assoc v t.out_adj.(u) then begin
+    t.out_adj.(u) <- List.remove_assoc v t.out_adj.(u);
+    t.in_adj.(v) <- List.remove_assoc u t.in_adj.(v);
+    t.edge_count <- t.edge_count - 1
+  end
+
+let weight t u v =
+  check_node t u;
+  check_node t v;
+  List.assoc_opt v t.out_adj.(u)
+
+let weight_exn t u v =
+  match weight t u v with Some w -> w | None -> raise Not_found
+
+let set_weight t u v ~weight =
+  if weight <= 0 then invalid_arg "Graph.set_weight: weight must be positive";
+  if not (has_edge t u v) then raise Not_found;
+  add_edge t u v ~weight
+
+let succ t v =
+  check_node t v;
+  t.out_adj.(v)
+
+let pred t v =
+  check_node t v;
+  t.in_adj.(v)
+
+let nodes t = List.init t.count Fun.id
+
+let edges t =
+  List.concat_map (fun u -> List.map (fun (v, w) -> (u, v, w)) t.out_adj.(u)) (nodes t)
+
+let iter_succ t v f =
+  check_node t v;
+  List.iter (fun (u, w) -> f u w) t.out_adj.(v)
+
+let fold_edges t ~init ~f =
+  List.fold_left (fun acc (u, v, w) -> f acc u v w) init (edges t)
+
+let pp fmt t =
+  List.iter
+    (fun (u, v, w) ->
+      Format.fprintf fmt "%s -> %s [%d]@." t.names.(u) t.names.(v) w)
+    (edges t)

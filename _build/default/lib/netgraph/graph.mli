@@ -1,0 +1,78 @@
+(** Mutable directed graph with integer IGP link weights.
+
+    Nodes are dense integer identifiers handed out by [add_node]; each
+    node carries a human-readable name (router names in the paper's
+    figures: A, B, R1, ...). Edges are directed; [add_link] installs the
+    two directions of a symmetric IGP adjacency at once. Parallel edges
+    between the same pair are not supported ([add_edge] on an existing
+    pair replaces its weight). *)
+
+type t
+
+type node = int
+
+val create : unit -> t
+
+val copy : t -> t
+(** Deep copy; mutations on the copy do not affect the original. *)
+
+val reverse : t -> t
+(** A new graph with every edge direction flipped (same nodes and
+    weights). Running Dijkstra from node [v] on the reverse graph yields
+    the distances {i towards} [v] in the original. *)
+
+val add_node : t -> name:string -> node
+(** Returns the fresh node's identifier. Names need not be unique, but
+    lookups by name ([find_node]) return the first match. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+(** Number of directed edges. *)
+
+val name : t -> node -> string
+(** Raises [Invalid_argument] on an unknown node. *)
+
+val find_node : t -> string -> node option
+
+val find_node_exn : t -> string -> node
+(** Raises [Not_found] if no node has this name. *)
+
+val add_edge : t -> node -> node -> weight:int -> unit
+(** Directed edge; replaces the weight if the edge exists. Weights must be
+    positive. Self-loops are rejected. *)
+
+val add_link : t -> node -> node -> weight:int -> unit
+(** Symmetric adjacency: both directions at the given weight. *)
+
+val remove_edge : t -> node -> node -> unit
+(** No-op if the edge does not exist. *)
+
+val weight : t -> node -> node -> int option
+
+val weight_exn : t -> node -> node -> int
+(** Raises [Not_found] if the edge does not exist. *)
+
+val set_weight : t -> node -> node -> weight:int -> unit
+(** Raises [Not_found] if the edge does not exist. *)
+
+val has_edge : t -> node -> node -> bool
+
+val succ : t -> node -> (node * int) list
+(** Outgoing neighbors with edge weights, in insertion order. *)
+
+val pred : t -> node -> (node * int) list
+(** Incoming neighbors with edge weights. *)
+
+val nodes : t -> node list
+(** All node identifiers in increasing order. *)
+
+val edges : t -> (node * node * int) list
+(** All directed edges [(u, v, weight)]. *)
+
+val iter_succ : t -> node -> (node -> int -> unit) -> unit
+
+val fold_edges : t -> init:'a -> f:('a -> node -> node -> int -> 'a) -> 'a
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering: one line per directed edge. *)

@@ -1,0 +1,122 @@
+type path = Graph.node list
+
+let cost g = function
+  | [] -> invalid_arg "Paths.cost: empty path"
+  | first :: rest ->
+    let total, _ =
+      List.fold_left
+        (fun (acc, u) v -> (acc + Graph.weight_exn g u v, v))
+        (0, first) rest
+    in
+    total
+
+let is_valid g = function
+  | [] -> false
+  | first :: rest ->
+    let ok, _ =
+      List.fold_left
+        (fun (ok, u) v -> (ok && Graph.has_edge g u v, v))
+        (true, first) rest
+    in
+    ok
+
+let all_shortest ?(limit = 1024) g ~source ~target =
+  if source = target then [ [ source ] ]
+  else begin
+    let r = Dijkstra.run g ~source in
+    if not (Dijkstra.reachable r target) then []
+    else begin
+      (* Walk the predecessor DAG backwards from the target; each branch
+         is a distinct shortest path. *)
+      let results = ref [] and count = ref 0 in
+      let rec expand v suffix =
+        if !count < limit then begin
+          if v = source then begin
+            results := (source :: suffix) :: !results;
+            incr count
+          end
+          else
+            List.iter
+              (fun p -> expand p (v :: suffix))
+              (List.sort compare (Dijkstra.predecessors r v))
+        end
+      in
+      expand target [];
+      List.sort compare !results
+    end
+  end
+
+(* One shortest path (lexicographically smallest among equal-cost ones),
+   or None. *)
+let shortest_one g ~source ~target =
+  match all_shortest ~limit:1 g ~source ~target with
+  | [] -> []
+  | p :: _ -> p
+
+let rec take_prefix n = function
+  | [] -> []
+  | x :: rest -> if n = 0 then [] else x :: take_prefix (n - 1) rest
+
+let k_shortest g ~k ~source ~target =
+  if k <= 0 then []
+  else begin
+    match shortest_one g ~source ~target with
+    | [] -> []
+    | first ->
+      let accepted = ref [ first ] in
+      let candidates : (int * path) list ref = ref [] in
+      let add_candidate p =
+        if not (List.exists (fun (_, q) -> q = p) !candidates)
+           && not (List.mem p !accepted)
+        then candidates := (cost g p, p) :: !candidates
+      in
+      let rec iterate () =
+        if List.length !accepted >= k then ()
+        else begin
+          (* Spur from the most recently accepted path. *)
+          let previous = List.nth !accepted (List.length !accepted - 1) in
+          let len = List.length previous in
+          (* Spur from every node of the last accepted path. *)
+          for i = 0 to len - 2 do
+            let root = take_prefix (i + 1) previous in
+            let spur = List.nth previous i in
+            let g' = Graph.copy g in
+            (* Remove edges used by accepted paths sharing this root. *)
+            List.iter
+              (fun p ->
+                if take_prefix (i + 1) p = root && List.length p > i + 1 then
+                  Graph.remove_edge g' (List.nth p i) (List.nth p (i + 1)))
+              !accepted;
+            (* Remove root nodes (except the spur) to keep paths loopless. *)
+            List.iter
+              (fun v ->
+                if v <> spur then begin
+                  List.iter (fun (u, _) -> Graph.remove_edge g' v u) (Graph.succ g' v);
+                  List.iter (fun (u, _) -> Graph.remove_edge g' u v) (Graph.pred g' v)
+                end)
+              (take_prefix i previous);
+            match shortest_one g' ~source:spur ~target with
+            | [] -> ()
+            | spur_path ->
+              let full = take_prefix i previous @ spur_path in
+              if is_valid g full then add_candidate full
+          done;
+          match List.sort compare !candidates with
+          | [] -> ()
+          | (_, best) :: rest ->
+            candidates := rest;
+            accepted := !accepted @ [ best ];
+            iterate ()
+        end
+      in
+      iterate ();
+      take_prefix k !accepted
+  end
+
+let pp g fmt p =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "-")
+    (fun fmt v -> Format.pp_print_string fmt (Graph.name g v))
+    fmt p
+
+let to_string g p = Format.asprintf "%a" (pp g) p

@@ -1,0 +1,144 @@
+type entry = { name : string; graph : Graph.t; description : string }
+
+(* Build a graph from city names and weighted links. *)
+let build nodes links =
+  let g = Graph.create () in
+  let ids = List.map (fun name -> (name, Graph.add_node g ~name)) nodes in
+  let id name =
+    match List.assoc_opt name ids with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Zoo: unknown node %s" name)
+  in
+  List.iter (fun (a, b, weight) -> Graph.add_link g (id a) (id b) ~weight) links;
+  g
+
+let abilene () =
+  let nodes =
+    [
+      "Seattle"; "Sunnyvale"; "LosAngeles"; "Denver"; "KansasCity"; "Houston";
+      "Chicago"; "Indianapolis"; "Atlanta"; "WashingtonDC"; "NewYork";
+    ]
+  in
+  let links =
+    [
+      ("Seattle", "Sunnyvale", 2);
+      ("Seattle", "Denver", 3);
+      ("Sunnyvale", "LosAngeles", 1);
+      ("Sunnyvale", "Denver", 2);
+      ("LosAngeles", "Houston", 3);
+      ("Denver", "KansasCity", 2);
+      ("KansasCity", "Houston", 2);
+      ("KansasCity", "Indianapolis", 1);
+      ("Houston", "Atlanta", 2);
+      ("Chicago", "Indianapolis", 1);
+      ("Chicago", "NewYork", 2);
+      ("Indianapolis", "Atlanta", 2);
+      ("Atlanta", "WashingtonDC", 2);
+      ("WashingtonDC", "NewYork", 1);
+    ]
+  in
+  {
+    name = "Abilene";
+    graph = build nodes links;
+    description = "Internet2 Abilene backbone: 11 PoPs, 14 links";
+  }
+
+let nsfnet () =
+  let nodes =
+    [
+      "Seattle"; "PaloAlto"; "SanDiego"; "SaltLake"; "Boulder"; "Lincoln";
+      "Champaign"; "AnnArbor"; "Pittsburgh"; "Ithaca"; "CollegePark";
+      "Atlanta"; "Houston"; "Princeton";
+    ]
+  in
+  let links =
+    [
+      ("Seattle", "PaloAlto", 2);
+      ("Seattle", "SaltLake", 2);
+      ("Seattle", "Champaign", 4);
+      ("PaloAlto", "SanDiego", 1);
+      ("PaloAlto", "SaltLake", 2);
+      ("SanDiego", "Houston", 3);
+      ("SaltLake", "Boulder", 1);
+      ("SaltLake", "AnnArbor", 3);
+      ("Boulder", "Lincoln", 1);
+      ("Boulder", "Houston", 2);
+      ("Lincoln", "Champaign", 1);
+      ("Champaign", "Pittsburgh", 1);
+      ("AnnArbor", "Ithaca", 1);
+      ("AnnArbor", "Princeton", 2);
+      ("Pittsburgh", "Ithaca", 1);
+      ("Pittsburgh", "Atlanta", 2);
+      ("Ithaca", "CollegePark", 1);
+      ("CollegePark", "Princeton", 1);
+      ("CollegePark", "Atlanta", 2);
+      ("Atlanta", "Houston", 2);
+      ("Houston", "Princeton", 4);
+    ]
+  in
+  {
+    name = "NSFNET";
+    graph = build nodes links;
+    description = "NSFNET T1 backbone (1991): 14 nodes, 21 links";
+  }
+
+let geant () =
+  let nodes =
+    [
+      "Lisbon"; "Madrid"; "Paris"; "London"; "Dublin"; "Brussels"; "Amsterdam";
+      "Luxembourg"; "Geneva"; "Frankfurt"; "Milan"; "Rome"; "Zurich"; "Vienna";
+      "Prague"; "Berlin"; "Copenhagen"; "Stockholm"; "Warsaw"; "Budapest";
+      "Zagreb"; "Athens";
+    ]
+  in
+  let links =
+    [
+      ("Lisbon", "Madrid", 1);
+      ("Lisbon", "London", 3);
+      ("Madrid", "Paris", 2);
+      ("Madrid", "Milan", 3);
+      ("Paris", "London", 1);
+      ("Paris", "Brussels", 1);
+      ("Paris", "Geneva", 1);
+      ("London", "Dublin", 1);
+      ("London", "Amsterdam", 1);
+      ("Dublin", "Amsterdam", 2);
+      ("Brussels", "Luxembourg", 1);
+      ("Amsterdam", "Frankfurt", 1);
+      ("Amsterdam", "Copenhagen", 2);
+      ("Luxembourg", "Frankfurt", 1);
+      ("Geneva", "Zurich", 1);
+      ("Geneva", "Milan", 1);
+      ("Frankfurt", "Zurich", 1);
+      ("Frankfurt", "Berlin", 1);
+      ("Frankfurt", "Prague", 1);
+      ("Milan", "Rome", 1);
+      ("Milan", "Zurich", 1);
+      ("Rome", "Athens", 3);
+      ("Zurich", "Vienna", 2);
+      ("Vienna", "Prague", 1);
+      ("Vienna", "Budapest", 1);
+      ("Vienna", "Zagreb", 1);
+      ("Prague", "Berlin", 1);
+      ("Berlin", "Copenhagen", 1);
+      ("Berlin", "Warsaw", 2);
+      ("Copenhagen", "Stockholm", 1);
+      ("Stockholm", "Warsaw", 2);
+      ("Warsaw", "Budapest", 2);
+      ("Budapest", "Zagreb", 1);
+      ("Zagreb", "Athens", 2);
+      ("Budapest", "Athens", 3);
+      ("Vienna", "Frankfurt", 2);
+    ]
+  in
+  {
+    name = "GEANT";
+    graph = build nodes links;
+    description = "GEANT-like pan-European research network: 22 nodes, 36 links";
+  }
+
+let all () = [ abilene (); nsfnet (); geant () ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = lower) (all ())

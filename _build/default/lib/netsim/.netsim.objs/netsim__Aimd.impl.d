@@ -1,0 +1,1 @@
+lib/netsim/aimd.ml: Fairshare Flow Hashtbl Link List Option

@@ -1,0 +1,1 @@
+lib/netsim/aimd.mli: Fairshare Link

@@ -1,0 +1,1 @@
+lib/netsim/events.ml: Kit List Option

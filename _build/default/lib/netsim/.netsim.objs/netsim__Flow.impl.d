@@ -1,0 +1,1 @@
+lib/netsim/flow.ml: Igp Netgraph

@@ -1,0 +1,1 @@
+lib/netsim/hashing.ml: Igp Int64 List Netgraph

@@ -1,0 +1,1 @@
+lib/netsim/hashing.mli: Igp Netgraph

@@ -1,0 +1,1 @@
+lib/netsim/latency.ml: Flow Igp Kit Link List Netgraph Option Sim

@@ -1,0 +1,1 @@
+lib/netsim/latency.mli: Link Netgraph Sim

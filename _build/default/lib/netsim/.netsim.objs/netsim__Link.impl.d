@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Hashtbl List Netgraph Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/netsim/loadmap.ml: Array Format Hashtbl Igp Link List Netgraph Option Queue

@@ -1,0 +1,1 @@
+lib/netsim/loadmap.mli: Format Igp Link Netgraph

@@ -1,0 +1,1 @@
+lib/netsim/monitor.ml: Hashtbl Kit Link List Option

@@ -1,0 +1,1 @@
+lib/netsim/monitor.mli: Link

@@ -1,0 +1,1 @@
+lib/netsim/sim.mli: Aimd Flow Igp Kit Link Monitor Netgraph

@@ -1,0 +1,22 @@
+(** Max-min fair fluid bandwidth allocation.
+
+    Long-lived TCP flows sharing bottleneck links converge (to first
+    order) to the max-min fair allocation; this module computes it by
+    progressive filling: all flows' rates grow together, a flow freezes
+    when it reaches its demand cap (video bitrate) or when one of its
+    links saturates. This is the bandwidth model behind the Fig. 2
+    throughput curves. *)
+
+type route = {
+  flow : Flow.t;
+  links : Link.t list;  (** The directed links of the flow's path. *)
+}
+
+val allocate : Link.capacities -> route list -> (int * float) list
+(** [(flow id, rate)] for every route, in input order. A flow with an
+    empty link list (locally delivered) gets its full demand. Flow ids
+    must be distinct; raises [Invalid_argument] otherwise. *)
+
+val link_throughput : route list -> (int * float) list -> (Link.t * float) list
+(** Aggregate per-link throughput implied by an allocation, sorted by
+    link. *)

@@ -1,0 +1,18 @@
+type t = {
+  id : int;
+  src : Netgraph.Graph.node;
+  prefix : Igp.Lsa.prefix;
+  demand : float;
+  start_time : float;
+  duration : float;
+}
+
+let make ~id ~src ~prefix ~demand ?(start_time = 0.) ?(duration = infinity) () =
+  if demand <= 0. then invalid_arg "Flow.make: demand must be positive";
+  if start_time < 0. then invalid_arg "Flow.make: negative start time";
+  if duration <= 0. then invalid_arg "Flow.make: duration must be positive";
+  { id; src; prefix; demand; start_time; duration }
+
+let end_time t = t.start_time +. t.duration
+
+let active_at t time = time >= t.start_time && time < end_time t

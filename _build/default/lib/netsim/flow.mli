@@ -1,0 +1,32 @@
+(** Traffic flows.
+
+    A flow is a long-lived transport session (a video stream in the
+    paper's demo) entering the network at an ingress router and destined
+    to an IGP prefix. [demand] caps its rate (the video bitrate); the
+    fluid allocator may give it less under congestion. *)
+
+type t = {
+  id : int;  (** Unique; also the ECMP hash input. *)
+  src : Netgraph.Graph.node;  (** Ingress router. *)
+  prefix : Igp.Lsa.prefix;
+  demand : float;  (** Rate cap, bytes/s. Positive. *)
+  start_time : float;
+  duration : float;  (** [infinity] for open-ended flows. *)
+}
+
+val make :
+  id:int ->
+  src:Netgraph.Graph.node ->
+  prefix:Igp.Lsa.prefix ->
+  demand:float ->
+  ?start_time:float ->
+  ?duration:float ->
+  unit ->
+  t
+(** Defaults: [start_time = 0.], [duration = infinity]. Raises
+    [Invalid_argument] on non-positive demand or negative times. *)
+
+val end_time : t -> float
+
+val active_at : t -> float -> bool
+(** Active on [\[start_time, end_time)). *)

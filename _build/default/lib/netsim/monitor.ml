@@ -1,0 +1,86 @@
+type alarm = { link : Link.t; utilization : float; raised : bool }
+
+type t = {
+  poll_interval : float;
+  threshold : float;
+  clear_threshold : float;
+  alpha : float;
+  capacities : Link.capacities;
+  window_bytes : (Link.t, float) Hashtbl.t;
+  smoothed : (Link.t, float) Hashtbl.t;
+  alarmed : (Link.t, unit) Hashtbl.t;
+  mutable last_poll : float;
+}
+
+let create ?(poll_interval = 2.0) ?(threshold = 0.9) ?(clear_threshold = 0.7)
+    ?(alpha = 0.5) capacities =
+  if poll_interval <= 0. then invalid_arg "Monitor.create: poll interval";
+  if clear_threshold > threshold then
+    invalid_arg "Monitor.create: clear_threshold must be <= threshold";
+  {
+    poll_interval;
+    threshold;
+    clear_threshold;
+    alpha;
+    capacities;
+    window_bytes = Hashtbl.create 32;
+    smoothed = Hashtbl.create 32;
+    alarmed = Hashtbl.create 8;
+    last_poll = 0.;
+  }
+
+let observe t ~time:_ ~dt rates =
+  List.iter
+    (fun (link, rate) ->
+      let bytes = Option.value ~default:0. (Hashtbl.find_opt t.window_bytes link) in
+      Hashtbl.replace t.window_bytes link (bytes +. (rate *. dt)))
+    rates
+
+let poll_due t ~time = time -. t.last_poll >= t.poll_interval -. 1e-9
+
+let poll t ~time =
+  let window = max 1e-9 (time -. t.last_poll) in
+  t.last_poll <- time;
+  (* Update the EWMA for every link ever observed; links silent this
+     window decay towards 0. *)
+  let update link =
+    let bytes = Option.value ~default:0. (Hashtbl.find_opt t.window_bytes link) in
+    let raw = bytes /. window /. Link.capacity t.capacities link in
+    let prev = Option.value ~default:raw (Hashtbl.find_opt t.smoothed link) in
+    Hashtbl.replace t.smoothed link (Kit.Stats.ewma ~alpha:t.alpha prev raw)
+  in
+  Hashtbl.iter (fun link _ -> update link) t.window_bytes;
+  Hashtbl.iter
+    (fun link _ ->
+      if not (Hashtbl.mem t.window_bytes link) then update link)
+    t.smoothed;
+  Hashtbl.reset t.window_bytes;
+  let alarms = ref [] in
+  Hashtbl.iter
+    (fun link utilization ->
+      let was_alarmed = Hashtbl.mem t.alarmed link in
+      if (not was_alarmed) && utilization > t.threshold then begin
+        Hashtbl.replace t.alarmed link ();
+        alarms := { link; utilization; raised = true } :: !alarms
+      end
+      else if was_alarmed && utilization < t.clear_threshold then begin
+        Hashtbl.remove t.alarmed link;
+        alarms := { link; utilization; raised = false } :: !alarms
+      end)
+    t.smoothed;
+  List.sort (fun a b -> Link.compare a.link b.link) !alarms
+
+let utilization t link =
+  Option.value ~default:0. (Hashtbl.find_opt t.smoothed link)
+
+let utilizations t =
+  Hashtbl.fold (fun link u acc -> (link, u) :: acc) t.smoothed []
+  |> List.sort (fun (a, _) (b, _) -> Link.compare a b)
+
+let threshold t = t.threshold
+
+let clear_threshold t = t.clear_threshold
+
+let overloaded t =
+  Hashtbl.fold (fun link () acc -> link :: acc) t.alarmed []
+  |> List.sort Link.compare

@@ -1,0 +1,50 @@
+(** SNMP-like link monitoring.
+
+    In the demo, "a Fibbing controller, connected to R3, monitors link
+    loads using SNMP". We model the same information flow: the simulator
+    feeds byte-counter increments to the monitor; every [poll_interval]
+    seconds the monitor computes per-link utilization over the last
+    window, smooths it with an EWMA, and raises alarms for links above
+    the threshold or clears for links that dropped back below it. *)
+
+type t
+
+type alarm = {
+  link : Link.t;
+  utilization : float;  (** Smoothed utilization (load/capacity). *)
+  raised : bool;  (** [true] = overload alarm, [false] = cleared. *)
+}
+
+val create :
+  ?poll_interval:float ->
+  ?threshold:float ->
+  ?clear_threshold:float ->
+  ?alpha:float ->
+  Link.capacities ->
+  t
+(** Defaults: poll every 2 s, alarm above 0.9, clear below 0.7, EWMA
+    alpha 0.5. Requires [clear_threshold <= threshold]. *)
+
+val observe : t -> time:float -> dt:float -> (Link.t * float) list -> unit
+(** Account [rate * dt] bytes on each link for the interval ending at
+    [time]. Rates are bytes/s. *)
+
+val poll_due : t -> time:float -> bool
+
+val poll : t -> time:float -> alarm list
+(** Complete a polling cycle: returns newly raised and newly cleared
+    alarms (state transitions only, not repeats). Resets the window
+    counters. *)
+
+val utilization : t -> Link.t -> float
+(** Current smoothed utilization estimate (0. if never observed). *)
+
+val utilizations : t -> (Link.t * float) list
+(** All links ever observed with their smoothed utilization, by link. *)
+
+val threshold : t -> float
+
+val clear_threshold : t -> float
+
+val overloaded : t -> Link.t list
+(** Links currently in the alarmed state. *)

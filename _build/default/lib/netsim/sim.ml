@@ -1,0 +1,316 @@
+type event = Start of Flow.t | Stop of int
+
+type rate_model = Max_min_fair | Aimd of Aimd.t
+
+(* A reconvergence in progress: routers still on [old_fib] until their
+   entry in [applies_at] passes. *)
+type transition = {
+  old_fib : (Netgraph.Graph.node * Igp.Lsa.prefix, Igp.Fib.t option) Hashtbl.t;
+  applies_at : (Netgraph.Graph.node * float) list; (* absolute times *)
+  ends_at : float;
+}
+
+type t = {
+  net : Igp.Network.t;
+  caps : Link.capacities;
+  dt : float;
+  monitor : Monitor.t option;
+  rate_model : rate_model;
+  mutable time : float;
+  queue : event Events.t;
+  mutable pending_actions : (float * (t -> unit)) list; (* time-sorted *)
+  mutable active : Flow.t list; (* insertion order *)
+  known_ids : (int, unit) Hashtbl.t;
+  mutable poll_hooks : (t -> Monitor.alarm list -> unit) list;
+  mutable step_hooks : (t -> unit) list;
+  (* Routing state, recomputed when stale. *)
+  mutable routes : (Fairshare.route * Netgraph.Graph.node list) list;
+  mutable unroutable : int list;
+  mutable routes_lsdb_version : int;
+  mutable routes_dirty : bool;
+  (* Convergence modelling (optional). *)
+  convergence : Igp.Convergence.timing option;
+  mutable transition : transition option;
+  fib_snapshot : (Netgraph.Graph.node * Igp.Lsa.prefix, Igp.Fib.t option) Hashtbl.t;
+  (* Last step's allocation. *)
+  mutable rates : (int * float) list;
+  mutable link_rates : (Link.t * float) list;
+  flow_histories : (int, Kit.Timeseries.t) Hashtbl.t;
+  link_histories : (Link.t, Kit.Timeseries.t) Hashtbl.t;
+}
+
+let create ?(dt = 0.5) ?monitor ?(rate_model = Max_min_fair) ?convergence net
+    caps =
+  if dt <= 0. then invalid_arg "Sim.create: dt must be positive";
+  {
+    net;
+    caps;
+    dt;
+    monitor;
+    rate_model;
+    convergence;
+    transition = None;
+    fib_snapshot = Hashtbl.create 64;
+    time = 0.;
+    queue = Events.create ();
+    pending_actions = [];
+    active = [];
+    known_ids = Hashtbl.create 64;
+    poll_hooks = [];
+    step_hooks = [];
+    routes = [];
+    unroutable = [];
+    routes_lsdb_version = -1;
+    routes_dirty = true;
+    rates = [];
+    link_rates = [];
+    flow_histories = Hashtbl.create 64;
+    link_histories = Hashtbl.create 32;
+  }
+
+let network t = t.net
+
+let capacities t = t.caps
+
+let monitor t = t.monitor
+
+let time t = t.time
+
+let add_flow t flow =
+  if Hashtbl.mem t.known_ids flow.Flow.id then
+    invalid_arg "Sim.add_flow: duplicate flow id";
+  if flow.Flow.start_time < t.time then
+    invalid_arg "Sim.add_flow: start time in the past";
+  Hashtbl.replace t.known_ids flow.Flow.id ();
+  Events.schedule t.queue ~time:flow.Flow.start_time (Start flow);
+  if Flow.end_time flow < infinity then
+    Events.schedule t.queue ~time:(Flow.end_time flow) (Stop flow.Flow.id)
+
+let schedule t ~time action =
+  if time < t.time then invalid_arg "Sim.schedule: time in the past";
+  t.pending_actions <-
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      ((time, action) :: t.pending_actions)
+
+let fail_link t ~time (u, v) =
+  schedule t ~time (fun t ->
+      let g = Igp.Network.graph t.net in
+      Netgraph.Graph.remove_edge g u v;
+      Netgraph.Graph.remove_edge g v u;
+      Igp.Lsdb.touch ~origin:u (Igp.Network.lsdb t.net))
+
+let on_poll t hook =
+  if t.monitor = None then invalid_arg "Sim.on_poll: no monitor configured";
+  t.poll_hooks <- t.poll_hooks @ [ hook ]
+
+let on_step t hook = t.step_hooks <- t.step_hooks @ [ hook ]
+
+let series table key ~make =
+  match Hashtbl.find_opt table key with
+  | Some s -> s
+  | None ->
+    let s = make () in
+    Hashtbl.replace table key s;
+    s
+
+let flow_series t id =
+  series t.flow_histories id ~make:(fun () ->
+      Kit.Timeseries.create ~name:(Printf.sprintf "flow%d" id))
+
+let link_series t link =
+  series t.link_histories link ~make:(fun () ->
+      Kit.Timeseries.create ~name:(Link.name (Igp.Network.graph t.net) link))
+
+let track_link t link = ignore (link_series t link)
+
+let active_flows t = t.active
+
+let flow_rate t id = Option.value ~default:0. (List.assoc_opt id t.rates)
+
+let current_link_rates t = t.link_rates
+
+let unroutable_flows t = t.unroutable
+
+let flow_path t id =
+  List.find_map
+    (fun (route, path) ->
+      if route.Fairshare.flow.Flow.id = id then Some path else None)
+    t.routes
+
+let active_prefixes t =
+  List.sort_uniq compare (List.map (fun f -> f.Flow.prefix) t.active)
+
+(* The FIB a router is currently forwarding with: during a transition,
+   routers whose installation time has not passed still use their old
+   FIB. *)
+let effective_fib t router prefix =
+  match t.transition with
+  | Some transition
+    when (match List.assoc_opt router transition.applies_at with
+         | Some apply_at -> t.time < apply_at -. 1e-9
+         | None -> true (* never receives the flood: stays old until the end *))
+    -> (
+    match Hashtbl.find_opt transition.old_fib (router, prefix) with
+    | Some fib -> fib
+    | None -> Igp.Network.fib t.net ~router prefix)
+  | Some _ | None -> Igp.Network.fib t.net ~router prefix
+
+(* Capture the currently-effective FIBs as the "old" side and schedule
+   each router's switch to the new routing. *)
+let begin_transition t timing =
+  let g = Igp.Network.graph t.net in
+  let old_fib = Hashtbl.create 64 in
+  List.iter
+    (fun prefix ->
+      List.iter
+        (fun router ->
+          Hashtbl.replace old_fib (router, prefix)
+            (match Hashtbl.find_opt t.fib_snapshot (router, prefix) with
+            | Some fib -> fib
+            | None -> effective_fib t router prefix))
+        (Igp.Network.routers t.net))
+    (active_prefixes t);
+  let origin =
+    Option.value ~default:0 (Igp.Lsdb.last_origin (Igp.Network.lsdb t.net))
+  in
+  let applies_at =
+    List.map
+      (fun (router, rel) -> (router, t.time +. rel))
+      (Igp.Convergence.installation_schedule timing g ~origin)
+  in
+  let ends_at =
+    List.fold_left (fun acc (_, at) -> max acc at) t.time applies_at
+  in
+  t.transition <- Some { old_fib; applies_at; ends_at }
+
+let snapshot_fibs t =
+  Hashtbl.reset t.fib_snapshot;
+  List.iter
+    (fun prefix ->
+      List.iter
+        (fun router ->
+          Hashtbl.replace t.fib_snapshot (router, prefix)
+            (Igp.Network.fib t.net ~router prefix))
+        (Igp.Network.routers t.net))
+    (active_prefixes t)
+
+(* Re-derive every active flow's hashed path from the current FIBs. *)
+let recompute_routes t =
+  let lsdb_version = Igp.Lsdb.version (Igp.Network.lsdb t.net) in
+  if lsdb_version <> t.routes_lsdb_version then begin
+    (match t.convergence with
+    | Some timing when Hashtbl.length t.fib_snapshot > 0 ->
+      begin_transition t timing
+    | Some _ | None -> ());
+    t.routes_lsdb_version <- lsdb_version;
+    t.routes_dirty <- true
+  end;
+  (match t.transition with
+  | Some transition when t.time >= transition.ends_at -. 1e-9 ->
+    t.transition <- None;
+    t.routes_dirty <- true
+  | Some _ | None -> ());
+  let in_transition = t.transition <> None in
+  if t.routes_dirty || in_transition then begin
+    let max_hops = Netgraph.Graph.node_count (Igp.Network.graph t.net) in
+    let routes = ref [] and unroutable = ref [] in
+    List.iter
+      (fun flow ->
+        match
+          Hashing.route_with
+            ~fib:(fun router -> effective_fib t router flow.Flow.prefix)
+            ~max_hops ~flow_id:flow.Flow.id ~src:flow.Flow.src
+        with
+        | None -> unroutable := flow.Flow.id :: !unroutable
+        | Some path ->
+          let rec links acc = function
+            | u :: (v :: _ as rest) -> links ((u, v) :: acc) rest
+            | _ -> List.rev acc
+          in
+          routes :=
+            ({ Fairshare.flow; links = links [] path }, path) :: !routes)
+      t.active;
+    t.routes <- List.rev !routes;
+    t.unroutable <- List.rev !unroutable;
+    t.routes_dirty <- false
+  end;
+  if t.transition = None then snapshot_fibs t
+
+let step t =
+  let step_start = t.time in
+  (* 0. Run scheduled actions due now (failures, manual injections). *)
+  let due, later =
+    List.partition (fun (time, _) -> time <= step_start +. 1e-9) t.pending_actions
+  in
+  t.pending_actions <- later;
+  List.iter (fun (_, action) -> action t) due;
+  (* 1. Activate and retire flows due at the start of this step. *)
+  List.iter
+    (fun (_, event) ->
+      match event with
+      | Start flow ->
+        t.active <- t.active @ [ flow ];
+        t.routes_dirty <- true
+      | Stop id ->
+        t.active <- List.filter (fun f -> f.Flow.id <> id) t.active;
+        (match t.rate_model with
+        | Aimd aimd -> Aimd.forget aimd id
+        | Max_min_fair -> ());
+        t.routes_dirty <- true)
+    (Events.pop_until t.queue ~time:step_start);
+  (* 2–3. Route and allocate. *)
+  recompute_routes t;
+  let fair_routes = List.map fst t.routes in
+  (t.rates <-
+     (match t.rate_model with
+     | Max_min_fair -> Fairshare.allocate t.caps fair_routes
+     | Aimd aimd ->
+       (* AIMD rates are offered load; deliver at most the bottleneck
+          share of each flow (excess is queue drop). *)
+       let offered = Aimd.update aimd ~dt:t.dt ~capacities:t.caps fair_routes in
+       let loads = Fairshare.link_throughput fair_routes offered in
+       List.map
+         (fun (route : Fairshare.route) ->
+           let id = route.flow.Flow.id in
+           let rate = Option.value ~default:0. (List.assoc_opt id offered) in
+           let factor =
+             List.fold_left
+               (fun acc link ->
+                 let load = Option.value ~default:0. (List.assoc_opt link loads) in
+                 if load > 0. then min acc (Link.capacity t.caps link /. load)
+                 else acc)
+               1. route.links
+           in
+           (id, rate *. min 1. factor))
+         fair_routes));
+  t.link_rates <- Fairshare.link_throughput fair_routes t.rates;
+  (* 4. Record histories for this interval, stamped at its start. *)
+  List.iter
+    (fun (id, rate) ->
+      Kit.Timeseries.add (flow_series t id) ~time:step_start rate)
+    t.rates;
+  List.iter (fun id -> Kit.Timeseries.add (flow_series t id) ~time:step_start 0.) t.unroutable;
+  let touched = List.map fst t.link_rates in
+  let tracked = Hashtbl.fold (fun l _ acc -> l :: acc) t.link_histories [] in
+  List.iter
+    (fun link ->
+      let rate = Option.value ~default:0. (List.assoc_opt link t.link_rates) in
+      Kit.Timeseries.add (link_series t link) ~time:step_start rate)
+    (List.sort_uniq Link.compare (touched @ tracked));
+  (* 5. Advance time, then feed the monitor and fire hooks. *)
+  t.time <- step_start +. t.dt;
+  (match t.monitor with
+  | None -> ()
+  | Some monitor ->
+    Monitor.observe monitor ~time:t.time ~dt:t.dt t.link_rates;
+    if Monitor.poll_due monitor ~time:t.time then begin
+      let alarms = Monitor.poll monitor ~time:t.time in
+      List.iter (fun hook -> hook t alarms) t.poll_hooks
+    end);
+  List.iter (fun hook -> hook t) t.step_hooks
+
+let run_until t until =
+  while t.time < until -. 1e-9 do
+    step t
+  done

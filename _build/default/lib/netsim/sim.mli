@@ -1,0 +1,98 @@
+(** Discrete-time network simulation driver.
+
+    The simulator advances in fixed steps of [dt] seconds. Each step it
+    (1) activates/retires flows, (2) re-derives every active flow's path
+    from the current FIBs (per-flow ECMP hashing; paths change only when
+    the LSDB or the flow set changed), (3) computes the max-min fair
+    rate allocation, (4) records per-link and per-flow throughput time
+    series, and (5) feeds the monitor, firing the poll hook (the Fibbing
+    controller) when a polling cycle completes. Hooks may inject or
+    retract fake LSAs; the new routing takes effect the following step,
+    which models the (fast) IGP reconvergence after a Fibbing update. *)
+
+type t
+
+type rate_model =
+  | Max_min_fair
+      (** Instantaneous max-min fair equilibrium ([Fairshare]); the
+          default. *)
+  | Aimd of Aimd.t
+      (** TCP-like ramps; delivered throughput is capped at link
+          capacity (excess offered load is dropped at the bottleneck
+          queue). *)
+
+val create :
+  ?dt:float ->
+  ?monitor:Monitor.t ->
+  ?rate_model:rate_model ->
+  ?convergence:Igp.Convergence.timing ->
+  Igp.Network.t ->
+  Link.capacities ->
+  t
+(** Default [dt] is 0.5 s.
+
+    With [convergence], LSDB changes are not adopted atomically:
+    routers switch from their old FIB to the new one at the times given
+    by [Igp.Convergence.installation_schedule] (anchored at the change's
+    originating router), and flows are routed against the mixed view in
+    between — a flow caught in a transient micro-loop is unroutable (its
+    packets are lost) until the loop resolves. Without it (the default),
+    reconvergence is instantaneous. *)
+
+val network : t -> Igp.Network.t
+
+val capacities : t -> Link.capacities
+
+val monitor : t -> Monitor.t option
+
+val time : t -> float
+
+val add_flow : t -> Flow.t -> unit
+(** Schedule a flow; its [start_time]/[duration] govern activation.
+    Raises [Invalid_argument] if the id is already known or the start
+    time is in the simulated past. *)
+
+val schedule : t -> time:float -> (t -> unit) -> unit
+(** Schedule an arbitrary action (e.g. a link failure, a manual fake
+    injection) to run at the start of the step covering [time]. Actions
+    touching the LSDB take routing effect within the same step. *)
+
+val fail_link : t -> time:float -> Link.t -> unit
+(** Schedule a bidirectional link failure: both directions are removed
+    from the topology and the IGP reconverges (flows re-hash onto
+    surviving paths; flows with no path are starved and reported by
+    [unroutable_flows]). *)
+
+val on_poll : t -> (t -> Monitor.alarm list -> unit) -> unit
+(** Register a controller hook called after every monitor poll (requires
+    a monitor). Multiple hooks run in registration order. *)
+
+val on_step : t -> (t -> unit) -> unit
+(** Hook called after every simulation step. *)
+
+val run_until : t -> float -> unit
+(** Advance the simulation to the given time (multiple of [dt] steps). *)
+
+val active_flows : t -> Flow.t list
+
+val flow_rate : t -> int -> float
+(** Current allocated rate of a flow; [0.] if inactive or unroutable. *)
+
+val flow_path : t -> int -> Netgraph.Graph.node list option
+(** Current path of an active flow. *)
+
+val flow_series : t -> int -> Kit.Timeseries.t
+(** Per-flow throughput history (created on first use). *)
+
+val link_series : t -> Link.t -> Kit.Timeseries.t
+(** Per-link throughput history. Links are recorded lazily from the first
+    step they carry traffic; use [track_link] beforehand to record
+    leading zeros. *)
+
+val track_link : t -> Link.t -> unit
+
+val current_link_rates : t -> (Link.t * float) list
+(** Per-link throughput during the last completed step. *)
+
+val unroutable_flows : t -> int list
+(** Ids of active flows that currently have no usable path. *)

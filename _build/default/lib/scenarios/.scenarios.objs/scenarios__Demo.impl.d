@@ -1,0 +1,1 @@
+lib/scenarios/demo.ml: Fibbing Igp List Netgraph Netsim Video

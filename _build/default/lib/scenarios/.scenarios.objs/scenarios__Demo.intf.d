@@ -1,0 +1,1 @@
+lib/scenarios/demo.mli: Fibbing Igp Kit Netgraph Netsim Video

@@ -1,0 +1,1 @@
+lib/scenarios/script.ml: Fibbing Format Igp Kit List Netgraph Netsim Option Printf Result String Te Video

@@ -1,0 +1,1 @@
+lib/scenarios/script.mli: Format

@@ -1,0 +1,50 @@
+(** A small scenario-description language.
+
+    Experiments are line-oriented scripts — the textual equivalent of
+    the paper's demo setup — executable from the CLI
+    ([fibbingctl run script.fib]) or programmatically:
+
+    {v
+    # the paper's demo, scripted
+    topology demo
+    prefix blue at C
+    capacity default 11534336
+    capacity A-R1 2883584
+    capacity B-R2 2883584
+    capacity B-R3 2883584
+    monitor poll 2 threshold 0.85 clear 0.6 alpha 0.8
+    controller on
+    track A-R1
+    track B-R2
+    track B-R3
+    flows 1 from A to blue rate 131072 at 0
+    flows 30 from A to blue rate 131072 at 15
+    flows 31 from B to blue rate 131072 at 35
+    run 55
+    report series step 2.5
+    report actions
+    report qoe
+    v}
+
+    Other commands: [controller off | global], [model aimd] (TCP-like
+    rate dynamics instead of instantaneous max-min fairness),
+    [fail X-Y at T], [steer R to N1:F1,N2:F2 at T] (a manual lie,
+    compiled and injected at time T), [report fibs], [report fakes],
+    [report loads], [report latency], [report audit].
+
+    Lines are parsed eagerly (all errors carry their line number);
+    execution is deterministic. *)
+
+type command
+
+val parse : string -> (command list, string) result
+(** Parse a whole script. Unknown words, malformed numbers and
+    out-of-order times are reported as ["line N: ..."] errors. *)
+
+val execute : ?out:Format.formatter -> command list -> (unit, string) result
+(** Run the script, writing [report] output to [out] (default the
+    standard formatter). Execution errors (unknown router names, steers
+    that fail to compile, ...) abort with a message. *)
+
+val run_string : ?out:Format.formatter -> string -> (unit, string) result
+(** [parse] + [execute]. *)

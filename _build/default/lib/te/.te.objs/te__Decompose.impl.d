@@ -1,0 +1,1 @@
+lib/te/decompose.ml: Fibbing Hashtbl Igp List Netgraph Option String

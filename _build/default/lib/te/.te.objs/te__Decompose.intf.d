@@ -1,0 +1,1 @@
+lib/te/decompose.mli: Fibbing Igp Netgraph

@@ -1,0 +1,1 @@
+lib/te/matrix.ml: Hashtbl Igp List Netgraph Netsim Option

@@ -1,0 +1,1 @@
+lib/te/matrix.mli: Igp Netgraph Netsim

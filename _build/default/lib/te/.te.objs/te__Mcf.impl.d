@@ -1,0 +1,1 @@
+lib/te/mcf.ml: Array Hashtbl Igp Kit List Netgraph Option

@@ -1,0 +1,1 @@
+lib/te/oblivious.ml: Hashtbl Igp List Mcf Netgraph Option

@@ -1,0 +1,1 @@
+lib/te/oblivious.mli: Igp Mcf Netgraph

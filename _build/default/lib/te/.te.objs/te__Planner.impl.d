@@ -1,0 +1,1 @@
+lib/te/planner.ml: Decompose Fibbing Format Igp List Mcf Netgraph Netsim String

@@ -1,0 +1,1 @@
+lib/te/planner.mli: Fibbing Format Igp Netgraph Netsim

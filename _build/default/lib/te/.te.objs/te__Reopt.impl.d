@@ -1,0 +1,1 @@
+lib/te/reopt.ml: Decompose Fibbing Igp List Mcf

@@ -1,0 +1,1 @@
+lib/te/reopt.mli: Fibbing

@@ -1,0 +1,1 @@
+lib/te/weightopt.ml: Hashtbl Igp List Netgraph Netsim

@@ -1,0 +1,1 @@
+lib/te/weightopt.mli: Igp Netgraph Netsim

@@ -1,0 +1,125 @@
+module Graph = Netgraph.Graph
+
+let epsilon = 1e-9
+
+(* Find a cycle in the positive-flow edge set (DFS back-edge search).
+   Returns the cycle's edges, if any. *)
+let find_cycle edge_flows =
+  let succ = Hashtbl.create 16 in
+  List.iter
+    (fun ((u, v), f) ->
+      if f > epsilon then
+        Hashtbl.replace succ u (v :: Option.value ~default:[] (Hashtbl.find_opt succ u)))
+    edge_flows;
+  let color = Hashtbl.create 16 in (* absent = white, false = gray, true = black *)
+  let exception Found of (Graph.node * Graph.node) list in
+  (* [stack] is the gray path as (node, edge-into-node) pairs, newest
+     first; on a back edge to [v] the cycle is the stack suffix down to v
+     plus the back edge. *)
+  let rec visit stack u =
+    Hashtbl.replace color u false;
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt color v with
+        | None -> visit ((v, (u, v)) :: stack) v
+        | Some false ->
+          (* Cycle: v -> ... -> u plus the back edge (u, v). The stack
+             holds (node, edge-into-node) pairs from u back to the root;
+             take every edge down to, but excluding, the one into v. *)
+          let rec cut acc = function
+            | (w, edge) :: rest -> if w = v then acc else cut (edge :: acc) rest
+            | [] -> acc (* v is the DFS root *)
+          in
+          raise (Found ((u, v) :: cut [] stack))
+        | Some true -> ())
+      (Option.value ~default:[] (Hashtbl.find_opt succ u));
+    Hashtbl.replace color u true
+  in
+  try
+    Hashtbl.iter
+      (fun u _ -> if not (Hashtbl.mem color u) then visit [] u)
+      succ;
+    None
+  with Found cycle -> Some cycle
+
+let cancel_cycles edge_flows =
+  let table = Hashtbl.create 32 in
+  List.iter (fun (e, f) -> if f > epsilon then Hashtbl.replace table e f) edge_flows;
+  let current () =
+    Hashtbl.to_seq table |> List.of_seq |> List.sort compare
+  in
+  let rec fix () =
+    match find_cycle (current ()) with
+    | None -> ()
+    | Some cycle_edges ->
+      let bottleneck =
+        List.fold_left
+          (fun acc e -> min acc (Hashtbl.find table e))
+          infinity cycle_edges
+      in
+      List.iter
+        (fun e ->
+          let f = Hashtbl.find table e -. bottleneck in
+          if f > epsilon then Hashtbl.replace table e f else Hashtbl.remove table e)
+        cycle_edges;
+      fix ()
+  in
+  fix ();
+  current ()
+
+let node_fractions edge_flows =
+  let out = Hashtbl.create 16 in
+  List.iter
+    (fun ((u, v), f) ->
+      if f > epsilon then
+        Hashtbl.replace out u ((v, f) :: Option.value ~default:[] (Hashtbl.find_opt out u)))
+    edge_flows;
+  Hashtbl.fold
+    (fun u hops acc ->
+      let total = List.fold_left (fun t (_, f) -> t +. f) 0. hops in
+      let kept = List.filter (fun (_, f) -> f /. total >= 1e-6) hops in
+      let kept_total = List.fold_left (fun t (_, f) -> t +. f) 0. kept in
+      let fractions =
+        List.map (fun (v, f) -> (v, f /. kept_total)) kept
+        |> List.sort compare
+      in
+      (u, fractions) :: acc)
+    out []
+  |> List.sort compare
+
+let to_requirements net ~prefix edge_flows =
+  let announcers =
+    List.filter_map
+      (fun (p, origin, _) -> if String.equal p prefix then Some origin else None)
+      (Igp.Lsdb.prefixes (Igp.Network.lsdb net))
+  in
+  let fractions = node_fractions (cancel_cycles edge_flows) in
+  let differs router desired =
+    match Igp.Network.fib net ~router prefix with
+    | None -> true
+    | Some fib ->
+      let current = Igp.Fib.fractions fib in
+      let off (nh, want) =
+        abs_float (want -. Option.value ~default:0. (List.assoc_opt nh current))
+        > 0.01
+      in
+      List.exists off desired
+      || List.exists (fun (nh, _) -> not (List.mem_assoc nh desired)) current
+  in
+  let routers =
+    List.filter_map
+      (fun (router, desired) ->
+        if List.mem router announcers then None
+        else if not (differs router desired) then None
+        else
+          Some
+            {
+              Fibbing.Requirements.router;
+              splits =
+                List.map
+                  (fun (next_hop, fraction) -> { Fibbing.Requirements.next_hop; fraction })
+                  desired;
+            })
+      fractions
+  in
+  { Fibbing.Requirements.prefix; routers }

@@ -1,0 +1,32 @@
+(** From fractional multi-commodity flows to Fibbing requirements.
+
+    A per-prefix edge flow (e.g. computed by [Mcf]) induces, at every
+    router with outgoing flow, a set of next hops and split fractions.
+    After cancelling any residual flow cycles (the FPTAS can leave
+    epsilon-sized ones), those fractions are exactly a [Fibbing.Requirements.t]
+    that [Fibbing.Augmentation] can compile — this is the "Fibbing can
+    implement the optimal solution" pipeline (experiment TOPT). *)
+
+val cancel_cycles :
+  ((Netgraph.Graph.node * Netgraph.Graph.node) * float) list ->
+  ((Netgraph.Graph.node * Netgraph.Graph.node) * float) list
+(** Remove circular flow (which serves no demand) by repeatedly finding a
+    cycle in the positive-flow edge set and subtracting its bottleneck.
+    Terminates because each round zeroes at least one edge. *)
+
+val node_fractions :
+  ((Netgraph.Graph.node * Netgraph.Graph.node) * float) list ->
+  (Netgraph.Graph.node * (Netgraph.Graph.node * float) list) list
+(** Per router with positive outgoing flow, the normalized next-hop
+    fractions (fractions below 1e-6 are dropped and the rest
+    renormalized). *)
+
+val to_requirements :
+  Igp.Network.t ->
+  prefix:Igp.Lsa.prefix ->
+  ((Netgraph.Graph.node * Netgraph.Graph.node) * float) list ->
+  Fibbing.Requirements.t
+(** Requirements for the routers whose desired fractions differ from
+    their current FIB by more than 1% (no point lying to a router that
+    already behaves); cycles are cancelled first. Routers that announce
+    the prefix are skipped (their delivery is local). *)

@@ -1,0 +1,48 @@
+type entry = {
+  src : Netgraph.Graph.node;
+  prefix : Igp.Lsa.prefix;
+  demand : float;
+}
+
+type t = ((Netgraph.Graph.node * Igp.Lsa.prefix) * float) list
+(* Aggregated, sorted by (prefix, src). *)
+
+let sort_key ((src, prefix), _) = (prefix, src)
+
+let of_entries raw =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun { src; prefix; demand } ->
+      if demand < 0. then invalid_arg "Matrix.of_entries: negative demand";
+      let key = (src, prefix) in
+      Hashtbl.replace table key
+        (demand +. Option.value ~default:0. (Hashtbl.find_opt table key)))
+    raw;
+  Hashtbl.to_seq table |> List.of_seq
+  |> List.sort (fun a b -> compare (sort_key a) (sort_key b))
+
+let entries t = List.map (fun ((src, prefix), demand) -> { src; prefix; demand }) t
+
+let demand t ~src ~prefix =
+  Option.value ~default:0. (List.assoc_opt (src, prefix) t)
+
+let total t = List.fold_left (fun acc (_, d) -> acc +. d) 0. t
+
+let scale t factor = List.map (fun (key, d) -> (key, d *. factor)) t
+
+let add a b =
+  of_entries (entries a @ entries b)
+
+let prefixes t = List.sort_uniq compare (List.map (fun ((_, p), _) -> p) t)
+
+let to_demands t =
+  List.map
+    (fun ((src, prefix), amount) -> { Netsim.Loadmap.src; prefix; amount })
+    t
+
+let of_flows flows =
+  of_entries
+    (List.map
+       (fun (f : Netsim.Flow.t) ->
+         { src = f.src; prefix = f.prefix; demand = f.demand })
+       flows)

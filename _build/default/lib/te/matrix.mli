@@ -1,0 +1,39 @@
+(** Traffic matrices: offered demand per (ingress router, prefix).
+
+    Traditional TE pre-computes configurations for such a matrix; the
+    paper's point is that flash crowds invalidate it. The benchmarks use
+    matrices both ways: as input to the optimal min–max computation that
+    Fibbing can realize, and as the "predictable load" the weight
+    optimizer was tuned for before the surge. *)
+
+type entry = {
+  src : Netgraph.Graph.node;
+  prefix : Igp.Lsa.prefix;
+  demand : float;  (** bytes/s, non-negative *)
+}
+
+type t
+
+val of_entries : entry list -> t
+(** Entries with the same (src, prefix) are summed. Raises
+    [Invalid_argument] on negative demand. *)
+
+val entries : t -> entry list
+(** Aggregated entries, sorted by (prefix, src). *)
+
+val demand : t -> src:Netgraph.Graph.node -> prefix:Igp.Lsa.prefix -> float
+
+val total : t -> float
+
+val scale : t -> float -> t
+(** Multiply every demand (models a uniform surge). *)
+
+val add : t -> t -> t
+
+val prefixes : t -> Igp.Lsa.prefix list
+
+val to_demands : t -> Netsim.Loadmap.demand list
+
+val of_flows : Netsim.Flow.t list -> t
+(** Matrix of the flows' offered demands (each counted fully, regardless
+    of activation time). *)

@@ -1,0 +1,165 @@
+module Graph = Netgraph.Graph
+
+type commodity = {
+  src : Graph.node;
+  dst : Graph.node;
+  prefix : Igp.Lsa.prefix;
+  demand : float;
+}
+
+type result = {
+  lambda : float;
+  flows : (Igp.Lsa.prefix * ((Graph.node * Graph.node) * float) list) list;
+}
+
+(* Dijkstra under float edge lengths; returns predecessor chain. *)
+let shortest_path g lengths ~src ~dst =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Kit.Heap.create () in
+  dist.(src) <- 0.;
+  Kit.Heap.push heap ~priority:0. src;
+  let rec loop () =
+    match Kit.Heap.pop heap with
+    | None -> ()
+    | Some (_, u) ->
+      if u = dst then ()
+      else begin
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          Graph.iter_succ g u (fun v _ ->
+              let len : float = Hashtbl.find lengths (u, v) in
+              let candidate = dist.(u) +. len in
+              if candidate < dist.(v) then begin
+                dist.(v) <- candidate;
+                pred.(v) <- u;
+                Kit.Heap.push heap ~priority:candidate v
+              end)
+        end;
+        loop ()
+      end
+  in
+  loop ();
+  if dist.(dst) = infinity then None
+  else begin
+    let rec rebuild v acc =
+      if v = src then v :: acc else rebuild pred.(v) (v :: acc)
+    in
+    Some (rebuild dst [])
+  end
+
+let path_edges path =
+  let rec walk acc = function
+    | u :: (v :: _ as rest) -> walk ((u, v) :: acc) rest
+    | _ -> List.rev acc
+  in
+  walk [] path
+
+let solve ?(epsilon = 0.1) g ~capacities commodities =
+  if epsilon <= 0. || epsilon >= 1. then invalid_arg "Mcf.solve: epsilon in (0,1)";
+  List.iter
+    (fun c -> if c.demand <= 0. then invalid_arg "Mcf.solve: non-positive demand")
+    commodities;
+  let edges = List.map (fun (u, v, _) -> (u, v)) (Graph.edges g) in
+  let cap e =
+    let c = capacities e in
+    if c <= 0. then invalid_arg "Mcf.solve: non-positive capacity";
+    c
+  in
+  let m = float_of_int (List.length edges) in
+  let delta = (1. +. epsilon) *. (((1. +. epsilon) *. m) ** (-1. /. epsilon)) in
+  let lengths = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace lengths e (delta /. cap e)) edges;
+  let d_of_lengths () =
+    List.fold_left (fun acc e -> acc +. (Hashtbl.find lengths e *. cap e)) 0. edges
+  in
+  let commodities = Array.of_list commodities in
+  let k = Array.length commodities in
+  (* Per-commodity accumulated (unscaled) edge flows and totals. *)
+  let flows = Array.init k (fun _ -> Hashtbl.create 16) in
+  let routed = Array.make k 0. in
+  let d = ref (d_of_lengths ()) in
+  (* A commodity with no path at all is a hard error (checked once). *)
+  Array.iter
+    (fun c ->
+      if shortest_path g lengths ~src:c.src ~dst:c.dst = None then
+        invalid_arg "Mcf.solve: unroutable commodity")
+    commodities;
+  while !d < 1. do
+    for j = 0 to k - 1 do
+      let c = commodities.(j) in
+      let remaining = ref c.demand in
+      while !remaining > 1e-12 && !d < 1. do
+        match shortest_path g lengths ~src:c.src ~dst:c.dst with
+        | None -> remaining := 0.
+        | Some path ->
+          let es = path_edges path in
+          let bottleneck =
+            List.fold_left (fun acc e -> min acc (cap e)) infinity es
+          in
+          let f = min !remaining bottleneck in
+          List.iter
+            (fun e ->
+              Hashtbl.replace flows.(j) e
+                (f +. Option.value ~default:0. (Hashtbl.find_opt flows.(j) e));
+              let len = Hashtbl.find lengths e in
+              Hashtbl.replace lengths e (len *. (1. +. (epsilon *. f /. cap e))))
+            es;
+          routed.(j) <- routed.(j) +. f;
+          remaining := !remaining -. f;
+          d := d_of_lengths ()
+      done
+    done
+  done;
+  let scale = log (1. /. delta) /. log (1. +. epsilon) in
+  let lambda = ref infinity in
+  for j = 0 to k - 1 do
+    lambda := min !lambda (routed.(j) /. commodities.(j).demand /. scale)
+  done;
+  (* Normalize per commodity so the pattern carries exactly its demand,
+     then aggregate per prefix. *)
+  let per_prefix = Hashtbl.create 4 in
+  Array.iteri
+    (fun j c ->
+      let factor = if routed.(j) > 0. then c.demand /. routed.(j) else 0. in
+      let table =
+        match Hashtbl.find_opt per_prefix c.prefix with
+        | Some t -> t
+        | None ->
+          let t = Hashtbl.create 16 in
+          Hashtbl.replace per_prefix c.prefix t;
+          t
+      in
+      Hashtbl.iter
+        (fun e f ->
+          Hashtbl.replace table e
+            ((f *. factor) +. Option.value ~default:0. (Hashtbl.find_opt table e)))
+        flows.(j))
+    commodities;
+  let flows =
+    Hashtbl.fold
+      (fun prefix table acc ->
+        let edge_flows =
+          Hashtbl.to_seq table |> List.of_seq
+          |> List.filter (fun (_, f) -> f > 1e-12)
+          |> List.sort compare
+        in
+        (prefix, edge_flows) :: acc)
+      per_prefix []
+    |> List.sort compare
+  in
+  { lambda = !lambda; flows }
+
+let max_utilization _g ~capacities result =
+  let loads = Hashtbl.create 64 in
+  List.iter
+    (fun (_, edge_flows) ->
+      List.iter
+        (fun (e, f) ->
+          Hashtbl.replace loads e
+            (f +. Option.value ~default:0. (Hashtbl.find_opt loads e)))
+        edge_flows)
+    result.flows;
+  Hashtbl.fold (fun e load acc -> max acc (load /. capacities e)) loads 0.

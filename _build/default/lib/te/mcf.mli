@@ -1,0 +1,50 @@
+(** Maximum concurrent flow by the Garg–Könemann FPTAS.
+
+    The paper argues (§2) that "Fibbing can theoretically implement the
+    optimal solution to the min–max link utilization problem [Ahuja et
+    al.]". The optimum is an LP; with no solver available offline we use
+    the Garg–Könemann (1+ε) fully polynomial approximation: repeatedly
+    route each commodity along the shortest path under exponential
+    length weights l(e) ∝ exp(load(e)/cap(e)), then rescale.
+
+    The result is a fractional multi-commodity flow: [lambda] is the
+    largest common factor of all demands that fits the capacities (so the
+    achievable min–max utilization for the given matrix is [1/lambda]),
+    and the per-edge flows (per prefix) are what [Decompose] turns into
+    per-router split requirements for Fibbing to install. *)
+
+type commodity = {
+  src : Netgraph.Graph.node;
+  dst : Netgraph.Graph.node;  (** Egress router of the prefix. *)
+  prefix : Igp.Lsa.prefix;
+  demand : float;  (** Positive. *)
+}
+
+type result = {
+  lambda : float;
+      (** Max concurrent throughput factor: all demands scaled by
+          [lambda] are simultaneously routable. [>= 1.] means the matrix
+          fits; min–max utilization = [1. /. lambda]. *)
+  flows : (Igp.Lsa.prefix * ((Netgraph.Graph.node * Netgraph.Graph.node) * float) list) list;
+      (** Per prefix, flow on each directed edge for the {e unscaled}
+          demands (i.e. already divided by lambda... see [solve]). Flows
+          are for routing the original demand of each commodity. *)
+}
+
+val solve :
+  ?epsilon:float ->
+  Netgraph.Graph.t ->
+  capacities:(Netgraph.Graph.node * Netgraph.Graph.node -> float) ->
+  commodity list ->
+  result
+(** [epsilon] (default 0.1) trades accuracy for speed; the returned
+    [lambda] is within (1−ε)³ of optimal. Raises [Invalid_argument] on
+    non-positive demands/capacities or an unroutable commodity. *)
+
+val max_utilization :
+  Netgraph.Graph.t ->
+  capacities:(Netgraph.Graph.node * Netgraph.Graph.node -> float) ->
+  result ->
+  float
+(** Maximum link utilization if the original demands are routed along
+    the result's (normalized) flow pattern. *)

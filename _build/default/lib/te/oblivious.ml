@@ -1,0 +1,61 @@
+type flows =
+  (Igp.Lsa.prefix * ((Netgraph.Graph.node * Netgraph.Graph.node) * float) list) list
+
+let spread ?(k = 3) g commodities =
+  if k < 1 then invalid_arg "Oblivious.spread: k must be >= 1";
+  let per_prefix = Hashtbl.create 4 in
+  List.iter
+    (fun (c : Mcf.commodity) ->
+      let paths = Netgraph.Paths.k_shortest g ~k ~source:c.src ~target:c.dst in
+      if paths = [] then invalid_arg "Oblivious.spread: unroutable commodity";
+      (* Weight each path by the inverse of its cost. *)
+      let weights =
+        List.map
+          (fun p -> 1. /. float_of_int (max 1 (Netgraph.Paths.cost g p)))
+          paths
+      in
+      let total = List.fold_left ( +. ) 0. weights in
+      let table =
+        match Hashtbl.find_opt per_prefix c.prefix with
+        | Some t -> t
+        | None ->
+          let t = Hashtbl.create 16 in
+          Hashtbl.replace per_prefix c.prefix t;
+          t
+      in
+      List.iter2
+        (fun path weight ->
+          let amount = c.demand *. weight /. total in
+          let rec walk = function
+            | u :: (v :: _ as rest) ->
+              Hashtbl.replace table (u, v)
+                (amount
+                +. Option.value ~default:0. (Hashtbl.find_opt table (u, v)));
+              walk rest
+            | _ -> ()
+          in
+          walk path)
+        paths weights)
+    commodities;
+  Hashtbl.fold
+    (fun prefix table acc ->
+      let edge_flows =
+        Hashtbl.to_seq table |> List.of_seq
+        |> List.filter (fun (_, f) -> f > 1e-12)
+        |> List.sort compare
+      in
+      (prefix, edge_flows) :: acc)
+    per_prefix []
+  |> List.sort compare
+
+let max_utilization ~capacities flows =
+  let loads = Hashtbl.create 64 in
+  List.iter
+    (fun (_, edge_flows) ->
+      List.iter
+        (fun (e, f) ->
+          Hashtbl.replace loads e
+            (f +. Option.value ~default:0. (Hashtbl.find_opt loads e)))
+        edge_flows)
+    flows;
+  Hashtbl.fold (fun e load acc -> max acc (load /. capacities e)) loads 0.

@@ -1,0 +1,25 @@
+(** Demand-oblivious multipath spreading.
+
+    A third point between "single shortest path" and "optimal for the
+    measured demands": spread each commodity over its [k] shortest
+    loopless paths with weights inversely proportional to path cost,
+    regardless of what the demands are. Operators deploy such schemes
+    precisely because flash crowds are unpredictable; the TOPT/TZOO
+    experiments show what that robustness costs against Fibbing's
+    demand-aware reaction. *)
+
+type flows = (Igp.Lsa.prefix * ((Netgraph.Graph.node * Netgraph.Graph.node) * float) list) list
+(** Per prefix, flow on each directed edge (same shape as [Mcf.result]'s
+    flows). *)
+
+val spread :
+  ?k:int -> Netgraph.Graph.t -> Mcf.commodity list -> flows
+(** Default [k] is 3. A commodity with fewer than [k] loopless paths
+    uses what exists; an unroutable commodity raises
+    [Invalid_argument]. *)
+
+val max_utilization :
+  capacities:(Netgraph.Graph.node * Netgraph.Graph.node -> float) ->
+  flows ->
+  float
+(** Maximum link utilization of the spread flows. *)

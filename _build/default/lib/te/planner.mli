@@ -1,0 +1,56 @@
+(** Offline what-if planning.
+
+    The paper's framing: without fine-grained control, operators "either
+    vastly over-provision their networks ... or risk service
+    disruption". This module shows the third option concretely: for a
+    demand matrix and a set of what-if scenarios (every single-link
+    failure, say), precompute the Fibbing plan that keeps utilization
+    near optimal in each scenario. The controller can then install the
+    matching plan the moment a failure is detected, instead of
+    recomputing under pressure — Fibbing's answer to MPLS facility
+    backup, with no pre-signaled tunnels.
+
+    Single-prefix demands only (the demo's setting); multi-prefix
+    planning composes by calling [prepare] per prefix. *)
+
+type scenario = No_failure | Link_failure of Netsim.Link.t
+
+val pp_scenario : Netgraph.Graph.t -> Format.formatter -> scenario -> unit
+
+val single_link_failures : Netgraph.Graph.t -> scenario list
+(** [No_failure] plus one [Link_failure] per undirected link whose
+    removal keeps the graph connected (partitions cannot be planned
+    around). *)
+
+type entry = {
+  scenario : scenario;
+  igp_utilization : float;
+      (** Max link utilization under plain IGP routing in this
+          scenario. *)
+  planned_utilization : float;
+      (** Same, with the precomputed plan installed. *)
+  optimal_utilization : float;  (** The (1−ε) FPTAS bound. *)
+  plan : Fibbing.Augmentation.plan option;
+      (** [None] when plain IGP already matches the optimum (no lie
+          needed) or when compilation honestly failed (see [note]). *)
+  note : string option;  (** Compilation failure reason, if any. *)
+}
+
+val prepare :
+  ?epsilon:float ->
+  ?max_entries:int ->
+  Igp.Network.t ->
+  demands:Netsim.Loadmap.demand list ->
+  capacity:float ->
+  scenarios:scenario list ->
+  entry list
+(** For each scenario: fail the link on a clone, measure plain-IGP
+    utilization, compute the optimal min–max flow for [demands]
+    (uniform link [capacity]), compile it to a verified plan, and
+    measure the utilization the plan realizes. Demands must target a
+    single announced prefix; raises [Invalid_argument] otherwise. *)
+
+val worst_case : entry list -> entry
+(** The scenario with the highest [planned_utilization] — what the
+    network must be provisioned for {e with} Fibbing. Raises
+    [Invalid_argument] on the empty list. *)

@@ -1,0 +1,16 @@
+let for_controller : Fibbing.Controller.reoptimizer =
+ fun net ~prefix ~capacities ~demands ~egress ->
+  let g = Igp.Network.graph net in
+  let commodities =
+    List.map
+      (fun (src, demand) -> { Mcf.src; dst = egress; prefix; demand })
+      demands
+  in
+  match Mcf.solve ~epsilon:0.1 g ~capacities commodities with
+  | exception Invalid_argument _ -> []
+  | result ->
+    (match List.assoc_opt prefix result.Mcf.flows with
+    | None -> []
+    | Some edge_flows ->
+      (Decompose.to_requirements net ~prefix edge_flows).Fibbing.Requirements
+      .routers)

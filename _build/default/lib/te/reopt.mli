@@ -1,0 +1,19 @@
+(** The canonical global reoptimizer for the Fibbing controller.
+
+    Wires the TE pipeline — Garg–Könemann max concurrent flow, cycle
+    cancellation, decomposition into per-router splits — into the
+    [Fibbing.Controller.Global_optimal] strategy:
+
+    {[
+      let controller =
+        Fibbing.Controller.create
+          ~config:{ Fibbing.Controller.default_config with
+                    strategy = Global_optimal;
+                    max_entries = 16 }
+          ~reoptimize:Te.Reopt.for_controller net
+    ]} *)
+
+val for_controller : Fibbing.Controller.reoptimizer
+(** Solves the prefix's demands with ε = 0.1 and returns the routers
+    whose splits must change; [[]] when the FPTAS cannot route a demand
+    (the controller then leaves the network untouched). *)

@@ -1,0 +1,74 @@
+module Graph = Netgraph.Graph
+
+type outcome = {
+  max_utilization : float;
+  initial_utilization : float;
+  changed_weights : ((Graph.node * Graph.node) * int * int) list;
+  evaluations : int;
+}
+
+let evaluate net demands caps =
+  match Netsim.Loadmap.propagate net demands with
+  | exception Netsim.Loadmap.Forwarding_loop _ -> infinity
+  | exception Netsim.Loadmap.Unreachable _ -> infinity
+  | loads ->
+    (match Netsim.Loadmap.max_utilization loads caps with
+    | None -> 0.
+    | Some (_, u) -> u)
+
+let optimize ?(max_weight = 8) ?(max_rounds = 8) net demands caps =
+  if max_weight < 1 then invalid_arg "Weightopt.optimize: max_weight";
+  let g = Igp.Network.graph net in
+  let original = Hashtbl.create 32 in
+  let undirected =
+    List.filter (fun (u, v, _) -> u < v) (Graph.edges g)
+  in
+  List.iter (fun (u, v, w) -> Hashtbl.replace original (u, v) w) (Graph.edges g);
+  let initial_utilization = evaluate net demands caps in
+  let best = ref initial_utilization in
+  let evaluations = ref 0 in
+  let set_both u v w =
+    Igp.Network.set_weight net u v ~weight:w;
+    Igp.Network.set_weight net v u ~weight:w
+  in
+  let improved = ref true and round = ref 0 in
+  while !improved && !round < max_rounds do
+    improved := false;
+    incr round;
+    List.iter
+      (fun (u, v, _) ->
+        let current = Graph.weight_exn g u v in
+        let best_w = ref current in
+        for w = 1 to max_weight do
+          if w <> current then begin
+            set_both u v w;
+            incr evaluations;
+            let objective = evaluate net demands caps in
+            if objective < !best -. 1e-9 then begin
+              best := objective;
+              best_w := w
+            end
+          end
+        done;
+        set_both u v !best_w;
+        if !best_w <> current then improved := true)
+      undirected
+  done;
+  let changed_weights =
+    Graph.fold_edges g ~init:[] ~f:(fun acc u v w ->
+        let before = Hashtbl.find original (u, v) in
+        if before <> w then (((u, v), before, w)) :: acc else acc)
+    |> List.rev
+  in
+  {
+    max_utilization = !best;
+    initial_utilization;
+    changed_weights;
+    evaluations = !evaluations;
+  }
+
+let apply_cost net outcome =
+  List.fold_left
+    (fun acc ((u, _), _, _) ->
+      Igp.Flooding.add acc (Igp.Flooding.flood (Igp.Network.graph net) ~origin:u))
+    Igp.Flooding.zero outcome.changed_weights

@@ -1,0 +1,35 @@
+(** IGP link-weight optimization — the "traditional TE" baseline.
+
+    This is the scheme the paper says is too slow and too disruptive for
+    flash crowds: recompute link weights for the new demands and push
+    them to every device. We implement a Fortz–Thorup-style local search
+    minimizing the maximum link utilization of pure IGP/ECMP routing,
+    and account what deploying the result would cost: how many weights
+    change (each one is a router reconfiguration plus a network-wide
+    reflood and SPF rerun on every router) versus Fibbing's handful of
+    fake LSAs. *)
+
+type outcome = {
+  max_utilization : float;  (** Objective after the search. *)
+  initial_utilization : float;
+  changed_weights : ((Netgraph.Graph.node * Netgraph.Graph.node) * int * int) list;
+      (** [(link, old_weight, new_weight)] for every modified link. *)
+  evaluations : int;  (** Candidate solutions evaluated. *)
+}
+
+val optimize :
+  ?max_weight:int ->
+  ?max_rounds:int ->
+  Igp.Network.t ->
+  Netsim.Loadmap.demand list ->
+  Netsim.Link.capacities ->
+  outcome
+(** Hill-climb over single-link symmetric weight changes (weights in
+    [\[1, max_weight\]], default 8; at most [max_rounds] improving
+    passes, default 8). The network's weights are mutated in place
+    (callers wanting a what-if run pass [Igp.Network.clone]). Demands
+    that cannot be routed make the candidate infeasible (skipped). *)
+
+val apply_cost : Igp.Network.t -> outcome -> Igp.Flooding.cost
+(** Control-plane cost of deploying the weight changes: one router-LSA
+    reflood per changed directed weight. *)

@@ -1,0 +1,1 @@
+lib/video/catalog.ml: Array Kit List Netsim

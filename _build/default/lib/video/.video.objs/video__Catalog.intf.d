@@ -1,0 +1,1 @@
+lib/video/catalog.mli: Igp Kit Netgraph Netsim

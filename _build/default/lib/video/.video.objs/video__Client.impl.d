@@ -1,0 +1,1 @@
+lib/video/client.ml: Kit List Netsim

@@ -1,0 +1,1 @@
+lib/video/client.mli: Netsim

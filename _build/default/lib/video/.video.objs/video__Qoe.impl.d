@@ -1,0 +1,1 @@
+lib/video/qoe.ml: Client Format Kit List

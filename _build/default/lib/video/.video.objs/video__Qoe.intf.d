@@ -1,0 +1,1 @@
+lib/video/qoe.mli: Client Format

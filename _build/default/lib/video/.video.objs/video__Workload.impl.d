@@ -1,0 +1,1 @@
+lib/video/workload.ml: Igp Kit List Netgraph Netsim

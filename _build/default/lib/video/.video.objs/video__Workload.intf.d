@@ -1,0 +1,1 @@
+lib/video/workload.mli: Igp Kit Netgraph Netsim

@@ -1,0 +1,66 @@
+type item = { rank : int; rate : float; duration : float }
+
+let catalog ~size ~rate ~duration =
+  if size < 1 then invalid_arg "Catalog.catalog: size";
+  List.init size (fun i -> { rank = i + 1; rate; duration })
+
+(* Inverse-CDF sampling over the (finite) Zipf weights 1/k^s. *)
+let zipf_pick prng ~s ~size =
+  if size < 1 then invalid_arg "Catalog.zipf_pick: size";
+  let weights = Array.init size (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let u = Kit.Prng.float prng total in
+  let rec scan k acc =
+    if k >= size - 1 then size
+    else begin
+      let acc = acc +. weights.(k) in
+      if u < acc then k + 1 else scan (k + 1) acc
+    end
+  in
+  scan 0 0.
+
+type surge = { at : float; length : float; boost : float; item_rank : int }
+
+let day prng ~src ~prefix ~catalog ~base_rate_per_s ~horizon ~surges ~first_id =
+  if base_rate_per_s <= 0. then invalid_arg "Catalog.day: base rate";
+  let size = List.length catalog in
+  if size = 0 then invalid_arg "Catalog.day: empty catalog";
+  let item_of_rank rank = List.nth catalog (rank - 1) in
+  let flows = ref [] in
+  let next_id = ref first_id in
+  let emit ~start_time (item : item) =
+    flows :=
+      Netsim.Flow.make ~id:!next_id ~src ~prefix ~demand:item.rate ~start_time
+        ~duration:item.duration ()
+      :: !flows;
+    incr next_id
+  in
+  (* Background: Poisson arrivals, Zipf item choice. *)
+  let rec background time =
+    let time = time +. Kit.Prng.exponential prng ~mean:(1. /. base_rate_per_s) in
+    if time < horizon then begin
+      let rank = zipf_pick prng ~s:1.0 ~size in
+      emit ~start_time:time (item_of_rank rank);
+      background time
+    end
+  in
+  background 0.;
+  (* Surges: extra arrivals pinned to one item. *)
+  List.iter
+    (fun surge ->
+      if surge.boost <= 0. || surge.length <= 0. then
+        invalid_arg "Catalog.day: bad surge";
+      let rate = base_rate_per_s *. surge.boost in
+      let rec arrivals time =
+        let time = time +. Kit.Prng.exponential prng ~mean:(1. /. rate) in
+        if time < surge.at +. surge.length && time < horizon then begin
+          emit ~start_time:time (item_of_rank surge.item_rank);
+          arrivals time
+        end
+      in
+      arrivals surge.at)
+    surges;
+  List.sort
+    (fun (a : Netsim.Flow.t) (b : Netsim.Flow.t) ->
+      compare a.start_time b.start_time)
+    !flows

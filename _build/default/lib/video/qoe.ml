@@ -1,0 +1,46 @@
+type summary = {
+  sessions : int;
+  smooth_sessions : int;
+  total_stalls : int;
+  mean_stall_time : float;
+  mean_startup_delay : float;
+  stall_ratio : float;
+  mos : float;
+}
+
+let summarize = function
+  | [] -> invalid_arg "Qoe.summarize: no sessions"
+  | results ->
+    let sessions = List.length results in
+    let smooth_sessions =
+      List.length (List.filter (fun (r : Client.result) -> r.smooth) results)
+    in
+    let total_stalls =
+      List.fold_left (fun acc (r : Client.result) -> acc + r.stall_count) 0 results
+    in
+    let stall_times = List.map (fun (r : Client.result) -> r.stall_time) results in
+    let startup_delays =
+      List.map (fun (r : Client.result) -> r.startup_delay) results
+    in
+    let played = List.fold_left (fun acc (r : Client.result) -> acc +. r.played) 0. results in
+    let stalled = Kit.Stats.total stall_times in
+    let stall_ratio = if played +. stalled <= 0. then 0. else stalled /. (played +. stalled) in
+    let mean_startup_delay = Kit.Stats.mean startup_delays in
+    let startup_penalty = min 0.5 (mean_startup_delay /. 60.) in
+    let mos = 5. -. (4. *. min 1. ((stall_ratio *. 6.) +. startup_penalty)) in
+    {
+      sessions;
+      smooth_sessions;
+      total_stalls;
+      mean_stall_time = Kit.Stats.mean stall_times;
+      mean_startup_delay;
+      stall_ratio;
+      mos;
+    }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "sessions=%d smooth=%d stalls=%d mean_stall=%.2fs mean_startup=%.2fs \
+     stall_ratio=%.3f mos=%.2f"
+    s.sessions s.smooth_sessions s.total_stalls s.mean_stall_time
+    s.mean_startup_delay s.stall_ratio s.mos

@@ -1,0 +1,19 @@
+(** Quality-of-experience aggregation over a population of clients. *)
+
+type summary = {
+  sessions : int;
+  smooth_sessions : int;  (** Sessions with no stall and prompt startup. *)
+  total_stalls : int;
+  mean_stall_time : float;  (** Seconds, over all sessions. *)
+  mean_startup_delay : float;
+  stall_ratio : float;  (** Stalled time / (played + stalled) time. *)
+  mos : float;
+      (** Crude mean-opinion-score proxy in [1, 5]:
+          5 − 4 × min(1, stall_ratio × 6 + startup_penalty); only the
+          ordering between scenarios is meaningful. *)
+}
+
+val summarize : Client.result list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val pp : Format.formatter -> summary -> unit

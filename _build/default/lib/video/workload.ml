@@ -1,0 +1,36 @@
+type spec = {
+  src : Netgraph.Graph.node;
+  prefix : Igp.Lsa.prefix;
+  rate : float;
+  video_duration : float;
+}
+
+let flow spec ~id ~start_time =
+  Netsim.Flow.make ~id ~src:spec.src ~prefix:spec.prefix ~demand:spec.rate
+    ~start_time ~duration:spec.video_duration ()
+
+let burst ?(jitter = 1.0) prng spec ~first_id ~count ~at =
+  List.init count (fun i ->
+      let delay = if jitter > 0. then Kit.Prng.float prng jitter else 0. in
+      flow spec ~id:(first_id + i) ~start_time:(at +. delay))
+
+let poisson prng spec ~first_id ~rate_per_s ~from ~until =
+  if rate_per_s <= 0. then invalid_arg "Workload.poisson: rate";
+  let rec arrivals time acc =
+    let time = time +. Kit.Prng.exponential prng ~mean:(1. /. rate_per_s) in
+    if time >= until then List.rev acc else arrivals time (time :: acc)
+  in
+  List.mapi
+    (fun i start_time -> flow spec ~id:(first_id + i) ~start_time)
+    (arrivals from [])
+
+let fig2_schedule ~s1 ~s2 ~prefix ~rate ~video_duration =
+  let spec_of src = { src; prefix; rate; video_duration } in
+  let one = [ flow (spec_of s1) ~id:0 ~start_time:0. ] in
+  let thirty =
+    List.init 30 (fun i -> flow (spec_of s1) ~id:(1 + i) ~start_time:15.)
+  in
+  let thirty_one =
+    List.init 31 (fun i -> flow (spec_of s2) ~id:(31 + i) ~start_time:35.)
+  in
+  one @ thirty @ thirty_one

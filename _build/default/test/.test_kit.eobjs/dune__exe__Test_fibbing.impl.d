@@ -1,0 +1,1 @@
+test/test_fibbing.ml: Alcotest Fibbing Igp Kit List Netgraph Netsim Option Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_kit.ml: Alcotest Array Fun Gen Kit List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mpls.ml: Alcotest Fibbing Igp List Mpls Netgraph Netsim Printf

@@ -1,0 +1,1 @@
+test/test_netgraph.ml: Alcotest Hashtbl Kit List Netgraph QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Hashtbl Igp Kit List Netgraph Netsim Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Buffer Fibbing Format Igp Kit Lazy List Netsim Option Printf Scenarios String

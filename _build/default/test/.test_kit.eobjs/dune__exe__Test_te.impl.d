@@ -1,0 +1,1 @@
+test/test_te.ml: Alcotest Fibbing Format Igp Kit List Netgraph Netsim Option Printf QCheck QCheck_alcotest String Te

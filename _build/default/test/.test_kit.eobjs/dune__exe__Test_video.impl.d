@@ -1,0 +1,1 @@
+test/test_video.ml: Alcotest Array Kit List Netsim Printf Video

@@ -1,0 +1,1 @@
+test/test_video.mli:

@@ -1,0 +1,802 @@
+(* Tests for the link-state IGP simulator: LSAs, LSDB views, SPF/FIB
+   semantics (including the paper's fake-node behaviour) and flooding
+   accounting. *)
+
+module G = Netgraph.Graph
+module T = Netgraph.Topologies
+
+let demo_net () =
+  let d = T.demo () in
+  let net = Igp.Network.create d.graph in
+  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  (d, net)
+
+let fib_exn net ~router prefix =
+  match Igp.Network.fib net ~router prefix with
+  | Some fib -> fib
+  | None -> Alcotest.failf "no FIB for router %d" router
+
+let fake ~id ~at ~cost ~fwd : Igp.Lsa.fake =
+  {
+    fake_id = id;
+    attachment = at;
+    attachment_cost = 1;
+    prefix = "blue";
+    announced_cost = cost - 1;
+    forwarding = fwd;
+  }
+
+(* ---------- Lsa ---------- *)
+
+let test_lsa_total_cost () =
+  let d = T.demo () in
+  let f = fake ~id:"f" ~at:d.b ~cost:5 ~fwd:d.r3 in
+  Alcotest.(check int) "total" 5 (Igp.Lsa.total_cost f)
+
+let test_lsa_keys () =
+  let d = T.demo () in
+  let f = fake ~id:"f" ~at:d.b ~cost:2 ~fwd:d.r3 in
+  Alcotest.(check string) "fake key" "fake:f" (Igp.Lsa.key (Fake f));
+  Alcotest.(check string) "prefix key" "prefix:6:blue"
+    (Igp.Lsa.key (Prefix { origin = d.c; prefix = "blue"; cost = 0 }));
+  Alcotest.(check string) "router key" "router:0"
+    (Igp.Lsa.key (Router { origin = d.a; links = [] }))
+
+(* ---------- Lsdb ---------- *)
+
+let test_lsdb_announce_and_view () =
+  let d, net = demo_net () in
+  let lsdb = Igp.Network.lsdb net in
+  Alcotest.(check int) "one announcement" 1 (List.length (Igp.Lsdb.prefixes lsdb));
+  let view = Igp.Lsdb.view lsdb in
+  Alcotest.(check int) "real nodes" 7 view.real_nodes;
+  Alcotest.(check int) "augmented nodes" 8 (G.node_count view.graph);
+  Alcotest.(check bool) "sink fed by C" true
+    (match List.assoc_opt "blue" view.sink_of_prefix with
+    | Some sink -> G.has_edge view.graph d.c sink
+    | None -> false)
+
+let test_lsdb_install_fake_validation () =
+  let d, net = demo_net () in
+  let lsdb = Igp.Network.lsdb net in
+  Alcotest.(check bool) "bad forwarding rejected" true
+    (try
+       Igp.Lsdb.install_fake lsdb (fake ~id:"bad" ~at:d.b ~cost:2 ~fwd:d.c);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown prefix rejected" true
+    (try
+       Igp.Lsdb.install_fake lsdb
+         { (fake ~id:"bad2" ~at:d.b ~cost:2 ~fwd:d.r3) with prefix = "green" };
+       false
+     with Invalid_argument _ -> true)
+
+let test_lsdb_supersede_fake () =
+  let d, net = demo_net () in
+  let lsdb = Igp.Network.lsdb net in
+  Igp.Lsdb.install_fake lsdb (fake ~id:"f" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Igp.Lsdb.install_fake lsdb (fake ~id:"f" ~at:d.b ~cost:3 ~fwd:d.r3);
+  Alcotest.(check int) "one fake" 1 (Igp.Lsdb.fake_count lsdb);
+  Alcotest.(check (option int)) "sequence bumped twice" (Some 2)
+    (Igp.Lsdb.sequence lsdb ~key:"fake:f")
+
+let test_lsdb_retract () =
+  let d, net = demo_net () in
+  let lsdb = Igp.Network.lsdb net in
+  Igp.Lsdb.install_fake lsdb (fake ~id:"f" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Igp.Lsdb.retract_fake lsdb ~fake_id:"f";
+  Alcotest.(check int) "gone" 0 (Igp.Lsdb.fake_count lsdb);
+  Alcotest.check_raises "double retract" Not_found (fun () ->
+      Igp.Lsdb.retract_fake lsdb ~fake_id:"f")
+
+let test_lsdb_version_bumps () =
+  let d, net = demo_net () in
+  let lsdb = Igp.Network.lsdb net in
+  let v0 = Igp.Lsdb.version lsdb in
+  Igp.Lsdb.install_fake lsdb (fake ~id:"f" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Alcotest.(check bool) "bumped" true (Igp.Lsdb.version lsdb > v0);
+  let v1 = Igp.Lsdb.version lsdb in
+  Igp.Lsdb.touch lsdb;
+  Alcotest.(check bool) "touch bumps" true (Igp.Lsdb.version lsdb > v1)
+
+let test_lsdb_anycast () =
+  let d = T.demo () in
+  let net = Igp.Network.create d.graph in
+  Igp.Network.announce_prefix net "any" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net "any" ~origin:d.a ~cost:0;
+  let fib_b = fib_exn net ~router:d.b "any" in
+  Alcotest.(check int) "B nearer to A" 1 fib_b.distance;
+  Alcotest.(check (list int)) "B forwards to A" [ d.a ] (Igp.Fib.next_hops fib_b)
+
+(* ---------- Spf / Fib: paper Fig. 1 semantics ---------- *)
+
+let test_spf_baseline_routes () =
+  let d, net = demo_net () in
+  let fib_a = fib_exn net ~router:d.a "blue" in
+  Alcotest.(check int) "A cost 3" 3 fib_a.distance;
+  Alcotest.(check (list int)) "A via B" [ d.b ] (Igp.Fib.next_hops fib_a);
+  let fib_b = fib_exn net ~router:d.b "blue" in
+  Alcotest.(check int) "B cost 2" 2 fib_b.distance;
+  Alcotest.(check (list int)) "B via R2" [ d.r2 ] (Igp.Fib.next_hops fib_b);
+  let fib_c = fib_exn net ~router:d.c "blue" in
+  Alcotest.(check bool) "C local" true fib_c.local
+
+let test_spf_fake_creates_ecmp () =
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
+  let fib_b = fib_exn net ~router:d.b "blue" in
+  Alcotest.(check (list int)) "B ECMP" [ d.r2; d.r3 ] (Igp.Fib.next_hops fib_b);
+  Alcotest.(check bool) "even split" true
+    (Igp.Fib.weights fib_b = [ (d.r2, 1); (d.r3, 1) ]);
+  Alcotest.(check bool) "uses fake" true (Igp.Fib.uses_fake fib_b)
+
+let test_spf_fake_multiplicity () =
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"fA1" ~at:d.a ~cost:3 ~fwd:d.r1);
+  Igp.Network.inject_fake net (fake ~id:"fA2" ~at:d.a ~cost:3 ~fwd:d.r1);
+  let fib_a = fib_exn net ~router:d.a "blue" in
+  Alcotest.(check bool) "weights B:1 R1:2" true
+    (Igp.Fib.weights fib_a = [ (d.b, 1); (d.r1, 2) ]);
+  let fractions = Igp.Fib.fractions fib_a in
+  Alcotest.(check (float 1e-9)) "1/3 to B" (1. /. 3.) (List.assoc d.b fractions);
+  Alcotest.(check (float 1e-9)) "2/3 to R1" (2. /. 3.) (List.assoc d.r1 fractions)
+
+let test_spf_fake_does_not_change_others () =
+  let d, net = demo_net () in
+  let before =
+    List.map (fun r -> (r, Igp.Network.fib net ~router:r "blue")) (G.nodes d.graph)
+  in
+  Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
+  List.iter
+    (fun (r, fib_before) ->
+      if r <> d.b then begin
+        match (fib_before, Igp.Network.fib net ~router:r "blue") with
+        | Some fb, Some fa ->
+          Alcotest.(check bool)
+            (Printf.sprintf "router %s unchanged" (G.name d.graph r))
+            true
+            (Igp.Fib.equal_forwarding fb fa)
+        | _ -> Alcotest.fail "reachability changed"
+      end)
+    before
+
+let test_spf_cheaper_fake_overrides () =
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:1 ~fwd:d.r3);
+  let fib_b = fib_exn net ~router:d.b "blue" in
+  Alcotest.(check (list int)) "only fake" [ d.r3 ] (Igp.Fib.next_hops fib_b);
+  Alcotest.(check int) "distance lowered" 1 fib_b.distance
+
+let test_spf_expensive_fake_ignored () =
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:9 ~fwd:d.r3);
+  let fib_b = fib_exn net ~router:d.b "blue" in
+  Alcotest.(check (list int)) "unchanged" [ d.r2 ] (Igp.Fib.next_hops fib_b);
+  Alcotest.(check bool) "no fake used" false (Igp.Fib.uses_fake fib_b)
+
+let test_spf_fake_not_transit () =
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
+  let fib_r1 = fib_exn net ~router:d.r1 "blue" in
+  Alcotest.(check (list int)) "R1 via R4" [ d.r4 ] (Igp.Fib.next_hops fib_r1)
+
+let test_spf_unknown_prefix () =
+  let d, net = demo_net () in
+  Alcotest.(check bool) "no fib" true (Igp.Network.fib net ~router:d.a "green" = None)
+
+let test_spf_unreachable_prefix () =
+  let g = G.create () in
+  let a = G.add_node g ~name:"a" in
+  let b = G.add_node g ~name:"b" in
+  let c = G.add_node g ~name:"c" in
+  G.add_link g a b ~weight:1;
+  let net = Igp.Network.create g in
+  Igp.Network.announce_prefix net "p" ~origin:c ~cost:0;
+  Alcotest.(check bool) "unreachable" true (Igp.Network.fib net ~router:a "p" = None)
+
+let test_fib_fractions_empty_when_local () =
+  let d, net = demo_net () in
+  let fib_c = fib_exn net ~router:d.c "blue" in
+  Alcotest.(check bool) "no fractions" true (Igp.Fib.fractions fib_c = [])
+
+let test_spf_distance_only () =
+  let d, net = demo_net () in
+  let view = Igp.Lsdb.view (Igp.Network.lsdb net) in
+  Alcotest.(check (option int)) "distance A" (Some 3)
+    (Igp.Spf.distance view ~router:d.a "blue");
+  Alcotest.(check (option int)) "unknown" None
+    (Igp.Spf.distance view ~router:d.a "green")
+
+let test_spf_compute_all_prefixes () =
+  let d = T.demo () in
+  let net = Igp.Network.create d.graph in
+  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net "red" ~origin:d.r4 ~cost:0;
+  let view = Igp.Lsdb.view (Igp.Network.lsdb net) in
+  let fibs = Igp.Spf.compute view ~router:d.a in
+  Alcotest.(check int) "two prefixes" 2 (List.length fibs);
+  Alcotest.(check (list string)) "sorted" [ "blue"; "red" ]
+    (List.map (fun (f : Igp.Fib.t) -> f.prefix) fibs)
+
+let test_prefix_cost_matters () =
+  let d = T.demo () in
+  let net = Igp.Network.create d.graph in
+  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net "blue" ~origin:d.r4 ~cost:10;
+  let fib_r1 = fib_exn net ~router:d.r1 "blue" in
+  Alcotest.(check int) "cost via C" 3 fib_r1.distance
+
+(* ---------- Flooding ---------- *)
+
+let test_flooding_counts () =
+  let d = T.demo () in
+  let cost = Igp.Flooding.flood d.graph ~origin:d.b in
+  Alcotest.(check int) "messages" 16 cost.messages;
+  Alcotest.(check int) "rounds = eccentricity of B" 3 cost.rounds
+
+let test_flooding_partition () =
+  let g = G.create () in
+  let a = G.add_node g ~name:"a" in
+  let b = G.add_node g ~name:"b" in
+  let c = G.add_node g ~name:"c" in
+  let d = G.add_node g ~name:"d" in
+  G.add_link g a b ~weight:1;
+  G.add_link g c d ~weight:1;
+  let cost = Igp.Flooding.flood g ~origin:a in
+  Alcotest.(check int) "only reachable side" 2 cost.messages;
+  Alcotest.(check int) "one round" 1 cost.rounds
+
+let test_flooding_add () =
+  let a = { Igp.Flooding.messages = 3; rounds = 2 } in
+  let b = { Igp.Flooding.messages = 5; rounds = 1 } in
+  let s = Igp.Flooding.add a b in
+  Alcotest.(check int) "messages add" 8 s.messages;
+  Alcotest.(check int) "rounds max" 2 s.rounds
+
+(* ---------- Network ---------- *)
+
+let test_network_control_cost_accounting () =
+  let d, net = demo_net () in
+  Alcotest.(check int) "starts at zero" 0 (Igp.Network.control_cost net).messages;
+  Igp.Network.inject_fake net (fake ~id:"f" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Alcotest.(check int) "one flood" 16 (Igp.Network.control_cost net).messages;
+  Igp.Network.retract_fake net ~fake_id:"f";
+  Alcotest.(check int) "purge also floods" 32 (Igp.Network.control_cost net).messages;
+  Igp.Network.reset_control_cost net;
+  Alcotest.(check int) "reset" 0 (Igp.Network.control_cost net).messages
+
+let test_network_clone_independent () =
+  let d, net = demo_net () in
+  let clone = Igp.Network.clone net in
+  Igp.Network.inject_fake clone (fake ~id:"f" ~at:d.b ~cost:2 ~fwd:d.r3);
+  let fib_orig = fib_exn net ~router:d.b "blue" in
+  Alcotest.(check (list int)) "original untouched" [ d.r2 ] (Igp.Fib.next_hops fib_orig);
+  let fib_clone = fib_exn clone ~router:d.b "blue" in
+  Alcotest.(check (list int)) "clone changed" [ d.r2; d.r3 ]
+    (Igp.Fib.next_hops fib_clone)
+
+let test_network_clone_carries_fakes () =
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"f" ~at:d.b ~cost:2 ~fwd:d.r3);
+  let clone = Igp.Network.clone net in
+  Alcotest.(check int) "fake copied" 1 (List.length (Igp.Network.fakes clone))
+
+let test_network_set_weight_reconverges () =
+  let d, net = demo_net () in
+  Igp.Network.set_weight net d.b d.r2 ~weight:8;
+  Igp.Network.set_weight net d.r2 d.b ~weight:8;
+  let fib_b = fib_exn net ~router:d.b "blue" in
+  Alcotest.(check (list int)) "B re-routes via R3" [ d.r3 ] (Igp.Fib.next_hops fib_b)
+
+let test_network_refresh_cost () =
+  let d, net = demo_net () in
+  Alcotest.(check int) "no fakes, no refresh" 0
+    (Igp.Network.refresh_cost net ~period:1800. ~duration:3600.).messages;
+  Igp.Network.inject_fake net (fake ~id:"f" ~at:d.b ~cost:2 ~fwd:d.r3);
+  (* One fake, two 30-minute cycles in an hour, 16 messages per flood. *)
+  Alcotest.(check int) "one fake, 1h" 32
+    (Igp.Network.refresh_cost net ~period:1800. ~duration:3600.).messages;
+  Alcotest.(check bool) "bad period" true
+    (try ignore (Igp.Network.refresh_cost net ~period:0. ~duration:1.); false
+     with Invalid_argument _ -> true)
+
+let test_network_retract_all () =
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"f1" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Igp.Network.inject_fake net (fake ~id:"f2" ~at:d.a ~cost:3 ~fwd:d.r1);
+  Igp.Network.retract_all_fakes net;
+  Alcotest.(check int) "all gone" 0 (List.length (Igp.Network.fakes net));
+  let fib_b = fib_exn net ~router:d.b "blue" in
+  Alcotest.(check (list int)) "back to baseline" [ d.r2 ] (Igp.Fib.next_hops fib_b)
+
+(* Property: on random topologies, injecting an equal-cost fake at a
+   random non-announcer router never changes any other router's
+   forwarding weights. This is the safety argument behind the demo. *)
+let prop_equal_cost_fake_is_surgical =
+  QCheck.Test.make ~name:"equal-cost fakes are surgical" ~count:60
+    QCheck.(pair (int_range 0 100000) (int_range 5 20))
+    (fun (seed, n) ->
+      let prng = Kit.Prng.create ~seed in
+      let g = Netgraph.Topologies.random prng ~n ~extra_edges:n ~max_weight:4 in
+      let announcer = Kit.Prng.int prng n in
+      let net = Igp.Network.create g in
+      Igp.Network.announce_prefix net "p" ~origin:announcer ~cost:0;
+      let router =
+        let r = ref (Kit.Prng.int prng n) in
+        while !r = announcer do
+          r := Kit.Prng.int prng n
+        done;
+        !r
+      in
+      match Igp.Network.fib net ~router "p" with
+      | None -> false (* random graphs are connected *)
+      | Some fib ->
+        let neighbors = List.map fst (G.succ g router) in
+        let fwd = List.nth neighbors (Kit.Prng.int prng (List.length neighbors)) in
+        let before =
+          List.filter_map
+            (fun r ->
+              if r = router then None
+              else
+                Option.map
+                  (fun f -> (r, Igp.Fib.weights f))
+                  (Igp.Network.fib net ~router:r "p"))
+            (G.nodes g)
+        in
+        Igp.Network.inject_fake net
+          {
+            fake_id = "f";
+            attachment = router;
+            attachment_cost = 1;
+            prefix = "p";
+            announced_cost = fib.Igp.Fib.distance - 1;
+            forwarding = fwd;
+          };
+        List.for_all
+          (fun (r, weights_before) ->
+            match Igp.Network.fib net ~router:r "p" with
+            | Some f -> Igp.Fib.weights f = weights_before
+            | None -> false)
+          before)
+
+(* Property: adding a fake can only lower apparent distances. *)
+let prop_fakes_never_increase_distance =
+  QCheck.Test.make ~name:"fakes never increase distances" ~count:60
+    QCheck.(pair (int_range 0 100000) (int_range 5 18))
+    (fun (seed, n) ->
+      let prng = Kit.Prng.create ~seed in
+      let g = Netgraph.Topologies.random prng ~n ~extra_edges:(n / 2) ~max_weight:4 in
+      let announcer = Kit.Prng.int prng n in
+      let net = Igp.Network.create g in
+      Igp.Network.announce_prefix net "p" ~origin:announcer ~cost:0;
+      let router =
+        let r = ref (Kit.Prng.int prng n) in
+        while !r = announcer do
+          r := Kit.Prng.int prng n
+        done;
+        !r
+      in
+      let neighbors = List.map fst (G.succ g router) in
+      let fwd = List.nth neighbors (Kit.Prng.int prng (List.length neighbors)) in
+      let before =
+        List.filter_map
+          (fun r ->
+            Option.map (fun d -> (r, d)) (Igp.Network.distance net ~router:r "p"))
+          (G.nodes g)
+      in
+      Igp.Network.inject_fake net
+        {
+          fake_id = "f";
+          attachment = router;
+          attachment_cost = 1;
+          prefix = "p";
+          announced_cost = Kit.Prng.int prng 6;
+          forwarding = fwd;
+        };
+      List.for_all
+        (fun (r, d_before) ->
+          match Igp.Network.distance net ~router:r "p" with
+          | Some d_after -> d_after <= d_before
+          | None -> false)
+        before)
+
+(* ---------- Convergence ---------- *)
+
+let test_convergence_schedule_ordering () =
+  let d = T.demo () in
+  let schedule =
+    Igp.Convergence.installation_schedule Igp.Convergence.default_timing d.graph
+      ~origin:d.b
+  in
+  Alcotest.(check int) "every router scheduled" 7 (List.length schedule);
+  let times = List.map snd schedule in
+  Alcotest.(check (list (float 1e-9))) "sorted" (List.sort compare times) times;
+  (* The origin's own installation has no flooding delay. *)
+  let origin_time = List.assoc d.b schedule in
+  Alcotest.(check bool) "origin among the earliest" true
+    (origin_time <= Kit.Stats.minimum times +. 0.2)
+
+let test_convergence_fake_injection_loop_free () =
+  (* The demo's fB: only B's FIB changes, and the mixed window is safe
+     throughout — Fibbing's equal-cost additions have no micro-loops. *)
+  let d, net = demo_net () in
+  let after = Igp.Network.clone net in
+  Igp.Network.inject_fake after (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
+  let report =
+    Igp.Convergence.analyze ~before:net ~after ~origin:d.b ~prefix:"blue" ()
+  in
+  Alcotest.(check int) "one router changes" 1 report.states;
+  Alcotest.(check int) "no unsafe state" 0 report.unsafe_states;
+  Alcotest.(check bool) "no problem" true (report.first_problem = None)
+
+(* The textbook micro-loop: chain C-B-A-T with a C-T backup; degrading
+   A-T makes the new routes A->B->C->T, and if A installs before B the
+   pair A/B point at each other. *)
+let microloop_nets () =
+  let g = G.create () in
+  let a = G.add_node g ~name:"A" in
+  let b = G.add_node g ~name:"B" in
+  let c = G.add_node g ~name:"C" in
+  let t = G.add_node g ~name:"T" in
+  G.add_link g c t ~weight:5;
+  G.add_link g c b ~weight:1;
+  G.add_link g b a ~weight:1;
+  G.add_link g a t ~weight:1;
+  let before = Igp.Network.create g in
+  Igp.Network.announce_prefix before "p" ~origin:t ~cost:0;
+  let after = Igp.Network.clone before in
+  Igp.Network.set_weight after a t ~weight:10;
+  Igp.Network.set_weight after t a ~weight:10;
+  (before, after, a, b)
+
+let test_convergence_weight_change_microloops () =
+  let before, after, a, _ = microloop_nets () in
+  let report =
+    Igp.Convergence.analyze ~before ~after ~origin:a ~prefix:"p" ()
+  in
+  Alcotest.(check bool) "several routers change" true (report.states >= 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "micro-loop detected (%d unsafe states)" report.unsafe_states)
+    true
+    (report.unsafe_states >= 1);
+  Alcotest.(check bool) "window has positive duration" true
+    (report.unsafe_window > 0.);
+  match report.first_problem with
+  | Some (_, description) ->
+    Alcotest.(check bool) "describes a loop" true
+      (String.length description > 0)
+  | None -> Alcotest.fail "expected a problem description"
+
+let test_convergence_verdict_direct () =
+  let d, net = demo_net () in
+  let fib router = Igp.Network.fib net ~router "blue" in
+  (match
+     Igp.Convergence.forwarding_verdict ~nodes:(G.nodes d.graph) ~fib
+   with
+  | Igp.Convergence.Safe -> ()
+  | Igp.Convergence.Loop _ | Igp.Convergence.Blackhole _ ->
+    Alcotest.fail "baseline must be safe");
+  (* A hand-made two-node loop. *)
+  let looped router =
+    if router = d.a then
+      Some
+        {
+          Igp.Fib.router = d.a;
+          prefix = "blue";
+          distance = 1;
+          local = false;
+          entries = [ { next_hop = d.b; multiplicity = 1; via_fakes = [] } ];
+        }
+    else if router = d.b then
+      Some
+        {
+          Igp.Fib.router = d.b;
+          prefix = "blue";
+          distance = 1;
+          local = false;
+          entries = [ { next_hop = d.a; multiplicity = 1; via_fakes = [] } ];
+        }
+    else None
+  in
+  match
+    Igp.Convergence.forwarding_verdict ~nodes:[ d.a; d.b ] ~fib:looped
+  with
+  | Igp.Convergence.Loop routers ->
+    Alcotest.(check (list int)) "both on the loop" [ d.a; d.b ]
+      (List.sort compare routers)
+  | Igp.Convergence.Safe | Igp.Convergence.Blackhole _ ->
+    Alcotest.fail "loop not found"
+
+let test_convergence_blackhole_verdict () =
+  let d, _ = demo_net () in
+  let fib router =
+    if router = d.a then
+      Some
+        {
+          Igp.Fib.router = d.a;
+          prefix = "blue";
+          distance = 1;
+          local = false;
+          entries = [ { next_hop = d.b; multiplicity = 1; via_fakes = [] } ];
+        }
+    else None (* B has no route: A forwards into the void *)
+  in
+  match Igp.Convergence.forwarding_verdict ~nodes:[ d.a; d.b ] ~fib with
+  | Igp.Convergence.Blackhole router -> Alcotest.(check int) "at A" d.a router
+  | Igp.Convergence.Safe | Igp.Convergence.Loop _ ->
+    Alcotest.fail "blackhole not found"
+
+(* ---------- Codec (wire format) ---------- *)
+
+let roundtrip lsa =
+  let packet = { Igp.Codec.lsa; sequence = 42 } in
+  let encoded = Igp.Codec.encode packet in
+  Alcotest.(check int) "wire_length agrees" (Bytes.length encoded)
+    (Igp.Codec.wire_length packet);
+  match Igp.Codec.decode encoded with
+  | Ok decoded ->
+    Alcotest.(check bool) "lsa roundtrips" true (decoded.lsa = lsa);
+    Alcotest.(check int) "sequence roundtrips" 42 decoded.sequence
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_codec_roundtrip_router () =
+  roundtrip (Igp.Lsa.Router { origin = 3; links = [ (1, 10); (2, 65535); (7, 1) ] });
+  roundtrip (Igp.Lsa.Router { origin = 0; links = [] })
+
+let test_codec_roundtrip_prefix () =
+  roundtrip (Igp.Lsa.Prefix { origin = 6; prefix = "blue"; cost = 0 });
+  roundtrip (Igp.Lsa.Prefix { origin = 1; prefix = ""; cost = 0xFFFFFF })
+
+let test_codec_roundtrip_fake () =
+  roundtrip
+    (Igp.Lsa.Fake
+       {
+         fake_id = "fib:blue/B>R3#1";
+         attachment = 1;
+         attachment_cost = 1;
+         prefix = "blue";
+         announced_cost = 1;
+         forwarding = 4;
+       })
+
+let test_codec_age_field () =
+  let packet =
+    { Igp.Codec.lsa = Igp.Lsa.Prefix { origin = 1; prefix = "p"; cost = 3 };
+      sequence = 7 }
+  in
+  let encoded = Igp.Codec.encode ~age:1200 packet in
+  Alcotest.(check bool) "age decodes" true (Igp.Codec.decode_age encoded = Ok 1200);
+  (* Age is outside the checksum: relays may bump it in place. *)
+  Bytes.set_uint16_be encoded 0 1201;
+  Alcotest.(check bool) "aged packet still decodes" true
+    (Result.is_ok (Igp.Codec.decode encoded))
+
+let test_codec_detects_corruption () =
+  let packet =
+    { Igp.Codec.lsa = Igp.Lsa.Prefix { origin = 1; prefix = "blue"; cost = 3 };
+      sequence = 7 }
+  in
+  let encoded = Igp.Codec.encode packet in
+  (* Change one payload byte: the checksum must catch it. (A 0x00 -> 0xff
+     flip is invisible to Fletcher-16 — 0 and 255 are congruent mod 255 —
+     so perturb by +1 instead, as a real bit error usually would.) *)
+  let corrupted = Bytes.copy encoded in
+  let target = Bytes.length corrupted - 1 in
+  Bytes.set_uint8 corrupted target ((Bytes.get_uint8 corrupted target + 1) land 0xff);
+  (match Igp.Codec.decode corrupted with
+  | Error reason ->
+    Alcotest.(check bool) "mentions checksum" true
+      (String.length reason > 0)
+  | Ok _ -> Alcotest.fail "corruption undetected");
+  (* Truncation. *)
+  (match Igp.Codec.decode (Bytes.sub encoded 0 10) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncation undetected");
+  (* Length-field lie. *)
+  let lied = Bytes.copy encoded in
+  Bytes.set_uint16_be lied 12 (Bytes.length lied - 1);
+  match Igp.Codec.decode lied with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "length mismatch undetected"
+
+let test_codec_rejects_oversize_fields () =
+  Alcotest.(check bool) "24-bit metric overflow" true
+    (try
+       ignore
+         (Igp.Codec.encode
+            { lsa = Igp.Lsa.Prefix { origin = 1; prefix = "p"; cost = 1 lsl 24 };
+              sequence = 0 });
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "long name" true
+    (try
+       ignore
+         (Igp.Codec.encode
+            { lsa = Igp.Lsa.Prefix { origin = 1; prefix = String.make 300 'x'; cost = 1 };
+              sequence = 0 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_network_wire_injection () =
+  let d, net = demo_net () in
+  let packet =
+    {
+      Igp.Codec.lsa =
+        Igp.Lsa.Fake
+          {
+            fake_id = "wire-fB";
+            attachment = d.b;
+            attachment_cost = 1;
+            prefix = "blue";
+            announced_cost = 1;
+            forwarding = d.r3;
+          };
+      sequence = 1;
+    }
+  in
+  (match Igp.Network.inject_fake_wire net (Igp.Codec.encode packet) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "wire injection failed: %s" e);
+  let fib_b = fib_exn net ~router:d.b "blue" in
+  Alcotest.(check (list int)) "ECMP via wire" [ d.r2; d.r3 ] (Igp.Fib.next_hops fib_b);
+  (* Non-fake packets are refused. *)
+  let router_packet =
+    { Igp.Codec.lsa = Igp.Lsa.Router { origin = d.a; links = [] }; sequence = 1 }
+  in
+  Alcotest.(check bool) "router LSA refused" true
+    (Result.is_error (Igp.Network.inject_fake_wire net (Igp.Codec.encode router_packet)));
+  (* Garbage is refused, not fatal. *)
+  Alcotest.(check bool) "garbage refused" true
+    (Result.is_error (Igp.Network.inject_fake_wire net (Bytes.of_string "junk")))
+
+let test_network_router_lsa () =
+  let d, net = demo_net () in
+  match Igp.Network.router_lsa net ~origin:d.b with
+  | Igp.Lsa.Router { origin; links } ->
+    Alcotest.(check int) "origin" d.b origin;
+    Alcotest.(check (list (pair int int))) "adjacencies"
+      [ (d.a, 1); (d.r2, 1); (d.r3, 1) ]
+      (List.sort compare links)
+  | Igp.Lsa.Prefix _ | Igp.Lsa.Fake _ -> Alcotest.fail "expected router LSA"
+
+(* Property: arbitrary LSAs roundtrip through the wire format. *)
+let lsa_gen =
+  let open QCheck.Gen in
+  let name_gen = string_size ~gen:(char_range 'a' 'z') (0 -- 20) in
+  let node_gen = 0 -- 1000 in
+  oneof
+    [
+      (node_gen >>= fun origin ->
+       list_size (0 -- 8) (pair node_gen (1 -- 65535)) >|= fun links ->
+       Igp.Lsa.Router { origin; links });
+      (node_gen >>= fun origin ->
+       name_gen >>= fun prefix ->
+       0 -- 0xFFFFFF >|= fun cost -> Igp.Lsa.Prefix { origin; prefix; cost });
+      (name_gen >>= fun fake_id ->
+       node_gen >>= fun attachment ->
+       1 -- 65535 >>= fun attachment_cost ->
+       name_gen >>= fun prefix ->
+       0 -- 0xFFFFFF >>= fun announced_cost ->
+       node_gen >|= fun forwarding ->
+       Igp.Lsa.Fake
+         { fake_id; attachment; attachment_cost; prefix; announced_cost; forwarding });
+    ]
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrips arbitrary LSAs" ~count:300
+    (QCheck.make lsa_gen) (fun lsa ->
+      let packet = { Igp.Codec.lsa; sequence = 123456 } in
+      match Igp.Codec.decode (Igp.Codec.encode packet) with
+      | Ok decoded -> decoded.lsa = lsa && decoded.sequence = 123456
+      | Error _ -> false)
+
+(* Decoding is total: arbitrary bytes produce Error, never an exception. *)
+let prop_codec_decode_total =
+  QCheck.Test.make ~name:"codec decode never raises on garbage" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun junk ->
+      match Igp.Codec.decode (Bytes.of_string junk) with
+      | Ok _ | Error _ -> true)
+
+let prop_codec_single_bitflip_detected =
+  QCheck.Test.make ~name:"codec detects single byte corruption" ~count:200
+    QCheck.(pair (QCheck.make lsa_gen) (int_range 2 1000))
+    (fun (lsa, position) ->
+      let packet = { Igp.Codec.lsa; sequence = 1 } in
+      let encoded = Igp.Codec.encode packet in
+      (* Corrupt a checksummed byte (skip the age field at 0-1). *)
+      let target = 2 + (position mod (Bytes.length encoded - 2)) in
+      let corrupted = Bytes.copy encoded in
+      Bytes.set_uint8 corrupted target (Bytes.get_uint8 corrupted target lxor 0x5a);
+      match Igp.Codec.decode corrupted with
+      | Error _ -> true
+      | Ok decoded ->
+        (* A flip in the length field may still decode if consistent —
+           but then the content must differ. Anything else is a miss. *)
+        decoded.lsa <> lsa)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "igp"
+    [
+      ( "lsa",
+        [
+          Alcotest.test_case "total cost" `Quick test_lsa_total_cost;
+          Alcotest.test_case "keys" `Quick test_lsa_keys;
+        ] );
+      ( "lsdb",
+        [
+          Alcotest.test_case "announce/view" `Quick test_lsdb_announce_and_view;
+          Alcotest.test_case "fake validation" `Quick test_lsdb_install_fake_validation;
+          Alcotest.test_case "supersede" `Quick test_lsdb_supersede_fake;
+          Alcotest.test_case "retract" `Quick test_lsdb_retract;
+          Alcotest.test_case "versions" `Quick test_lsdb_version_bumps;
+          Alcotest.test_case "anycast" `Quick test_lsdb_anycast;
+        ] );
+      ( "spf-fib",
+        [
+          Alcotest.test_case "baseline routes (Fig 1a)" `Quick test_spf_baseline_routes;
+          Alcotest.test_case "fake ECMP (Fig 1c, fB)" `Quick test_spf_fake_creates_ecmp;
+          Alcotest.test_case "fake multiplicity (Fig 1c, fA)" `Quick
+            test_spf_fake_multiplicity;
+          Alcotest.test_case "surgical lies" `Quick test_spf_fake_does_not_change_others;
+          Alcotest.test_case "cheaper fake overrides" `Quick
+            test_spf_cheaper_fake_overrides;
+          Alcotest.test_case "expensive fake ignored" `Quick
+            test_spf_expensive_fake_ignored;
+          Alcotest.test_case "fake is not transit" `Quick test_spf_fake_not_transit;
+          Alcotest.test_case "unknown prefix" `Quick test_spf_unknown_prefix;
+          Alcotest.test_case "unreachable prefix" `Quick test_spf_unreachable_prefix;
+          Alcotest.test_case "local has no fractions" `Quick
+            test_fib_fractions_empty_when_local;
+          Alcotest.test_case "distance only" `Quick test_spf_distance_only;
+          Alcotest.test_case "all prefixes" `Quick test_spf_compute_all_prefixes;
+          Alcotest.test_case "announce cost" `Quick test_prefix_cost_matters;
+        ] );
+      ( "flooding",
+        [
+          Alcotest.test_case "counts" `Quick test_flooding_counts;
+          Alcotest.test_case "partition" `Quick test_flooding_partition;
+          Alcotest.test_case "add" `Quick test_flooding_add;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "control cost" `Quick test_network_control_cost_accounting;
+          Alcotest.test_case "clone independent" `Quick test_network_clone_independent;
+          Alcotest.test_case "clone carries fakes" `Quick test_network_clone_carries_fakes;
+          Alcotest.test_case "weight reconvergence" `Quick
+            test_network_set_weight_reconverges;
+          Alcotest.test_case "refresh cost" `Quick test_network_refresh_cost;
+          Alcotest.test_case "retract all" `Quick test_network_retract_all;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "schedule ordering" `Quick test_convergence_schedule_ordering;
+          Alcotest.test_case "fake injection loop-free" `Quick
+            test_convergence_fake_injection_loop_free;
+          Alcotest.test_case "weight change micro-loops" `Quick
+            test_convergence_weight_change_microloops;
+          Alcotest.test_case "loop verdict" `Quick test_convergence_verdict_direct;
+          Alcotest.test_case "blackhole verdict" `Quick test_convergence_blackhole_verdict;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip router" `Quick test_codec_roundtrip_router;
+          Alcotest.test_case "roundtrip prefix" `Quick test_codec_roundtrip_prefix;
+          Alcotest.test_case "roundtrip fake" `Quick test_codec_roundtrip_fake;
+          Alcotest.test_case "age field" `Quick test_codec_age_field;
+          Alcotest.test_case "corruption detected" `Quick test_codec_detects_corruption;
+          Alcotest.test_case "oversize fields" `Quick test_codec_rejects_oversize_fields;
+          Alcotest.test_case "wire injection" `Quick test_network_wire_injection;
+          Alcotest.test_case "router lsa" `Quick test_network_router_lsa;
+        ] );
+      qsuite "codec-props"
+        [
+          prop_codec_roundtrip;
+          prop_codec_single_bitflip_detected;
+          prop_codec_decode_total;
+        ];
+      qsuite "igp-props"
+        [ prop_equal_cost_fake_is_surgical; prop_fakes_never_increase_distance ];
+    ]

@@ -1,0 +1,311 @@
+(* Unit and property tests for the Kit support library. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Prng ---------- *)
+
+let test_prng_deterministic () =
+  let a = Kit.Prng.create ~seed:42 in
+  let b = Kit.Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Kit.Prng.bits64 a) (Kit.Prng.bits64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Kit.Prng.create ~seed:1 in
+  let b = Kit.Prng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true
+    (Kit.Prng.bits64 a <> Kit.Prng.bits64 b)
+
+let test_prng_copy_independent () =
+  let a = Kit.Prng.create ~seed:7 in
+  ignore (Kit.Prng.bits64 a);
+  let b = Kit.Prng.copy a in
+  let xa = Kit.Prng.bits64 a in
+  let xb = Kit.Prng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  ignore (Kit.Prng.bits64 a);
+  (* b unaffected by advancing a *)
+  let xa2 = Kit.Prng.bits64 a in
+  let xb2 = Kit.Prng.bits64 b in
+  Alcotest.(check bool) "streams diverge after unequal draws" true (xa2 <> xb2 || xa = xb)
+
+let test_prng_int_bounds () =
+  let t = Kit.Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Kit.Prng.int t 7 in
+    Alcotest.(check bool) "0 <= x < 7" true (x >= 0 && x < 7)
+  done
+
+let test_prng_float_bounds () =
+  let t = Kit.Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Kit.Prng.float t 3.5 in
+    Alcotest.(check bool) "0 <= x < 3.5" true (x >= 0. && x < 3.5)
+  done
+
+let test_prng_int_covers_range () =
+  let t = Kit.Prng.create ~seed:9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Kit.Prng.int t 5) <- true
+  done;
+  Alcotest.(check bool) "all buckets hit" true (Array.for_all Fun.id seen)
+
+let test_prng_exponential_mean () =
+  let t = Kit.Prng.create ~seed:11 in
+  let n = 20000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Kit.Prng.exponential t ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "sample mean %.3f close to 2.0" mean)
+    true
+    (abs_float (mean -. 2.0) < 0.1)
+
+let test_prng_shuffle_permutation () =
+  let t = Kit.Prng.create ~seed:3 in
+  let a = Array.init 20 Fun.id in
+  Kit.Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 20 Fun.id) sorted
+
+(* ---------- Heap ---------- *)
+
+let test_heap_ordering () =
+  let h = Kit.Heap.create () in
+  List.iter (fun p -> Kit.Heap.push h ~priority:p (int_of_float p))
+    [ 5.; 1.; 4.; 2.; 3. ];
+  let order = List.init 5 (fun _ -> match Kit.Heap.pop h with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail "heap empty early")
+  in
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] order
+
+let test_heap_empty () =
+  let h : int Kit.Heap.t = Kit.Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Kit.Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Kit.Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Kit.Heap.peek h = None)
+
+let test_heap_peek_does_not_remove () =
+  let h = Kit.Heap.create () in
+  Kit.Heap.push h ~priority:1. "x";
+  Alcotest.(check bool) "peek" true (Kit.Heap.peek h = Some (1., "x"));
+  Alcotest.(check int) "size unchanged" 1 (Kit.Heap.size h)
+
+let test_heap_duplicates () =
+  let h = Kit.Heap.create () in
+  Kit.Heap.push h ~priority:1. "a";
+  Kit.Heap.push h ~priority:1. "b";
+  Kit.Heap.push h ~priority:1. "c";
+  Alcotest.(check int) "size 3" 3 (Kit.Heap.size h);
+  let popped = List.init 3 (fun _ -> match Kit.Heap.pop h with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail "missing")
+  in
+  Alcotest.(check (list string)) "all present" [ "a"; "b"; "c" ]
+    (List.sort compare popped)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in priority order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun priorities ->
+      let h = Kit.Heap.create () in
+      List.iteri (fun i p -> Kit.Heap.push h ~priority:p i) priorities;
+      let rec drain acc =
+        match Kit.Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare priorities)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Kit.Stats.mean [ 1.; 2.; 3.; 4. ]);
+  check_float "empty mean" 0. (Kit.Stats.mean [])
+
+let test_stats_variance () =
+  check_float "variance" 1.25 (Kit.Stats.variance [ 1.; 2.; 3.; 4. ]);
+  check_float "singleton" 0. (Kit.Stats.variance [ 5. ])
+
+let test_stats_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ] in
+  check_float "p50" 5. (Kit.Stats.percentile 50. xs);
+  check_float "p100" 10. (Kit.Stats.percentile 100. xs);
+  check_float "p10" 1. (Kit.Stats.percentile 10. xs)
+
+let test_stats_percentile_empty () =
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.percentile: empty list") (fun () ->
+      ignore (Kit.Stats.percentile 50. []))
+
+let test_stats_minmax () =
+  check_float "min" (-3.) (Kit.Stats.minimum [ 2.; -3.; 7. ]);
+  check_float "max" 7. (Kit.Stats.maximum [ 2.; -3.; 7. ])
+
+let test_stats_ewma () =
+  check_float "alpha=1 takes sample" 10. (Kit.Stats.ewma ~alpha:1. 4. 10.);
+  check_float "alpha=0 keeps previous" 4. (Kit.Stats.ewma ~alpha:0. 4. 10.);
+  check_float "midpoint" 7. (Kit.Stats.ewma ~alpha:0.5 4. 10.)
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean between min and max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.))
+    (fun xs ->
+      let m = Kit.Stats.mean xs in
+      m >= Kit.Stats.minimum xs -. 1e-9 && m <= Kit.Stats.maximum xs +. 1e-9)
+
+(* ---------- Ratio ---------- *)
+
+let test_ratio_thirds () =
+  let m = Kit.Ratio.approximate ~max_total:4 [| 1. /. 3.; 2. /. 3. |] in
+  Alcotest.(check (array int)) "1:2" [| 1; 2 |] m
+
+let test_ratio_even () =
+  let m = Kit.Ratio.approximate ~max_total:16 [| 0.5; 0.5 |] in
+  Alcotest.(check bool) "equal multiplicities" true (m.(0) = m.(1))
+
+let test_ratio_realized_sums_to_one () =
+  let r = Kit.Ratio.realized [| 3; 5; 2 |] in
+  check_float "sums to 1" 1. (Array.fold_left ( +. ) 0. r)
+
+let test_ratio_wider_fib_is_finer () =
+  let fractions = [| 0.36; 0.64 |] in
+  let narrow = Kit.Ratio.approximate ~max_total:3 fractions in
+  let wide = Kit.Ratio.approximate ~max_total:32 fractions in
+  Alcotest.(check bool) "wider FIB at least as accurate" true
+    (Kit.Ratio.max_error fractions wide
+    <= Kit.Ratio.max_error fractions narrow +. 1e-12)
+
+let test_ratio_rejects_bad_input () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Ratio.approximate: empty fractions") (fun () ->
+      ignore (Kit.Ratio.approximate ~max_total:4 [||]));
+  Alcotest.check_raises "too many hops"
+    (Invalid_argument "Ratio.approximate: more next hops than max_total")
+    (fun () -> ignore (Kit.Ratio.approximate ~max_total:2 [| 0.3; 0.3; 0.4 |]));
+  Alcotest.check_raises "not normalized"
+    (Invalid_argument "Ratio.approximate: fractions must sum to 1") (fun () ->
+      ignore (Kit.Ratio.approximate ~max_total:4 [| 0.5; 0.2 |]))
+
+let ratio_gen =
+  (* Random normalized fraction vectors of length 2..6. *)
+  QCheck.make
+    ~print:(fun a -> String.concat ";" (List.map string_of_float (Array.to_list a)))
+    QCheck.Gen.(
+      int_range 2 6 >>= fun k ->
+      list_repeat k (float_range 0.05 1.) >|= fun raw ->
+      let total = List.fold_left ( +. ) 0. raw in
+      Array.of_list (List.map (fun x -> x /. total) raw))
+
+let prop_ratio_respects_bounds =
+  QCheck.Test.make ~name:"ratio multiplicities within bounds" ~count:300
+    ratio_gen (fun fractions ->
+      let m = Kit.Ratio.approximate ~max_total:16 fractions in
+      Array.length m = Array.length fractions
+      && Array.for_all (fun x -> x >= 1) m
+      && Array.fold_left ( + ) 0 m <= 16)
+
+let prop_ratio_beats_uniform_error =
+  QCheck.Test.make ~name:"ratio error bounded by quantum" ~count:300 ratio_gen
+    (fun fractions ->
+      let m = Kit.Ratio.approximate ~max_total:16 fractions in
+      let total = Array.fold_left ( + ) 0 m in
+      (* Largest-remainder with the best denominator keeps the error
+         below one FIB quantum. *)
+      Kit.Ratio.max_error fractions m <= 1. /. float_of_int total +. 1e-9)
+
+(* ---------- Timeseries ---------- *)
+
+let test_timeseries_basic () =
+  let ts = Kit.Timeseries.create ~name:"x" in
+  Kit.Timeseries.add ts ~time:0. 1.;
+  Kit.Timeseries.add ts ~time:1. 2.;
+  Kit.Timeseries.add ts ~time:2. 3.;
+  Alcotest.(check int) "length" 3 (Kit.Timeseries.length ts);
+  check_float "step lookup" 2. (Kit.Timeseries.value_at ts 1.5);
+  check_float "before first" 0. (Kit.Timeseries.value_at ts (-1.));
+  check_float "peak" 3. (Kit.Timeseries.peak ts)
+
+let test_timeseries_monotonic () =
+  let ts = Kit.Timeseries.create ~name:"x" in
+  Kit.Timeseries.add ts ~time:5. 1.;
+  Alcotest.check_raises "non-monotonic"
+    (Invalid_argument "Timeseries.add: non-monotonic time") (fun () ->
+      Kit.Timeseries.add ts ~time:4. 1.)
+
+let test_timeseries_to_csv () =
+  let a = Kit.Timeseries.create ~name:"x" in
+  let b = Kit.Timeseries.create ~name:"y" in
+  Kit.Timeseries.add a ~time:0. 1.;
+  Kit.Timeseries.add a ~time:1. 2.;
+  Kit.Timeseries.add b ~time:0. 5.;
+  let csv = Kit.Timeseries.to_csv ~step:1. [ a; b ] in
+  Alcotest.(check (list string)) "rows"
+    [ "time,x,y"; "0,1,5"; "1,2,5"; "" ]
+    (String.split_on_char '\n' csv)
+
+let test_timeseries_window_mean () =
+  let ts = Kit.Timeseries.create ~name:"x" in
+  List.iter (fun (t, v) -> Kit.Timeseries.add ts ~time:t v)
+    [ (0., 1.); (1., 2.); (2., 3.); (3., 100.) ];
+  check_float "window [0,3)" 2. (Kit.Timeseries.window_mean ts ~from:0. ~until:3.);
+  check_float "empty window" 0. (Kit.Timeseries.window_mean ts ~from:10. ~until:20.)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "kit"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "int covers range" `Quick test_prng_int_covers_range;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutation;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "peek" `Quick test_heap_peek_does_not_remove;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+        ] );
+      qsuite "heap-props" [ prop_heap_sorts ];
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile empty" `Quick test_stats_percentile_empty;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+          Alcotest.test_case "ewma" `Quick test_stats_ewma;
+        ] );
+      qsuite "stats-props" [ prop_stats_mean_bounds ];
+      ( "ratio",
+        [
+          Alcotest.test_case "thirds" `Quick test_ratio_thirds;
+          Alcotest.test_case "even" `Quick test_ratio_even;
+          Alcotest.test_case "realized normalized" `Quick test_ratio_realized_sums_to_one;
+          Alcotest.test_case "wider is finer" `Quick test_ratio_wider_fib_is_finer;
+          Alcotest.test_case "bad input" `Quick test_ratio_rejects_bad_input;
+        ] );
+      qsuite "ratio-props" [ prop_ratio_respects_bounds; prop_ratio_beats_uniform_error ];
+      ( "timeseries",
+        [
+          Alcotest.test_case "basic" `Quick test_timeseries_basic;
+          Alcotest.test_case "monotonic" `Quick test_timeseries_monotonic;
+          Alcotest.test_case "window mean" `Quick test_timeseries_window_mean;
+          Alcotest.test_case "to_csv" `Quick test_timeseries_to_csv;
+        ] );
+    ]

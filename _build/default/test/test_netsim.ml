@@ -1,0 +1,982 @@
+(* Tests for the data-plane simulator: loads, fair sharing, hashing,
+   events, monitor and the stepped simulation. *)
+
+module G = Netgraph.Graph
+module T = Netgraph.Topologies
+module Link = Netsim.Link
+module Flow = Netsim.Flow
+
+let demo_net () =
+  let d = T.demo () in
+  let net = Igp.Network.create d.graph in
+  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  (d, net)
+
+let fake ~id ~at ~cost ~fwd : Igp.Lsa.fake =
+  {
+    fake_id = id;
+    attachment = at;
+    attachment_cost = 1;
+    prefix = "blue";
+    announced_cost = cost - 1;
+    forwarding = fwd;
+  }
+
+let checkf = Alcotest.(check (float 1e-6))
+
+(* ---------- Link ---------- *)
+
+let test_link_capacities () =
+  let caps = Link.capacities ~default:10. in
+  checkf "default" 10. (Link.capacity caps (0, 1));
+  Link.set caps (0, 1) 5.;
+  checkf "override" 5. (Link.capacity caps (0, 1));
+  checkf "reverse untouched" 10. (Link.capacity caps (1, 0));
+  Link.set_link caps (2, 3) 7.;
+  checkf "both dirs" 7. (Link.capacity caps (3, 2))
+
+let test_link_rejects_nonpositive () =
+  Alcotest.(check bool) "bad default" true
+    (try ignore (Link.capacities ~default:0.); false
+     with Invalid_argument _ -> true);
+  let caps = Link.capacities ~default:1. in
+  Alcotest.(check bool) "bad set" true
+    (try Link.set caps (0, 1) (-1.); false with Invalid_argument _ -> true)
+
+(* ---------- Flow ---------- *)
+
+let test_flow_lifecycle () =
+  let f = Flow.make ~id:1 ~src:0 ~prefix:"p" ~demand:10. ~start_time:5. ~duration:10. () in
+  checkf "end" 15. (Flow.end_time f);
+  Alcotest.(check bool) "before" false (Flow.active_at f 4.9);
+  Alcotest.(check bool) "at start" true (Flow.active_at f 5.);
+  Alcotest.(check bool) "inside" true (Flow.active_at f 10.);
+  Alcotest.(check bool) "at end" false (Flow.active_at f 15.)
+
+let test_flow_validation () =
+  Alcotest.(check bool) "bad demand" true
+    (try ignore (Flow.make ~id:1 ~src:0 ~prefix:"p" ~demand:0. ()); false
+     with Invalid_argument _ -> true)
+
+(* ---------- Loadmap: the paper's Fig. 1b / 1d tables ---------- *)
+
+let test_loadmap_fig1b () =
+  (* Without Fibbing, 100 units from A and 100 from B pile up on B-R2
+     and R2-C (the paper's "200" labels). *)
+  let d, net = demo_net () in
+  let loads =
+    Netsim.Loadmap.propagate net
+      [
+        { src = d.a; prefix = "blue"; amount = 100. };
+        { src = d.b; prefix = "blue"; amount = 100. };
+      ]
+  in
+  checkf "A-B" 100. (Netsim.Loadmap.load loads (d.a, d.b));
+  checkf "B-R2" 200. (Netsim.Loadmap.load loads (d.b, d.r2));
+  checkf "R2-C" 200. (Netsim.Loadmap.load loads (d.r2, d.c));
+  checkf "B-R3 idle" 0. (Netsim.Loadmap.load loads (d.b, d.r3));
+  (match Netsim.Loadmap.max_load loads with
+  | Some (link, load) ->
+    Alcotest.(check bool) "max on B-R2 or R2-C" true
+      (link = (d.b, d.r2) || link = (d.r2, d.c));
+    checkf "max load 200" 200. load
+  | None -> Alcotest.fail "no load")
+
+let test_loadmap_fig1d () =
+  (* With the paper's three fakes, the same demands spread to ~66 per
+     link (Fig. 1d). *)
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Igp.Network.inject_fake net (fake ~id:"fA1" ~at:d.a ~cost:3 ~fwd:d.r1);
+  Igp.Network.inject_fake net (fake ~id:"fA2" ~at:d.a ~cost:3 ~fwd:d.r1);
+  let loads =
+    Netsim.Loadmap.propagate net
+      [
+        { src = d.a; prefix = "blue"; amount = 100. };
+        { src = d.b; prefix = "blue"; amount = 100. };
+      ]
+  in
+  checkf "A-B third" (100. /. 3.) (Netsim.Loadmap.load loads (d.a, d.b));
+  checkf "A-R1 two thirds" (200. /. 3.) (Netsim.Loadmap.load loads (d.a, d.r1));
+  (* B carries its own 100 plus A's 33.3, split evenly. *)
+  checkf "B-R2" (200. /. 3.) (Netsim.Loadmap.load loads (d.b, d.r2));
+  checkf "B-R3" (200. /. 3.) (Netsim.Loadmap.load loads (d.b, d.r3));
+  checkf "R1-R4" (200. /. 3.) (Netsim.Loadmap.load loads (d.r1, d.r4));
+  (match Netsim.Loadmap.max_load loads with
+  | Some (_, load) -> checkf "max load ~66.7" (200. /. 3.) load
+  | None -> Alcotest.fail "no load")
+
+let test_loadmap_utilization () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let loads =
+    Netsim.Loadmap.propagate net [ { src = d.b; prefix = "blue"; amount = 50. } ]
+  in
+  match Netsim.Loadmap.max_utilization loads caps with
+  | Some (link, u) ->
+    Alcotest.(check bool) "B-R2 or R2-C" true (link = (d.b, d.r2) || link = (d.r2, d.c));
+    checkf "50%" 0.5 u
+  | None -> Alcotest.fail "no utilization"
+
+let test_loadmap_unreachable () =
+  let g = G.create () in
+  let a = G.add_node g ~name:"a" in
+  let b = G.add_node g ~name:"b" in
+  let c = G.add_node g ~name:"c" in
+  G.add_link g a b ~weight:1;
+  let net = Igp.Network.create g in
+  Igp.Network.announce_prefix net "p" ~origin:c ~cost:0;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Netsim.Loadmap.propagate net [ { src = a; prefix = "p"; amount = 1. } ]);
+       false
+     with Netsim.Loadmap.Unreachable "p" -> true)
+
+let test_loadmap_conservation () =
+  (* Total load on links into C equals total offered demand. *)
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
+  let loads =
+    Netsim.Loadmap.propagate net
+      [
+        { src = d.a; prefix = "blue"; amount = 70. };
+        { src = d.b; prefix = "blue"; amount = 30. };
+      ]
+  in
+  let into_c =
+    Netsim.Loadmap.load loads (d.r2, d.c)
+    +. Netsim.Loadmap.load loads (d.r3, d.c)
+    +. Netsim.Loadmap.load loads (d.r4, d.c)
+  in
+  checkf "conservation" 100. into_c
+
+(* ---------- Hashing ---------- *)
+
+let test_hashing_respects_weights () =
+  (* With weights B:1, R1:2, about 2/3 of many flows go to R1. *)
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"fA1" ~at:d.a ~cost:3 ~fwd:d.r1);
+  Igp.Network.inject_fake net (fake ~id:"fA2" ~at:d.a ~cost:3 ~fwd:d.r1);
+  let fib = Option.get (Igp.Network.fib net ~router:d.a "blue") in
+  let n = 3000 in
+  let to_r1 = ref 0 in
+  for flow_id = 0 to n - 1 do
+    match Netsim.Hashing.select ~flow_id ~router:d.a fib with
+    | Some nh when nh = d.r1 -> incr to_r1
+    | Some _ -> ()
+    | None -> Alcotest.fail "no selection"
+  done;
+  let fraction = float_of_int !to_r1 /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.3f close to 2/3" fraction)
+    true
+    (abs_float (fraction -. (2. /. 3.)) < 0.05)
+
+let test_hashing_stable () =
+  let d, net = demo_net () in
+  let fib = Option.get (Igp.Network.fib net ~router:d.a "blue") in
+  let first = Netsim.Hashing.select ~flow_id:7 ~router:d.a fib in
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "same choice" true
+      (Netsim.Hashing.select ~flow_id:7 ~router:d.a fib = first)
+  done
+
+let test_hashing_route_full_path () =
+  let d, net = demo_net () in
+  (match Netsim.Hashing.route net ~flow_id:1 ~src:d.a "blue" with
+  | Some path ->
+    Alcotest.(check (list int)) "A-B-R2-C" [ d.a; d.b; d.r2; d.c ] path
+  | None -> Alcotest.fail "no route");
+  (* From the announcer itself: single-node path. *)
+  match Netsim.Hashing.route net ~flow_id:1 ~src:d.c "blue" with
+  | Some path -> Alcotest.(check (list int)) "local" [ d.c ] path
+  | None -> Alcotest.fail "no local route"
+
+let test_hashing_route_detects_loop () =
+  (* Two mutually-attracting cheap fakes create a forwarding loop; the
+     router walk must bail out rather than spin. *)
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"l1" ~at:d.b ~cost:1 ~fwd:d.a);
+  Igp.Network.inject_fake net (fake ~id:"l2" ~at:d.a ~cost:1 ~fwd:d.b);
+  Alcotest.(check bool) "loop detected" true
+    (Netsim.Hashing.route net ~flow_id:3 ~src:d.a "blue" = None)
+
+(* ---------- Fairshare ---------- *)
+
+let mkflow id demand = Flow.make ~id ~src:0 ~prefix:"p" ~demand ()
+
+let test_fairshare_single_bottleneck () =
+  let caps = Link.capacities ~default:10. in
+  let routes =
+    [
+      { Netsim.Fairshare.flow = mkflow 1 100.; links = [ (0, 1) ] };
+      { Netsim.Fairshare.flow = mkflow 2 100.; links = [ (0, 1) ] };
+    ]
+  in
+  let alloc = Netsim.Fairshare.allocate caps routes in
+  checkf "even split 1" 5. (List.assoc 1 alloc);
+  checkf "even split 2" 5. (List.assoc 2 alloc)
+
+let test_fairshare_demand_capped () =
+  let caps = Link.capacities ~default:10. in
+  let routes =
+    [
+      { Netsim.Fairshare.flow = mkflow 1 2.; links = [ (0, 1) ] };
+      { Netsim.Fairshare.flow = mkflow 2 100.; links = [ (0, 1) ] };
+    ]
+  in
+  let alloc = Netsim.Fairshare.allocate caps routes in
+  checkf "small flow gets demand" 2. (List.assoc 1 alloc);
+  checkf "big flow gets rest" 8. (List.assoc 2 alloc)
+
+let test_fairshare_multi_bottleneck () =
+  (* Classic example: flow X crosses links 1 and 2; flow Y only link 1;
+     flow Z only link 2. cap(1)=10, cap(2)=4: X is limited by link 2. *)
+  let caps = Link.capacities ~default:10. in
+  Link.set caps (1, 2) 4.;
+  let routes =
+    [
+      { Netsim.Fairshare.flow = mkflow 1 100.; links = [ (0, 1); (1, 2) ] };
+      { Netsim.Fairshare.flow = mkflow 2 100.; links = [ (0, 1) ] };
+      { Netsim.Fairshare.flow = mkflow 3 100.; links = [ (1, 2) ] };
+    ]
+  in
+  let alloc = Netsim.Fairshare.allocate caps routes in
+  checkf "X limited by small link" 2. (List.assoc 1 alloc);
+  checkf "Y takes slack on big link" 8. (List.assoc 2 alloc);
+  checkf "Z fair share of small link" 2. (List.assoc 3 alloc)
+
+let test_fairshare_empty_path () =
+  let caps = Link.capacities ~default:10. in
+  let alloc =
+    Netsim.Fairshare.allocate caps
+      [ { Netsim.Fairshare.flow = mkflow 1 3.; links = [] } ]
+  in
+  checkf "full demand" 3. (List.assoc 1 alloc)
+
+let test_fairshare_duplicate_ids_rejected () =
+  let caps = Link.capacities ~default:10. in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore
+         (Netsim.Fairshare.allocate caps
+            [
+              { Netsim.Fairshare.flow = mkflow 1 3.; links = [] };
+              { Netsim.Fairshare.flow = mkflow 1 3.; links = [] };
+            ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fairshare_link_throughput () =
+  let caps = Link.capacities ~default:10. in
+  let routes =
+    [
+      { Netsim.Fairshare.flow = mkflow 1 4.; links = [ (0, 1); (1, 2) ] };
+      { Netsim.Fairshare.flow = mkflow 2 3.; links = [ (0, 1) ] };
+    ]
+  in
+  let alloc = Netsim.Fairshare.allocate caps routes in
+  let tp = Netsim.Fairshare.link_throughput routes alloc in
+  checkf "shared link" 7. (List.assoc (0, 1) tp);
+  checkf "second link" 4. (List.assoc (1, 2) tp)
+
+(* Properties: allocation never exceeds capacity on any link, never
+   exceeds demand, and is work-conserving at the bottleneck. *)
+let fairshare_gen =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "flows=%d seed=%d" n seed)
+    QCheck.Gen.(pair (int_range 1 20) (int_range 0 100000))
+
+let random_routes (n, seed) =
+  let prng = Kit.Prng.create ~seed in
+  List.init n (fun i ->
+      let hops = 1 + Kit.Prng.int prng 4 in
+      let start = Kit.Prng.int prng 5 in
+      let links = List.init hops (fun h -> (start + h, start + h + 1)) in
+      {
+        Netsim.Fairshare.flow =
+          Flow.make ~id:i ~src:0 ~prefix:"p"
+            ~demand:(1. +. Kit.Prng.float prng 9.) ();
+        links;
+      })
+
+let prop_fairshare_feasible =
+  QCheck.Test.make ~name:"allocation within capacity and demand" ~count:200
+    fairshare_gen (fun input ->
+      let routes = random_routes input in
+      let caps = Link.capacities ~default:6. in
+      let alloc = Netsim.Fairshare.allocate caps routes in
+      let tp = Netsim.Fairshare.link_throughput routes alloc in
+      List.for_all (fun (_, t) -> t <= 6. +. 1e-6) tp
+      && List.for_all
+           (fun r ->
+             let rate = List.assoc r.Netsim.Fairshare.flow.Flow.id alloc in
+             rate <= r.Netsim.Fairshare.flow.Flow.demand +. 1e-6 && rate >= 0.)
+           routes)
+
+let prop_fairshare_work_conserving =
+  QCheck.Test.make ~name:"each flow is demand- or bottleneck-limited" ~count:200
+    fairshare_gen (fun input ->
+      let routes = random_routes input in
+      let caps = Link.capacities ~default:6. in
+      let alloc = Netsim.Fairshare.allocate caps routes in
+      let tp = Netsim.Fairshare.link_throughput routes alloc in
+      List.for_all
+        (fun r ->
+          let rate = List.assoc r.Netsim.Fairshare.flow.Flow.id alloc in
+          let demand_limited =
+            rate >= r.Netsim.Fairshare.flow.Flow.demand -. 1e-6
+          in
+          let bottlenecked =
+            List.exists
+              (fun link ->
+                Option.value ~default:0. (List.assoc_opt link tp) >= 6. -. 1e-6)
+              r.Netsim.Fairshare.links
+          in
+          demand_limited || bottlenecked || r.Netsim.Fairshare.links = [])
+        routes)
+
+(* ---------- Events ---------- *)
+
+let test_events_ordering () =
+  let q = Netsim.Events.create () in
+  Netsim.Events.schedule q ~time:3. "c";
+  Netsim.Events.schedule q ~time:1. "a";
+  Netsim.Events.schedule q ~time:2. "b";
+  Alcotest.(check (option (float 1e-9))) "next" (Some 1.) (Netsim.Events.next_time q);
+  let popped = Netsim.Events.pop_until q ~time:2. in
+  Alcotest.(check (list string)) "first two" [ "a"; "b" ] (List.map snd popped);
+  Alcotest.(check int) "one left" 1 (Netsim.Events.size q)
+
+let test_events_negative_time () =
+  let q = Netsim.Events.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Events.schedule: negative time")
+    (fun () -> Netsim.Events.schedule q ~time:(-1.) "x")
+
+(* ---------- Monitor ---------- *)
+
+let test_monitor_alarm_cycle () =
+  let caps = Link.capacities ~default:10. in
+  let m = Netsim.Monitor.create ~poll_interval:1. ~threshold:0.9 ~clear_threshold:0.5
+      ~alpha:1.0 caps
+  in
+  (* Saturate for 1s. *)
+  Netsim.Monitor.observe m ~time:1. ~dt:1. [ ((0, 1), 10.) ];
+  Alcotest.(check bool) "poll due" true (Netsim.Monitor.poll_due m ~time:1.);
+  let alarms = Netsim.Monitor.poll m ~time:1. in
+  Alcotest.(check int) "one alarm" 1 (List.length alarms);
+  Alcotest.(check bool) "raised" true (List.hd alarms).raised;
+  Alcotest.(check (list (pair int int))) "overloaded" [ (0, 1) ]
+    (Netsim.Monitor.overloaded m);
+  (* Idle window clears it. *)
+  Netsim.Monitor.observe m ~time:2. ~dt:1. [ ((0, 1), 1.) ];
+  let alarms = Netsim.Monitor.poll m ~time:2. in
+  Alcotest.(check int) "one clear" 1 (List.length alarms);
+  Alcotest.(check bool) "cleared" false (List.hd alarms).raised;
+  Alcotest.(check int) "none overloaded" 0 (List.length (Netsim.Monitor.overloaded m))
+
+let test_monitor_no_repeat_alarms () =
+  let caps = Link.capacities ~default:10. in
+  let m = Netsim.Monitor.create ~alpha:1.0 caps in
+  Netsim.Monitor.observe m ~time:2. ~dt:2. [ ((0, 1), 10.) ];
+  ignore (Netsim.Monitor.poll m ~time:2.);
+  Netsim.Monitor.observe m ~time:4. ~dt:2. [ ((0, 1), 10.) ];
+  let alarms = Netsim.Monitor.poll m ~time:4. in
+  Alcotest.(check int) "no repeat" 0 (List.length alarms)
+
+let test_monitor_ewma_smoothing () =
+  let caps = Link.capacities ~default:10. in
+  let m = Netsim.Monitor.create ~alpha:0.5 caps in
+  Netsim.Monitor.observe m ~time:2. ~dt:2. [ ((0, 1), 10.) ];
+  ignore (Netsim.Monitor.poll m ~time:2.);
+  checkf "first estimate is raw" 1.0 (Netsim.Monitor.utilization m (0, 1));
+  (* Silence decays towards zero. *)
+  ignore (Netsim.Monitor.poll m ~time:4.);
+  checkf "decayed" 0.5 (Netsim.Monitor.utilization m (0, 1))
+
+(* ---------- Sim ---------- *)
+
+let test_sim_single_flow_full_rate () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:0.5 net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.run_until sim 5.;
+  checkf "full demand" 10. (Netsim.Sim.flow_rate sim 0);
+  (match Netsim.Sim.flow_path sim 0 with
+  | Some path -> Alcotest.(check (list int)) "path" [ d.a; d.b; d.r2; d.c ] path
+  | None -> Alcotest.fail "no path");
+  let series = Netsim.Sim.link_series sim (d.b, d.r2) in
+  checkf "series records rate" 10. (Kit.Timeseries.value_at series 4.)
+
+let test_sim_congestion_throttles () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:15. in
+  let sim = Netsim.Sim.create ~dt:0.5 net caps in
+  for i = 0 to 2 do
+    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:10. ())
+  done;
+  Netsim.Sim.run_until sim 2.;
+  (* 3 x 10 demand through 15-capacity path: each gets 5. *)
+  checkf "throttled" 5. (Netsim.Sim.flow_rate sim 0)
+
+let test_sim_flow_arrival_departure () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Netsim.Sim.add_flow sim
+    (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ~start_time:2. ~duration:3. ());
+  Netsim.Sim.run_until sim 1.;
+  Alcotest.(check int) "not yet active" 0 (List.length (Netsim.Sim.active_flows sim));
+  Netsim.Sim.run_until sim 3.;
+  Alcotest.(check int) "active" 1 (List.length (Netsim.Sim.active_flows sim));
+  Netsim.Sim.run_until sim 6.;
+  Alcotest.(check int) "departed" 0 (List.length (Netsim.Sim.active_flows sim));
+  checkf "rate zero after departure" 0. (Netsim.Sim.flow_rate sim 0)
+
+let test_sim_reroutes_on_fake_injection () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  (* Many flows so that some hash onto the new path. *)
+  for i = 0 to 19 do
+    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.b ~prefix:"blue" ~demand:1. ())
+  done;
+  Netsim.Sim.run_until sim 2.;
+  let series_r3 = Netsim.Sim.link_series sim (d.b, d.r3) in
+  checkf "nothing on B-R3 initially" 0. (Kit.Timeseries.value_at series_r3 1.);
+  Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Netsim.Sim.run_until sim 4.;
+  Alcotest.(check bool) "traffic moved to B-R3" true
+    (Kit.Timeseries.value_at series_r3 3. > 0.)
+
+let test_sim_monitor_hook_fires () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:10. in
+  let monitor = Netsim.Monitor.create ~poll_interval:1. ~alpha:1.0 caps in
+  let sim = Netsim.Sim.create ~dt:0.5 ~monitor net caps in
+  let fired = ref 0 in
+  Netsim.Sim.on_poll sim (fun _ alarms -> if alarms <> [] then incr fired);
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:50. ());
+  Netsim.Sim.run_until sim 3.;
+  Alcotest.(check bool) "alarm raised at least once" true (!fired >= 1)
+
+let test_sim_rejects_duplicate_flow () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:10. in
+  let sim = Netsim.Sim.create net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:1. ());
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:1. ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_sim_unroutable_flow_reported () =
+  let g = G.create () in
+  let a = G.add_node g ~name:"a" in
+  let b = G.add_node g ~name:"b" in
+  let c = G.add_node g ~name:"c" in
+  G.add_link g a b ~weight:1;
+  let net = Igp.Network.create g in
+  Igp.Network.announce_prefix net "p" ~origin:c ~cost:0;
+  let caps = Link.capacities ~default:10. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:a ~prefix:"p" ~demand:1. ());
+  Netsim.Sim.run_until sim 2.;
+  Alcotest.(check (list int)) "unroutable" [ 0 ] (Netsim.Sim.unroutable_flows sim);
+  checkf "zero rate" 0. (Netsim.Sim.flow_rate sim 0)
+
+(* ---------- Aimd ---------- *)
+
+let aimd_routes demand n =
+  List.init n (fun i ->
+      { Netsim.Fairshare.flow = mkflow i demand; links = [ (0, 1) ] })
+
+let test_aimd_ramps_up_to_demand () =
+  let caps = Link.capacities ~default:100. in
+  let aimd = Netsim.Aimd.create () in
+  let routes = aimd_routes 10. 1 in
+  (* One flow, ample capacity: rate must reach demand and stay. *)
+  for _ = 1 to 100 do
+    ignore (Netsim.Aimd.update aimd ~dt:0.5 ~capacities:caps routes)
+  done;
+  checkf "at demand" 10. (Netsim.Aimd.rate aimd 0)
+
+let test_aimd_starts_slow () =
+  let caps = Link.capacities ~default:100. in
+  let aimd = Netsim.Aimd.create ~initial_fraction:0.1 () in
+  let rates = Netsim.Aimd.update aimd ~dt:0.5 ~capacities:caps (aimd_routes 10. 1) in
+  Alcotest.(check bool) "first step below demand" true (List.assoc 0 rates < 5.)
+
+let test_aimd_backs_off_under_congestion () =
+  let caps = Link.capacities ~default:10. in
+  let aimd = Netsim.Aimd.create () in
+  let routes = aimd_routes 100. 4 in
+  (* 4 flows of demand 100 into capacity 10: long-run rates must hover
+     near the 2.5 fair share, well below demand. *)
+  for _ = 1 to 300 do
+    ignore (Netsim.Aimd.update aimd ~dt:0.5 ~capacities:caps routes)
+  done;
+  List.iter
+    (fun i ->
+      let rate = Netsim.Aimd.rate aimd i in
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d rate %.1f in AIMD band" i rate)
+        true
+        (rate > 0.2 && rate < 12.))
+    [ 0; 1; 2; 3 ]
+
+let test_aimd_approx_fair () =
+  let caps = Link.capacities ~default:10. in
+  let aimd = Netsim.Aimd.create () in
+  let routes = aimd_routes 100. 2 in
+  (* Time-averaged rates of two identical flows should be close. *)
+  let sum = [| 0.; 0. |] in
+  for _ = 1 to 50 do
+    ignore (Netsim.Aimd.update aimd ~dt:0.5 ~capacities:caps routes)
+  done;
+  for _ = 1 to 200 do
+    let rates = Netsim.Aimd.update aimd ~dt:0.5 ~capacities:caps routes in
+    sum.(0) <- sum.(0) +. List.assoc 0 rates;
+    sum.(1) <- sum.(1) +. List.assoc 1 rates
+  done;
+  let ratio = sum.(0) /. sum.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "long-run ratio %.2f near 1" ratio)
+    true
+    (ratio > 0.7 && ratio < 1.4)
+
+let test_aimd_forget () =
+  let caps = Link.capacities ~default:100. in
+  let aimd = Netsim.Aimd.create () in
+  ignore (Netsim.Aimd.update aimd ~dt:0.5 ~capacities:caps (aimd_routes 10. 1));
+  Netsim.Aimd.forget aimd 0;
+  checkf "forgotten" 0. (Netsim.Aimd.rate aimd 0)
+
+let test_aimd_validation () =
+  Alcotest.(check bool) "bad decrease" true
+    (try ignore (Netsim.Aimd.create ~decrease_factor:1.5 ()); false
+     with Invalid_argument _ -> true)
+
+let test_sim_with_aimd_model () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:15. in
+  let aimd = Netsim.Aimd.create () in
+  let sim = Netsim.Sim.create ~dt:0.5 ~rate_model:(Aimd aimd) net caps in
+  for i = 0 to 2 do
+    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:10. ())
+  done;
+  (* Early: rates are still ramping (below the 5.0 fair share). *)
+  Netsim.Sim.run_until sim 1.;
+  Alcotest.(check bool) "ramping" true (Netsim.Sim.flow_rate sim 0 < 5.);
+  Netsim.Sim.run_until sim 60.;
+  (* Delivered link throughput never exceeds capacity. *)
+  let series = Netsim.Sim.link_series sim (d.a, d.b) in
+  Alcotest.(check bool) "delivered <= capacity" true
+    (Kit.Timeseries.peak series <= 15. +. 1e-6);
+  (* And the three flows share the bottleneck meaningfully. *)
+  let total =
+    Netsim.Sim.flow_rate sim 0 +. Netsim.Sim.flow_rate sim 1
+    +. Netsim.Sim.flow_rate sim 2
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate %.1f uses most of the link" total)
+    true
+    (total > 8.)
+
+(* ---------- failure injection & scheduled actions ---------- *)
+
+let test_sim_link_failure_reroutes () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  (* Fail B-R2 at t=3: B must fall back to R3 (cost 3) and the flow
+     keeps flowing on the new path. *)
+  Netsim.Sim.fail_link sim ~time:3. (d.b, d.r2);
+  Netsim.Sim.run_until sim 2.;
+  (match Netsim.Sim.flow_path sim 0 with
+  | Some path -> Alcotest.(check (list int)) "before failure" [ d.a; d.b; d.r2; d.c ] path
+  | None -> Alcotest.fail "routed before failure");
+  Netsim.Sim.run_until sim 5.;
+  (match Netsim.Sim.flow_path sim 0 with
+  | Some path ->
+    Alcotest.(check (list int)) "after failure via R3" [ d.a; d.b; d.r3; d.c ] path
+  | None -> Alcotest.fail "routed after failure");
+  checkf "still at demand" 10. (Netsim.Sim.flow_rate sim 0)
+
+let test_sim_partition_starves_flow () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  (* Cut every path: A-B and A-R1 isolate A. *)
+  Netsim.Sim.fail_link sim ~time:2. (d.a, d.b);
+  Netsim.Sim.fail_link sim ~time:2. (d.a, d.r1);
+  Netsim.Sim.run_until sim 4.;
+  Alcotest.(check (list int)) "flow starves" [ 0 ] (Netsim.Sim.unroutable_flows sim);
+  checkf "zero rate" 0. (Netsim.Sim.flow_rate sim 0)
+
+let test_sim_scheduled_action_runs_once () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  let runs = ref 0 in
+  Netsim.Sim.schedule sim ~time:2.5 (fun _ -> incr runs);
+  Netsim.Sim.run_until sim 10.;
+  Alcotest.(check int) "exactly once" 1 !runs;
+  ignore d;
+  Alcotest.(check bool) "past time rejected" true
+    (try Netsim.Sim.schedule sim ~time:1. (fun _ -> ()); false
+     with Invalid_argument _ -> true)
+
+let test_sim_failure_then_fake_restores_split () =
+  (* Failure + Fibbing together: after B-R2 dies, inject an equal-cost
+     fake at B for the (now unique) R3 path plus A detour, and check
+     traffic spreads again. *)
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:15. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  for i = 0 to 3 do
+    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.b ~prefix:"blue" ~demand:10. ())
+  done;
+  Netsim.Sim.fail_link sim ~time:2. (d.b, d.r2);
+  Netsim.Sim.schedule sim ~time:3. (fun sim ->
+      (* After reconvergence B's only path is via R3 (cost 3). Deflect
+         half of B's traffic through A: an equal-cost fake at B towards
+         A, plus an override at A forcing R1 (A's post-failure path to
+         blue runs through B, so without the override the detour would
+         loop). This is the lie pair the compiler would produce. *)
+      let net = Netsim.Sim.network sim in
+      Igp.Network.inject_fake net
+        {
+          fake_id = "detour-B";
+          attachment = d.b;
+          attachment_cost = 1;
+          prefix = "blue";
+          announced_cost = 2;
+          forwarding = d.a;
+        };
+      Igp.Network.inject_fake net
+        {
+          fake_id = "pin-A";
+          attachment = d.a;
+          attachment_cost = 1;
+          prefix = "blue";
+          announced_cost = 2;
+          forwarding = d.r1;
+        });
+  Netsim.Sim.run_until sim 6.;
+  let fib_b = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  Alcotest.(check (list int)) "B splits over A and R3" [ d.a; d.r3 ]
+    (Igp.Fib.next_hops fib_b);
+  let fib_a = Option.get (Igp.Network.fib net ~router:d.a "blue") in
+  Alcotest.(check (list int)) "A overridden to R1" [ d.r1 ] (Igp.Fib.next_hops fib_a);
+  Alcotest.(check (list int)) "no starved flows" [] (Netsim.Sim.unroutable_flows sim);
+  (* Both exits of B now carry traffic. *)
+  let rate link = Kit.Timeseries.value_at (Netsim.Sim.link_series sim link) 5. in
+  Alcotest.(check bool) "B-R3 loaded" true (rate (d.b, d.r3) > 0.);
+  Alcotest.(check bool) "B-A loaded" true (rate (d.b, d.a) > 0.)
+
+(* Consistency between the two traffic views: the average of many hashed
+   flows' link loads matches the fluid Loadmap fractions. *)
+let test_hashing_matches_loadmap () =
+  let d, net = demo_net () in
+  Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Igp.Network.inject_fake net (fake ~id:"fA1" ~at:d.a ~cost:3 ~fwd:d.r1);
+  Igp.Network.inject_fake net (fake ~id:"fA2" ~at:d.a ~cost:3 ~fwd:d.r1);
+  let flows = 4000 in
+  (* Hash [flows] unit flows from A and count per-link volume. *)
+  let loads = Hashtbl.create 16 in
+  for flow_id = 0 to flows - 1 do
+    match Netsim.Hashing.route net ~flow_id ~src:d.a "blue" with
+    | None -> Alcotest.fail "flow must route"
+    | Some path ->
+      let rec walk = function
+        | u :: (v :: _ as rest) ->
+          Hashtbl.replace loads (u, v)
+            (1. +. Option.value ~default:0. (Hashtbl.find_opt loads (u, v)));
+          walk rest
+        | _ -> ()
+      in
+      walk path
+  done;
+  let fluid =
+    Netsim.Loadmap.propagate net
+      [ { src = d.a; prefix = "blue"; amount = float_of_int flows } ]
+  in
+  List.iter
+    (fun link ->
+      let hashed = Option.value ~default:0. (Hashtbl.find_opt loads link) in
+      let expected = Netsim.Loadmap.load fluid link in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: hashed %.0f ~ fluid %.0f" (Link.name d.graph link)
+           hashed expected)
+        true
+        (abs_float (hashed -. expected) < 0.05 *. float_of_int flows))
+    [ (d.a, d.b); (d.a, d.r1); (d.b, d.r2); (d.b, d.r3); (d.r1, d.r4) ]
+
+(* ---------- Mixed-state convergence in the simulator ---------- *)
+
+(* Slowed-down convergence so the mixed window spans several steps. *)
+let slow_timing =
+  { Igp.Convergence.flood_per_hop = 0.5; spf_delay = 1.0; jitter = 0.25 }
+
+(* The textbook micro-loop chain (see test_igp): degrade A-T while a
+   flow from C is in flight; with convergence modelling the flow loses
+   packets during the A/B loop window, then recovers on the new path. *)
+let microloop_chain () =
+  let g = G.create () in
+  let a = G.add_node g ~name:"A" in
+  let b = G.add_node g ~name:"B" in
+  let c = G.add_node g ~name:"C" in
+  let t = G.add_node g ~name:"T" in
+  G.add_link g c t ~weight:5;
+  G.add_link g c b ~weight:1;
+  G.add_link g b a ~weight:1;
+  G.add_link g a t ~weight:1;
+  let net = Igp.Network.create g in
+  Igp.Network.announce_prefix net "p" ~origin:t ~cost:0;
+  (net, a, b, c, t)
+
+let test_convergence_microloop_drops_traffic () =
+  let net, a, _, c, t = microloop_chain () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:0.5 ~convergence:slow_timing net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:c ~prefix:"p" ~demand:10. ());
+  Netsim.Sim.schedule sim ~time:5. (fun sim ->
+      let network = Netsim.Sim.network sim in
+      Igp.Network.set_weight network a t ~weight:10;
+      Igp.Network.set_weight network t a ~weight:10);
+  (* Count the steps where the flow is unroutable (packets lost). *)
+  let lost = ref 0 in
+  Netsim.Sim.on_step sim (fun sim ->
+      if Netsim.Sim.unroutable_flows sim <> [] then incr lost);
+  Netsim.Sim.run_until sim 12.;
+  Alcotest.(check bool)
+    (Printf.sprintf "micro-loop lost %d steps" !lost)
+    true (!lost >= 1);
+  (* Fully converged: routed again on the new direct path. *)
+  (match Netsim.Sim.flow_path sim 0 with
+  | Some path -> Alcotest.(check (list int)) "new path C-T" [ c; t ] path
+  | None -> Alcotest.fail "flow should recover");
+  checkf "full rate restored" 10. (Netsim.Sim.flow_rate sim 0)
+
+let test_convergence_instant_without_model () =
+  (* The same change with the default (atomic) model loses nothing. *)
+  let net, a, _, c, t = microloop_chain () in
+  ignore c;
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:0.5 net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:c ~prefix:"p" ~demand:10. ());
+  Netsim.Sim.schedule sim ~time:5. (fun sim ->
+      let network = Netsim.Sim.network sim in
+      Igp.Network.set_weight network a t ~weight:10;
+      Igp.Network.set_weight network t a ~weight:10);
+  let lost = ref 0 in
+  Netsim.Sim.on_step sim (fun sim ->
+      if Netsim.Sim.unroutable_flows sim <> [] then incr lost);
+  Netsim.Sim.run_until sim 12.;
+  Alcotest.(check int) "no loss" 0 !lost
+
+let test_convergence_fake_injection_lossless () =
+  (* Fibbing's equal-cost lie, adopted asynchronously, never interrupts
+     the flow: every mixed state is loop-free. *)
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:0.5 ~convergence:slow_timing net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.schedule sim ~time:5. (fun sim ->
+      Igp.Network.inject_fake (Netsim.Sim.network sim)
+        (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3));
+  let lost = ref 0 in
+  Netsim.Sim.on_step sim (fun sim ->
+      if Netsim.Sim.unroutable_flows sim <> [] then incr lost);
+  Netsim.Sim.run_until sim 12.;
+  Alcotest.(check int) "no loss through the lie's convergence" 0 !lost;
+  checkf "full rate throughout" 10. (Netsim.Sim.flow_rate sim 0)
+
+let test_convergence_second_change_mid_window () =
+  (* A second LSDB change while a transition is in flight restarts the
+     window from the mixed view without crashing or wedging routing. *)
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:0.5 ~convergence:slow_timing net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.schedule sim ~time:5. (fun sim ->
+      Igp.Network.inject_fake (Netsim.Sim.network sim)
+        (fake ~id:"f1" ~at:d.b ~cost:2 ~fwd:d.r3));
+  Netsim.Sim.schedule sim ~time:5.5 (fun sim ->
+      Igp.Network.inject_fake (Netsim.Sim.network sim)
+        (fake ~id:"f2" ~at:d.a ~cost:3 ~fwd:d.r1));
+  Netsim.Sim.run_until sim 15.;
+  (match Netsim.Sim.flow_path sim 0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "flow must be routed after both transitions");
+  checkf "still at demand" 10. (Netsim.Sim.flow_rate sim 0)
+
+(* ---------- Latency ---------- *)
+
+let test_latency_idle_is_propagation () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Netsim.Sim.run_until sim 1.;
+  let config = Netsim.Latency.default_config in
+  (* Idle A-B (weight 1): propagation + idle service time. *)
+  let delay = Netsim.Latency.link_delay_ms ~config d.graph sim (d.a, d.b) in
+  checkf "idle delay" (config.ms_per_weight +. config.service_ms) delay;
+  (* Weight-2 link costs twice the propagation. *)
+  let delay2 = Netsim.Latency.link_delay_ms ~config d.graph sim (d.a, d.r1) in
+  checkf "weight scales propagation" ((2. *. config.ms_per_weight) +. config.service_ms)
+    delay2
+
+let test_latency_grows_with_utilization () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:20. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:19. ());
+  Netsim.Sim.run_until sim 2.;
+  let loaded = Netsim.Latency.link_delay_ms d.graph sim (d.a, d.b) in
+  let idle = Netsim.Latency.link_delay_ms d.graph sim (d.a, d.r1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "loaded link slower (%.2f vs idle %.2f - weight diff)" loaded idle)
+    true
+    (loaded -. 5. > idle -. 10. +. 0.5)
+  (* compare queueing parts: loaded has ~95% utilization *)
+
+let test_latency_saturated_capped () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:10. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  for i = 0 to 3 do
+    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:10. ())
+  done;
+  Netsim.Sim.run_until sim 2.;
+  let config = Netsim.Latency.default_config in
+  let delay = Netsim.Latency.link_delay_ms ~config d.graph sim (d.a, d.b) in
+  Alcotest.(check bool) "capped by buffer" true
+    (delay <= config.ms_per_weight +. config.max_queue_ms +. 1e-9);
+  Alcotest.(check bool) "but clearly congested" true
+    (delay >= config.ms_per_weight +. config.max_queue_ms -. 1e-6)
+
+let test_latency_flow_and_mean () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.run_until sim 2.;
+  (match Netsim.Latency.flow_delay_ms sim 0 with
+  | Some delay ->
+    (* Path A-B-R2-C: weights 1+1+1 = 3 units of propagation. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "3-hop delay %.2f in range" delay)
+      true
+      (delay > 15. && delay < 17.)
+  | None -> Alcotest.fail "flow should be routed");
+  Alcotest.(check bool) "mean equals single flow" true
+    (abs_float
+       (Netsim.Latency.mean_flow_delay_ms sim
+       -. Option.get (Netsim.Latency.flow_delay_ms sim 0))
+    < 1e-9)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "link",
+        [
+          Alcotest.test_case "capacities" `Quick test_link_capacities;
+          Alcotest.test_case "validation" `Quick test_link_rejects_nonpositive;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_flow_lifecycle;
+          Alcotest.test_case "validation" `Quick test_flow_validation;
+        ] );
+      ( "loadmap",
+        [
+          Alcotest.test_case "Fig 1b overload" `Quick test_loadmap_fig1b;
+          Alcotest.test_case "Fig 1d balanced" `Quick test_loadmap_fig1d;
+          Alcotest.test_case "utilization" `Quick test_loadmap_utilization;
+          Alcotest.test_case "unreachable" `Quick test_loadmap_unreachable;
+          Alcotest.test_case "conservation" `Quick test_loadmap_conservation;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "respects weights" `Quick test_hashing_respects_weights;
+          Alcotest.test_case "stable" `Quick test_hashing_stable;
+          Alcotest.test_case "full path" `Quick test_hashing_route_full_path;
+          Alcotest.test_case "loop detection" `Quick test_hashing_route_detects_loop;
+          Alcotest.test_case "matches loadmap" `Quick test_hashing_matches_loadmap;
+        ] );
+      ( "fairshare",
+        [
+          Alcotest.test_case "single bottleneck" `Quick test_fairshare_single_bottleneck;
+          Alcotest.test_case "demand capped" `Quick test_fairshare_demand_capped;
+          Alcotest.test_case "multi bottleneck" `Quick test_fairshare_multi_bottleneck;
+          Alcotest.test_case "empty path" `Quick test_fairshare_empty_path;
+          Alcotest.test_case "duplicate ids" `Quick test_fairshare_duplicate_ids_rejected;
+          Alcotest.test_case "link throughput" `Quick test_fairshare_link_throughput;
+        ] );
+      qsuite "fairshare-props"
+        [ prop_fairshare_feasible; prop_fairshare_work_conserving ];
+      ( "events",
+        [
+          Alcotest.test_case "ordering" `Quick test_events_ordering;
+          Alcotest.test_case "negative time" `Quick test_events_negative_time;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "alarm cycle" `Quick test_monitor_alarm_cycle;
+          Alcotest.test_case "no repeats" `Quick test_monitor_no_repeat_alarms;
+          Alcotest.test_case "ewma" `Quick test_monitor_ewma_smoothing;
+        ] );
+      ( "aimd",
+        [
+          Alcotest.test_case "ramps to demand" `Quick test_aimd_ramps_up_to_demand;
+          Alcotest.test_case "starts slow" `Quick test_aimd_starts_slow;
+          Alcotest.test_case "backs off" `Quick test_aimd_backs_off_under_congestion;
+          Alcotest.test_case "approximately fair" `Quick test_aimd_approx_fair;
+          Alcotest.test_case "forget" `Quick test_aimd_forget;
+          Alcotest.test_case "validation" `Quick test_aimd_validation;
+          Alcotest.test_case "sim integration" `Quick test_sim_with_aimd_model;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "single flow" `Quick test_sim_single_flow_full_rate;
+          Alcotest.test_case "congestion throttles" `Quick test_sim_congestion_throttles;
+          Alcotest.test_case "arrival/departure" `Quick test_sim_flow_arrival_departure;
+          Alcotest.test_case "reroute on fake" `Quick test_sim_reroutes_on_fake_injection;
+          Alcotest.test_case "monitor hook" `Quick test_sim_monitor_hook_fires;
+          Alcotest.test_case "duplicate flow" `Quick test_sim_rejects_duplicate_flow;
+          Alcotest.test_case "unroutable flow" `Quick test_sim_unroutable_flow_reported;
+        ] );
+      ( "convergence-sim",
+        [
+          Alcotest.test_case "micro-loop drops traffic" `Quick
+            test_convergence_microloop_drops_traffic;
+          Alcotest.test_case "atomic model lossless" `Quick
+            test_convergence_instant_without_model;
+          Alcotest.test_case "fake injection lossless" `Quick
+            test_convergence_fake_injection_lossless;
+          Alcotest.test_case "second change mid-window" `Quick
+            test_convergence_second_change_mid_window;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "idle = propagation" `Quick test_latency_idle_is_propagation;
+          Alcotest.test_case "grows with load" `Quick test_latency_grows_with_utilization;
+          Alcotest.test_case "saturation capped" `Quick test_latency_saturated_capped;
+          Alcotest.test_case "flow and mean" `Quick test_latency_flow_and_mean;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "link failure reroutes" `Quick test_sim_link_failure_reroutes;
+          Alcotest.test_case "partition starves" `Quick test_sim_partition_starves_flow;
+          Alcotest.test_case "scheduled action" `Quick test_sim_scheduled_action_runs_once;
+          Alcotest.test_case "failure + fake" `Quick test_sim_failure_then_fake_restores_split;
+        ] );
+    ]

@@ -1,0 +1,422 @@
+(* Integration tests: the full demo scenario must reproduce the paper's
+   observable results (Fig. 2 shape, the specific fakes of Fig. 1c, and
+   the smooth-vs-stutter QoE claim). These are the repository's
+   "does the reproduction actually reproduce" tests. *)
+
+module Demo = Scenarios.Demo
+
+let run_fibbing_on () =
+  let d = Demo.make ~fibbing:true () in
+  let flows = Demo.load_fig2_workload d in
+  Demo.run d ~until:55.;
+  (d, flows)
+
+let run_fibbing_off () =
+  let d = Demo.make ~fibbing:false () in
+  let flows = Demo.load_fig2_workload d in
+  Demo.run d ~until:55.;
+  (d, flows)
+
+(* Caching: the 55 s simulations take ~a second; share across checks. *)
+let on = lazy (run_fibbing_on ())
+let off = lazy (run_fibbing_off ())
+
+let series_named d name =
+  match List.assoc_opt name (Demo.fig2_links d) with
+  | Some link -> Netsim.Sim.link_series d.Demo.sim link
+  | None -> Alcotest.failf "unknown link %s" name
+
+let test_fig2_phase1_only_br2 () =
+  let d, _ = Lazy.force on in
+  let br2 = series_named d "B-R2" in
+  let br3 = series_named d "B-R3" in
+  let ar1 = series_named d "A-R1" in
+  (* Before the surge: a single stream on B-R2 only. *)
+  Alcotest.(check (float 1.)) "one stream on B-R2" Demo.stream_rate
+    (Kit.Timeseries.value_at br2 10.);
+  Alcotest.(check (float 1e-6)) "B-R3 idle" 0. (Kit.Timeseries.value_at br3 10.);
+  Alcotest.(check (float 1e-6)) "A-R1 idle" 0. (Kit.Timeseries.value_at ar1 10.)
+
+let test_fig2_phase2_ecmp_at_b () =
+  let d, _ = Lazy.force on in
+  let br3 = series_named d "B-R3" in
+  let ar1 = series_named d "A-R1" in
+  (* After the first surge and the controller's reaction, B-R3 carries
+     roughly half the 31 streams; A-R1 is still unused. *)
+  let late_phase2 = Kit.Timeseries.window_mean br3 ~from:25. ~until:34. in
+  Alcotest.(check bool)
+    (Printf.sprintf "B-R3 carries %.0f ~ half the surge" late_phase2)
+    true
+    (late_phase2 > 10. *. Demo.stream_rate && late_phase2 < 22. *. Demo.stream_rate);
+  Alcotest.(check (float 1e-6)) "A-R1 still idle" 0.
+    (Kit.Timeseries.value_at ar1 30.)
+
+let test_fig2_phase3_detour_via_r1 () =
+  let d, _ = Lazy.force on in
+  let ar1 = series_named d "A-R1" in
+  let late = Kit.Timeseries.window_mean ar1 ~from:45. ~until:54. in
+  (* Roughly two thirds of A's 31 streams detour via R1. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "A-R1 carries %.0f ~ 2/3 of A's streams" late)
+    true
+    (late > 14. *. Demo.stream_rate && late < 22. *. Demo.stream_rate)
+
+let test_fig2_no_link_over_capacity () =
+  let d, _ = Lazy.force on in
+  List.iter
+    (fun (name, link) ->
+      let series = Netsim.Sim.link_series d.Demo.sim link in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s below capacity" name)
+        true
+        (Kit.Timeseries.peak series <= Demo.link_capacity +. 1.))
+    (Demo.fig2_links d)
+
+let test_fig2_total_throughput_grows () =
+  (* The paper: "the maximal link load decreases while the overall load
+     of the network increases". Total delivered rate in phase 3 must
+     approach the full 62-stream demand. *)
+  let d, _ = Lazy.force on in
+  let total t =
+    List.fold_left
+      (fun acc (_, link) ->
+        acc +. Kit.Timeseries.value_at (Netsim.Sim.link_series d.Demo.sim link) t)
+      0. (Demo.fig2_links d)
+  in
+  Alcotest.(check bool) "phase3 total > phase2 total" true (total 50. > total 30.);
+  Alcotest.(check bool)
+    (Printf.sprintf "phase3 near full demand: %.2e" (total 50.))
+    true
+    (total 50. > 55. *. Demo.stream_rate)
+
+let test_controller_installs_exactly_demo_fakes () =
+  let d, _ = Lazy.force on in
+  let fakes = Igp.Network.fakes d.Demo.net in
+  (* fB at B plus two fA at A — exactly the paper's Fig. 1c. *)
+  Alcotest.(check int) "three fakes" 3 (List.length fakes);
+  let at_b =
+    List.filter (fun (f : Igp.Lsa.fake) -> f.attachment = d.Demo.topology.b) fakes
+  in
+  let at_a =
+    List.filter (fun (f : Igp.Lsa.fake) -> f.attachment = d.Demo.topology.a) fakes
+  in
+  Alcotest.(check int) "one at B" 1 (List.length at_b);
+  Alcotest.(check int) "two at A" 2 (List.length at_a);
+  (match at_b with
+  | [ f ] ->
+    Alcotest.(check int) "fB total cost 2" 2 (Igp.Lsa.total_cost f);
+    Alcotest.(check int) "fB forwards to R3" d.Demo.topology.r3 f.forwarding
+  | _ -> ());
+  List.iter
+    (fun (f : Igp.Lsa.fake) ->
+      Alcotest.(check int) "fA total cost 3" 3 (Igp.Lsa.total_cost f);
+      Alcotest.(check int) "fA forwards to R1" d.Demo.topology.r1 f.forwarding)
+    at_a
+
+let test_qoe_smooth_with_fibbing () =
+  let d, flows = Lazy.force on in
+  let summary = Demo.qoe d ~flows in
+  Alcotest.(check int) "all sessions smooth" summary.sessions summary.smooth_sessions;
+  Alcotest.(check int) "no stalls" 0 summary.total_stalls
+
+let test_qoe_stutters_without_fibbing () =
+  let d, flows = Lazy.force off in
+  let summary = Demo.qoe d ~flows in
+  Alcotest.(check bool) "many stalls" true (summary.total_stalls > 50);
+  Alcotest.(check int) "nobody smooth" 0 summary.smooth_sessions;
+  let on_summary =
+    let d_on, flows_on = Lazy.force on in
+    Demo.qoe d_on ~flows:flows_on
+  in
+  Alcotest.(check bool) "MOS ordering" true (on_summary.mos > summary.mos +. 1.)
+
+let test_off_run_overloads_br2 () =
+  let d, _ = Lazy.force off in
+  let br2 = series_named d "B-R2" in
+  let br3 = series_named d "B-R3" in
+  (* Without the controller everything stays on B-R2 at capacity and
+     B-R3 never carries traffic. *)
+  Alcotest.(check bool) "B-R2 saturated" true
+    (Kit.Timeseries.window_mean br2 ~from:20. ~until:34.
+    >= Demo.link_capacity *. 0.99);
+  Alcotest.(check (float 1e-6)) "B-R3 unused" 0. (Kit.Timeseries.peak br3)
+
+let test_controller_overhead_is_tiny () =
+  let d, _ = Lazy.force on in
+  (* 3 installs (plus any superseded retractions): a few dozen LSA
+     messages on this 8-link network, vs. thousands of RSVP refreshes an
+     MPLS deployment would send over the same hour. *)
+  let messages = (Igp.Network.control_cost d.Demo.net).messages in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d messages is small" messages)
+    true
+    (messages <= 10 * 16)
+
+let test_deterministic_reruns () =
+  let d1, _ = run_fibbing_on () in
+  let d2, _ = run_fibbing_on () in
+  let s1 = series_named d1 "B-R3" in
+  let s2 = series_named d2 "B-R3" in
+  Alcotest.(check bool) "identical series" true
+    (Kit.Timeseries.samples s1 = Kit.Timeseries.samples s2)
+
+(* ---------- failure recovery ---------- *)
+
+let test_controller_heals_link_failure () =
+  (* 31 streams from A; at t=25 the link B-R2 dies. B's remaining exit
+     (B-R3) cannot carry them all; the controller must escalate to A and
+     split across B and R1. *)
+  let d = Demo.make ~fibbing:true () in
+  for i = 0 to 30 do
+    Netsim.Sim.add_flow d.Demo.sim
+      (Netsim.Flow.make ~id:i ~src:d.Demo.topology.a ~prefix:Demo.prefix
+         ~demand:Demo.stream_rate ())
+  done;
+  Netsim.Sim.fail_link d.Demo.sim ~time:25. (d.Demo.topology.b, d.Demo.topology.r2);
+  Demo.run d ~until:55.;
+  (* After the failure and reaction, A must be splitting. *)
+  let fib_a =
+    Option.get (Igp.Network.fib d.Demo.net ~router:d.Demo.topology.a Demo.prefix)
+  in
+  Alcotest.(check (list int)) "A splits over B and R1"
+    [ d.Demo.topology.b; d.Demo.topology.r1 ]
+    (Igp.Fib.next_hops fib_a);
+  Alcotest.(check (list int)) "nobody starved" []
+    (Netsim.Sim.unroutable_flows d.Demo.sim);
+  (* Both surviving bottlenecks below capacity at the end. *)
+  List.iter
+    (fun link ->
+      let rate =
+        Kit.Timeseries.value_at (Netsim.Sim.link_series d.Demo.sim link) 54.
+      in
+      Alcotest.(check bool) "within capacity" true (rate <= Demo.link_capacity +. 1.))
+    [ (d.Demo.topology.b, d.Demo.topology.r3);
+      (d.Demo.topology.a, d.Demo.topology.r1) ]
+
+let test_multi_prefix_isolation () =
+  (* Two prefixes: blue at C (surging) and red at R4 (background). The
+     controller must fix blue without touching red's routing. *)
+  let d = Demo.make ~fibbing:true () in
+  Igp.Network.announce_prefix d.Demo.net "red" ~origin:d.Demo.topology.r4 ~cost:0;
+  let red_baseline =
+    List.filter_map
+      (fun router ->
+        Option.map
+          (fun fib -> (router, Igp.Fib.weights fib))
+          (Igp.Network.fib d.Demo.net ~router "red"))
+      (Igp.Network.routers d.Demo.net)
+  in
+  for i = 0 to 30 do
+    Netsim.Sim.add_flow d.Demo.sim
+      (Netsim.Flow.make ~id:i ~src:d.Demo.topology.a ~prefix:Demo.prefix
+         ~demand:Demo.stream_rate ())
+  done;
+  (* A single background red flow. *)
+  Netsim.Sim.add_flow d.Demo.sim
+    (Netsim.Flow.make ~id:100 ~src:d.Demo.topology.b ~prefix:"red"
+       ~demand:Demo.stream_rate ());
+  Demo.run d ~until:30.;
+  (match d.Demo.controller with
+  | Some c ->
+    Alcotest.(check bool) "blue got lies" true
+      (Fibbing.Controller.requirements c Demo.prefix <> None);
+    Alcotest.(check bool) "red got none" true
+      (Fibbing.Controller.requirements c "red" = None)
+  | None -> Alcotest.fail "controller expected");
+  (* Red routing identical to its baseline at every router. *)
+  List.iter
+    (fun (router, weights_before) ->
+      match Igp.Network.fib d.Demo.net ~router "red" with
+      | Some fib ->
+        Alcotest.(check bool) "red untouched" true
+          (Igp.Fib.weights fib = weights_before)
+      | None -> Alcotest.fail "red lost reachability")
+    red_baseline;
+  (* And the red flow flows. *)
+  Alcotest.(check (float 1.)) "red at demand" Demo.stream_rate
+    (Netsim.Sim.flow_rate d.Demo.sim 100)
+
+(* ---------- Script (scenario DSL) ---------- *)
+
+let run_script text =
+  let buffer = Buffer.create 256 in
+  let out = Format.formatter_of_buffer buffer in
+  let result = Scenarios.Script.run_string ~out text in
+  Format.pp_print_flush out ();
+  (result, Buffer.contents buffer)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_script_minimal () =
+  let result, output =
+    run_script
+      {|
+topology demo
+prefix blue at C
+flows 1 from A to blue rate 1000 at 0
+run 5
+report fibs
+|}
+  in
+  Alcotest.(check bool) "runs" true (result = Ok ());
+  Alcotest.(check bool) "fibs printed" true (contains output "B -> blue")
+
+let test_script_steer_and_fakes () =
+  let result, output =
+    run_script
+      {|
+topology demo
+prefix blue at C
+controller off
+flows 4 from B to blue rate 1000 at 0
+steer B to R2:0.5,R3:0.5 at 2
+run 6
+report fakes
+report fibs
+|}
+  in
+  Alcotest.(check bool) "runs" true (result = Ok ());
+  Alcotest.(check bool) "fake installed" true (contains output "fwd R3");
+  Alcotest.(check bool) "B has ECMP" true (contains output "R2 x1, R3 x1")
+
+let test_script_fail_command () =
+  let result, output =
+    run_script
+      {|
+topology demo
+prefix blue at C
+controller off
+track B-R3
+flows 1 from A to blue rate 1000 at 0
+fail B-R2 at 2
+run 6
+report fibs
+|}
+  in
+  Alcotest.(check bool) "runs" true (result = Ok ());
+  (* After the failure B's route goes via R3. *)
+  Alcotest.(check bool) "B via R3" true (contains output "B -> blue (cost 3): R3")
+
+let test_script_parse_errors () =
+  let check_error text fragment =
+    match Scenarios.Script.parse text with
+    | Error message ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" message fragment)
+        true
+        (contains message fragment)
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+  in
+  check_error "nonsense command" "line 1";
+  check_error "topology demo\nflows x from A to blue rate 1 at 0" "bad integer";
+  check_error "capacity A_R1 5" "bad link";
+  check_error "steer B to R2;0.5 at 1" "bad split"
+
+let test_script_execution_errors () =
+  (* Unknown router. *)
+  (match run_script "topology demo\nprefix blue at Z\nrun 1" with
+  | Error message, _ ->
+    Alcotest.(check bool) "unknown router" true (contains message "unknown router")
+  | Ok (), _ -> Alcotest.fail "expected failure");
+  (* Config after first run. *)
+  match
+    run_script
+      "topology demo\nprefix blue at C\nrun 1\ncapacity default 5\nrun 2"
+  with
+  | Error message, _ ->
+    Alcotest.(check bool) "late capacity rejected" true
+      (contains message "before the first run")
+  | Ok (), _ -> Alcotest.fail "expected failure"
+
+let test_script_model_and_extra_reports () =
+  let result, output =
+    run_script
+      {|
+topology demo
+prefix blue at C
+controller off
+model aimd
+flows 2 from A to blue rate 131072 at 0
+run 10
+report loads
+report latency
+|}
+  in
+  Alcotest.(check bool) "runs" true (result = Ok ());
+  Alcotest.(check bool) "loads printed" true (contains output "B-R2");
+  Alcotest.(check bool) "latency printed" true (contains output "mean one-way delay");
+  (* model after run is rejected *)
+  match
+    run_script "topology demo\nprefix blue at C\nrun 1\nmodel aimd\nrun 2"
+  with
+  | Error message, _ ->
+    Alcotest.(check bool) "late model rejected" true
+      (contains message "before the first run")
+  | Ok (), _ -> Alcotest.fail "expected failure"
+
+let test_script_qoe_report () =
+  let result, output =
+    run_script
+      {|
+topology demo
+prefix blue at C
+controller off
+flows 2 from A to blue rate 131072 at 0 duration 20
+run 30
+report qoe
+|}
+  in
+  Alcotest.(check bool) "runs" true (result = Ok ());
+  Alcotest.(check bool) "qoe line" true (contains output "sessions=2")
+
+let () =
+  Alcotest.run "scenarios"
+    [
+      ( "fig2",
+        [
+          Alcotest.test_case "phase 1: single stream" `Quick test_fig2_phase1_only_br2;
+          Alcotest.test_case "phase 2: ECMP at B" `Quick test_fig2_phase2_ecmp_at_b;
+          Alcotest.test_case "phase 3: detour via R1" `Quick test_fig2_phase3_detour_via_r1;
+          Alcotest.test_case "no overload with fibbing" `Quick
+            test_fig2_no_link_over_capacity;
+          Alcotest.test_case "total throughput grows" `Quick
+            test_fig2_total_throughput_grows;
+        ] );
+      ( "fig1c",
+        [
+          Alcotest.test_case "controller reproduces demo fakes" `Quick
+            test_controller_installs_exactly_demo_fakes;
+        ] );
+      ( "qoe",
+        [
+          Alcotest.test_case "smooth with fibbing" `Quick test_qoe_smooth_with_fibbing;
+          Alcotest.test_case "stutters without" `Quick test_qoe_stutters_without_fibbing;
+          Alcotest.test_case "off run overloads B-R2" `Quick test_off_run_overloads_br2;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "tiny control cost" `Quick test_controller_overhead_is_tiny;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "reruns identical" `Quick test_deterministic_reruns ] );
+      ( "script",
+        [
+          Alcotest.test_case "minimal" `Quick test_script_minimal;
+          Alcotest.test_case "steer + fakes" `Quick test_script_steer_and_fakes;
+          Alcotest.test_case "fail command" `Quick test_script_fail_command;
+          Alcotest.test_case "parse errors" `Quick test_script_parse_errors;
+          Alcotest.test_case "execution errors" `Quick test_script_execution_errors;
+          Alcotest.test_case "model + extra reports" `Quick
+            test_script_model_and_extra_reports;
+          Alcotest.test_case "qoe report" `Quick test_script_qoe_report;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "controller heals link failure" `Quick
+            test_controller_heals_link_failure;
+          Alcotest.test_case "multi-prefix isolation" `Quick test_multi_prefix_isolation;
+        ] );
+    ]
