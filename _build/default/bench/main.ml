@@ -868,6 +868,131 @@ let tplan () =
     (worst_igp /. worst.planned_utilization)
 
 (* ------------------------------------------------------------------ *)
+(* TSPF: the SPF engine against the seed's per-(router, prefix) path. *)
+
+let tspf ~json () =
+  section "TSPF"
+    "SPF engine: batched + incremental FIB recompute on the largest zoo";
+  let entry = Netgraph.Zoo.geant () in
+  let g = entry.Netgraph.Zoo.graph in
+  let n = G.node_count g in
+  let links = G.edge_count g / 2 in
+  let net = Igp.Network.create g in
+  (* One prefix per PoP: the all-routers x all-prefixes table a real
+     deployment keeps converged. *)
+  List.iter
+    (fun r ->
+      Igp.Network.announce_prefix net (Printf.sprintf "p%02d" r) ~origin:r
+        ~cost:0)
+    (G.nodes g);
+  let prefixes = Igp.Lsdb.prefix_list (Igp.Network.lsdb net) in
+  let routers = G.nodes g in
+  let engine = Igp.Network.engine net in
+  let wall_ms ?(repeat = 5) ?(prepare = ignore) f =
+    let best = ref infinity in
+    for _ = 1 to repeat do
+      prepare ();
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := min !best ((Unix.gettimeofday () -. t0) *. 1000.)
+    done;
+    !best
+  in
+  (* Seed path: one Dijkstra per (router, prefix) — what the old
+     per-(version, router, prefix) FIB cache recomputed after every
+     version bump. *)
+  let seed_full_ms =
+    wall_ms (fun () ->
+        let view = Igp.Lsdb.view (Igp.Network.lsdb net) in
+        List.iter
+          (fun r ->
+            List.iter
+              (fun p -> ignore (Igp.Spf.compute_prefix view ~router:r p))
+              prefixes)
+          routers)
+  in
+  (* Engine, cold: one Dijkstra per router shared by all prefixes. *)
+  let engine_cold_ms =
+    wall_ms
+      ~prepare:(fun () -> Igp.Spf_engine.invalidate_all engine)
+      (fun () -> Igp.Network.warm net)
+  in
+  (* Engine, churn: install/retract one fake and reconverge the full
+     table. The fake attaches near router 0 and lies about the prefix of
+     the farthest PoP, so a realistic fraction of routers is affected. *)
+  let far =
+    let r = Netgraph.Dijkstra.run g ~source:0 in
+    List.fold_left
+      (fun best v ->
+        match (Netgraph.Dijkstra.distance r v, Netgraph.Dijkstra.distance r best) with
+        | Some dv, Some db when dv > db -> v
+        | _ -> best)
+      0 routers
+  in
+  let flip = ref false in
+  let churn () =
+    flip := not !flip;
+    if !flip then
+      Igp.Network.inject_fake net
+        {
+          fake_id = "bench";
+          attachment = 0;
+          attachment_cost = 1;
+          prefix = Printf.sprintf "p%02d" far;
+          announced_cost = 0;
+          forwarding = fst (List.hd (G.succ g 0));
+        }
+    else Igp.Network.retract_fake net ~fake_id:"bench"
+  in
+  Igp.Network.warm net;
+  let s0 = Igp.Spf_engine.stats engine in
+  let churns = 6 in
+  let engine_churn_ms =
+    wall_ms ~repeat:churns ~prepare:churn (fun () -> Igp.Network.warm net)
+  in
+  let s1 = Igp.Spf_engine.stats engine in
+  let avg_dirty =
+    float_of_int (s1.routers_dirtied - s0.routers_dirtied)
+    /. float_of_int churns
+  in
+  let speedup_cold = seed_full_ms /. engine_cold_ms in
+  let speedup_churn = seed_full_ms /. engine_churn_ms in
+  let domains = Kit.Pool.domain_count (Igp.Spf_engine.pool engine) in
+  Format.printf "topology: %s (%d routers, %d links, %d prefixes)@."
+    entry.Netgraph.Zoo.name n links (List.length prefixes);
+  Format.printf "%-44s %10.3f ms@."
+    "seed full recompute (router x prefix Dijkstras)" seed_full_ms;
+  Format.printf "%-44s %10.3f ms  (%.1fx)@."
+    (Printf.sprintf "engine cold (%d batched Dijkstras, %d domains)" n domains)
+    engine_cold_ms speedup_cold;
+  Format.printf "%-44s %10.3f ms  (%.1fx)@."
+    (Printf.sprintf "engine churn (1 fake, ~%.1f routers dirty)" avg_dirty)
+    engine_churn_ms speedup_churn;
+  if json then begin
+    let oc = open_out "BENCH_spf.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"spf\",\n\
+      \  \"topology\": %S,\n\
+      \  \"routers\": %d,\n\
+      \  \"links\": %d,\n\
+      \  \"prefixes\": %d,\n\
+      \  \"domains\": %d,\n\
+      \  \"seed_full_ms\": %.6f,\n\
+      \  \"engine_cold_ms\": %.6f,\n\
+      \  \"engine_churn_ms\": %.6f,\n\
+      \  \"speedup_cold\": %.2f,\n\
+      \  \"speedup_churn\": %.2f,\n\
+      \  \"avg_dirty_routers\": %.2f\n\
+       }\n"
+      entry.Netgraph.Zoo.name n links (List.length prefixes) domains
+      seed_full_ms engine_cold_ms engine_churn_ms speedup_cold speedup_churn
+      avg_dirty;
+    close_out oc;
+    Format.printf "wrote BENCH_spf.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per computational stage. *)
 
 let bechamel_timings () =
@@ -943,6 +1068,7 @@ let bechamel_timings () =
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  let json = Array.exists (fun a -> a = "json") Sys.argv in
   f1a ();
   f1b ();
   f1c ();
@@ -962,5 +1088,6 @@ let () =
   tstrat ();
   tmicro ();
   tplan ();
+  tspf ~json ();
   if not quick then bechamel_timings ();
   Format.printf "@.done.@."

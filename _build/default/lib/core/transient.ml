@@ -9,9 +9,8 @@ type violation = { step : int; fake_id : string; problem : string }
 let state_safe net ~prefix =
   let g = Igp.Network.graph net in
   let n = Graph.node_count g in
-  let fibs = Array.make n None in
-  List.iter (fun router -> fibs.(router) <- Igp.Network.fib net ~router prefix)
-    (Graph.nodes g);
+  let fibs = Igp.Network.fib_table net prefix in
+  assert (Array.length fibs = n);
   let forwarding router =
     match fibs.(router) with
     | Some fib when not fib.Igp.Fib.local -> Igp.Fib.next_hops fib

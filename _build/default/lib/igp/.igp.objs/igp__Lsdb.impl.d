@@ -1,1 +1,1 @@
-lib/igp/lsdb.ml: Hashtbl List Lsa Netgraph Option Printf String
+lib/igp/lsdb.ml: Array Hashtbl List Lsa Netgraph Option Printf String

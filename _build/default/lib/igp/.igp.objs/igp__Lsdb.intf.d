@@ -1,1 +1,1 @@
-lib/igp/lsdb.mli: Lsa Netgraph
+lib/igp/lsdb.mli: Hashtbl Lsa Netgraph

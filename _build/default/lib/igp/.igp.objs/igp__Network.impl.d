@@ -1,1 +1,1 @@
-lib/igp/network.ml: Codec Fib Flooding Hashtbl List Lsa Lsdb Netgraph Option Spf String
+lib/igp/network.ml: Array Codec Fib Flooding List Lsa Lsdb Netgraph Option Spf_engine String

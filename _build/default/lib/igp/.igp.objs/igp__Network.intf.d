@@ -1,1 +1,1 @@
-lib/igp/network.mli: Fib Flooding Lsa Lsdb Netgraph
+lib/igp/network.mli: Fib Flooding Lsa Lsdb Netgraph Spf_engine

@@ -1,1 +1,1 @@
-lib/igp/spf.ml: Fib Hashtbl List Lsa Lsdb Netgraph Option
+lib/igp/spf.ml: Array Fib Hashtbl List Lsa Lsdb Netgraph Option

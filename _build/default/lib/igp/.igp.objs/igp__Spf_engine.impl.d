@@ -1,0 +1,1 @@
+lib/igp/spf_engine.ml: Array Atomic Fib Hashtbl Kit List Lsa Lsdb Netgraph Option Spf

@@ -1,0 +1,1 @@
+lib/igp/spf_engine.mli: Fib Kit Lsa Lsdb Netgraph

@@ -3,9 +3,33 @@ module Graph = Netgraph.Graph
 type view = {
   graph : Graph.t;
   real_nodes : int;
-  sink_of_prefix : (Lsa.prefix * Graph.node) list;
-  fake_of_node : (Graph.node * Lsa.fake) list;
+  prefixes : Lsa.prefix array;
+  sinks : (Lsa.prefix, Graph.node) Hashtbl.t;
+  fake_stubs : Lsa.fake array;
 }
+
+let sink view prefix = Hashtbl.find_opt view.sinks prefix
+
+let fake_of_node view node =
+  let i = node - view.real_nodes in
+  if i >= 0 && i < Array.length view.fake_stubs then Some view.fake_stubs.(i)
+  else None
+
+type delta =
+  | Fake_delta of {
+      attachment : Graph.node;
+      view_cost : int;
+      prefix : Lsa.prefix;
+    }
+  | Weight_delta of {
+      u : Graph.node;
+      v : Graph.node;
+      old_weight : int;
+      new_weight : int;
+    }
+  | Generic_delta
+
+let log_cap = 1024
 
 type t = {
   base : Graph.t;
@@ -15,6 +39,10 @@ type t = {
   mutable version : int;
   mutable last_origin : Graph.node option;
   mutable cached_view : (int * view) option;
+  mutable delta_log : (int * delta) list; (* newest first *)
+  mutable log_entries : int;
+  mutable log_floor : int;
+      (* The log holds every delta with version > log_floor. *)
 }
 
 let create base =
@@ -26,14 +54,52 @@ let create base =
     version = 0;
     last_origin = None;
     cached_view = None;
+    delta_log = [];
+    log_entries = 0;
+    log_floor = 0;
   }
 
 let base_graph t = t.base
+
+(* Tag [deltas] with the current (already bumped) version. On overflow
+   the whole log is dropped and the floor raised to the current version:
+   consumers synced before the drop fall back to full invalidation. *)
+let record t deltas =
+  let count = List.length deltas in
+  if t.log_entries + count > log_cap then begin
+    t.delta_log <- [];
+    t.log_entries <- 0;
+    t.log_floor <- t.version
+  end
+  else begin
+    List.iter (fun d -> t.delta_log <- (t.version, d) :: t.delta_log) deltas;
+    t.log_entries <- t.log_entries + count
+  end
+
+let deltas_since t ~since =
+  if since < t.log_floor then None
+  else begin
+    (* Newest-first log; collect entries newer than [since], which
+       reverses them into application order. *)
+    let rec take acc = function
+      | (v, d) :: rest when v > since -> take (d :: acc) rest
+      | _ -> acc
+    in
+    Some (take [] t.delta_log)
+  end
 
 let bump t key =
   let seq = Option.value ~default:0 (Hashtbl.find_opt t.sequences key) in
   Hashtbl.replace t.sequences key (seq + 1);
   t.version <- t.version + 1
+
+(* Cost from a fake's attachment router to the prefix sink through the
+   fake's stub node, in view units (includes the +1 announcer offset). *)
+let fake_view_cost (f : Lsa.fake) = f.attachment_cost + f.announced_cost + 1
+
+let fake_delta (f : Lsa.fake) =
+  Fake_delta
+    { attachment = f.attachment; view_cost = fake_view_cost f; prefix = f.prefix }
 
 let announce_prefix t prefix ~origin ~cost =
   if cost < 0 then invalid_arg "Lsdb.announce_prefix: negative cost";
@@ -42,7 +108,8 @@ let announce_prefix t prefix ~origin ~cost =
   t.announcements <-
     List.filter (fun (p, o, _) -> not (String.equal p prefix && o = origin)) t.announcements
     @ [ (prefix, origin, cost) ];
-  bump t (Lsa.key (Prefix { origin; prefix; cost }))
+  bump t (Lsa.key (Prefix { origin; prefix; cost }));
+  record t [ Generic_delta ]
 
 let prefix_known t prefix =
   List.exists (fun (p, _, _) -> String.equal p prefix) t.announcements
@@ -59,11 +126,22 @@ let install_fake t (fake : Lsa.fake) =
   if not (prefix_known t fake.prefix) then
     invalid_arg
       (Printf.sprintf "Lsdb.install_fake: unknown prefix %s" fake.prefix);
+  let superseded =
+    List.find_opt
+      (fun (f : Lsa.fake) -> String.equal f.fake_id fake.fake_id)
+      t.fake_list
+  in
   t.fake_list <-
     List.filter (fun (f : Lsa.fake) -> not (String.equal f.fake_id fake.fake_id)) t.fake_list
     @ [ fake ];
   t.last_origin <- Some fake.attachment;
-  bump t (Lsa.key (Fake fake))
+  bump t (Lsa.key (Fake fake));
+  (* Supersession is a retraction plus an installation: both deltas are
+     logged so incremental consumers see the old fake disappear too. *)
+  record t
+    (match superseded with
+    | None -> [ fake_delta fake ]
+    | Some old -> [ fake_delta old; fake_delta fake ])
 
 let retract_fake t ~fake_id =
   match
@@ -76,7 +154,8 @@ let retract_fake t ~fake_id =
         (fun (f : Lsa.fake) -> not (String.equal f.fake_id fake_id))
         t.fake_list;
     t.last_origin <- Some fake.attachment;
-    bump t (Printf.sprintf "fake:%s" fake_id)
+    bump t (Printf.sprintf "fake:%s" fake_id);
+    record t [ fake_delta fake ]
 
 let retract_all_fakes t =
   List.iter (fun (f : Lsa.fake) -> retract_fake t ~fake_id:f.fake_id)
@@ -99,41 +178,46 @@ let last_origin t = t.last_origin
 
 let touch ?origin t =
   (match origin with Some _ -> t.last_origin <- origin | None -> ());
-  t.version <- t.version + 1
+  t.version <- t.version + 1;
+  record t [ Generic_delta ]
+
+let weight_changed t u v ~old_weight ~new_weight =
+  t.last_origin <- Some u;
+  t.version <- t.version + 1;
+  record t [ Weight_delta { u; v; old_weight; new_weight } ]
 
 let build_view t =
   let graph = Graph.copy t.base in
   let real_nodes = Graph.node_count graph in
-  (* One stub node per fake: reachable only via its attachment. *)
-  let fake_of_node =
-    List.map
-      (fun (f : Lsa.fake) ->
-        let node = Graph.add_node graph ~name:f.fake_id in
-        Graph.add_edge graph f.attachment node ~weight:f.attachment_cost;
-        (node, f))
-      t.fake_list
-  in
+  (* One stub node per fake, reachable only via its attachment. Stubs are
+     added before sinks, so the stub for [fake_stubs.(i)] is node
+     [real_nodes + i] — [fake_of_node] relies on this. *)
+  let fake_stubs = Array.of_list t.fake_list in
+  Array.iter
+    (fun (f : Lsa.fake) ->
+      let node = Graph.add_node graph ~name:f.fake_id in
+      Graph.add_edge graph f.attachment node ~weight:f.attachment_cost)
+    fake_stubs;
   (* One sink per prefix, fed by real announcers and by fakes. A cost of 0
      is represented by a +1 offset on every announcer edge (Graph rejects
      zero-weight edges), which preserves all cost comparisons. *)
-  let sink_of_prefix =
-    List.map
-      (fun prefix ->
-        let sink = Graph.add_node graph ~name:(Printf.sprintf "prefix:%s" prefix) in
-        List.iter
-          (fun (p, origin, cost) ->
-            if String.equal p prefix then
-              Graph.add_edge graph origin sink ~weight:(cost + 1))
-          t.announcements;
-        List.iter
-          (fun (node, (f : Lsa.fake)) ->
-            if String.equal f.prefix prefix then
-              Graph.add_edge graph node sink ~weight:(f.announced_cost + 1))
-          fake_of_node;
-        (prefix, sink))
-      (prefix_list t)
-  in
-  { graph; real_nodes; sink_of_prefix; fake_of_node }
+  let prefixes = Array.of_list (prefix_list t) in
+  let sinks = Hashtbl.create (max 16 (2 * Array.length prefixes)) in
+  Array.iter
+    (fun prefix ->
+      let sink = Graph.add_node graph ~name:(Printf.sprintf "prefix:%s" prefix) in
+      Hashtbl.replace sinks prefix sink)
+    prefixes;
+  List.iter
+    (fun (p, origin, cost) ->
+      Graph.add_edge graph origin (Hashtbl.find sinks p) ~weight:(cost + 1))
+    t.announcements;
+  Array.iteri
+    (fun i (f : Lsa.fake) ->
+      Graph.add_edge graph (real_nodes + i) (Hashtbl.find sinks f.prefix)
+        ~weight:(f.announced_cost + 1))
+    fake_stubs;
+  { graph; real_nodes; prefixes; sinks; fake_stubs }
 
 let view t =
   match t.cached_view with

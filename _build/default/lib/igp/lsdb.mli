@@ -8,7 +8,14 @@
     [view] materializes the augmented routing graph every router computes
     SPF on: the physical graph, plus one stub node per fake LSA, plus one
     virtual sink node per prefix with an incoming edge from every
-    announcer (real egress at its announced cost, fakes at theirs). *)
+    announcer (real egress at its announced cost, fakes at theirs).
+
+    Beyond the version counter, the LSDB keeps a bounded log of the
+    structural deltas behind recent version bumps. Incremental consumers
+    ([Spf_engine]) use it to dirty only the routers a change can affect;
+    when the log cannot answer (overflow, or a change with no precise
+    description) they fall back to recomputing everything, so the log is
+    purely an optimisation channel. *)
 
 type t
 
@@ -17,9 +24,36 @@ type view = {
       (** Augmented graph. Node identifiers [< real_nodes] coincide with
           the physical graph's. *)
   real_nodes : int;
-  sink_of_prefix : (Lsa.prefix * Netgraph.Graph.node) list;
-  fake_of_node : (Netgraph.Graph.node * Lsa.fake) list;
+  prefixes : Lsa.prefix array;  (** Distinct announced prefixes, sorted. *)
+  sinks : (Lsa.prefix, Netgraph.Graph.node) Hashtbl.t;
+  fake_stubs : Lsa.fake array;
+      (** The stub node of [fake_stubs.(i)] is [real_nodes + i]. *)
 }
+
+val sink : view -> Lsa.prefix -> Netgraph.Graph.node option
+(** The prefix's virtual sink node, if the prefix is announced. *)
+
+val fake_of_node : view -> Netgraph.Graph.node -> Lsa.fake option
+(** The fake whose stub node this is; [None] for real nodes and sinks. *)
+
+type delta =
+  | Fake_delta of {
+      attachment : Netgraph.Graph.node;
+      view_cost : int;
+          (** Cost from the attachment to the prefix sink through the
+              fake's stub, in view units (announcer +1 offset included). *)
+      prefix : Lsa.prefix;
+    }  (** A fake LSA appeared or disappeared (same dirty test either way). *)
+  | Weight_delta of {
+      u : Netgraph.Graph.node;
+      v : Netgraph.Graph.node;
+      old_weight : int;
+      new_weight : int;
+    }  (** One physical edge changed weight (both directions untouched —
+           a delta describes one directed edge [u -> v]). *)
+  | Generic_delta
+      (** Anything else (prefix announcement, external graph surgery);
+          consumers must assume the whole view changed. *)
 
 val create : Netgraph.Graph.t -> t
 (** The LSDB reads the physical graph lazily: weight changes made to the
@@ -69,8 +103,27 @@ val last_origin : t -> Netgraph.Graph.node option
     anchor the flooding schedule. *)
 
 val touch : ?origin:Netgraph.Graph.node -> t -> unit
-(** Signal that the physical graph was mutated externally (e.g. a weight
-    change at [origin]), invalidating cached views. *)
+(** Signal that the physical graph was mutated externally (e.g. a link
+    removal at [origin]), invalidating cached views. Logged as
+    [Generic_delta]. *)
+
+val weight_changed :
+  t ->
+  Netgraph.Graph.node ->
+  Netgraph.Graph.node ->
+  old_weight:int ->
+  new_weight:int ->
+  unit
+(** Signal that the weight of one directed physical edge was changed (the
+    graph must already carry the new weight). Like [touch] this bumps the
+    version, but it logs a precise [Weight_delta] so incremental
+    consumers can keep unaffected routers. Symmetric weight changes are
+    two calls, one per direction. *)
+
+val deltas_since : t -> since:int -> delta list option
+(** All deltas applied after version [since], oldest first; [None] when
+    the log no longer reaches back that far (caller must assume
+    everything changed). [Some []] iff [since] is the current version. *)
 
 val view : t -> view
 (** Cached per [version]. *)

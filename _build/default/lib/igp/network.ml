@@ -3,17 +3,17 @@ module Graph = Netgraph.Graph
 type t = {
   graph : Graph.t;
   lsdb : Lsdb.t;
+  engine : Spf_engine.t;
+      (* Replaces the old per-(version, router, prefix) FIB cache, whose
+         eviction reset the whole table — current entries included —
+         past 4096 entries. The engine keeps one table per router and
+         drops only tables invalidated by LSDB deltas. *)
   mutable control : Flooding.cost;
-  fib_cache : (int * Graph.node * Lsa.prefix, Fib.t option) Hashtbl.t;
 }
 
 let create graph =
-  {
-    graph;
-    lsdb = Lsdb.create graph;
-    control = Flooding.zero;
-    fib_cache = Hashtbl.create 64;
-  }
+  let lsdb = Lsdb.create graph in
+  { graph; lsdb; engine = Spf_engine.create lsdb; control = Flooding.zero }
 
 let clone t =
   let graph = Graph.copy t.graph in
@@ -22,7 +22,7 @@ let clone t =
     (fun (prefix, origin, cost) -> Lsdb.announce_prefix lsdb prefix ~origin ~cost)
     (Lsdb.prefixes t.lsdb);
   List.iter (fun fake -> Lsdb.install_fake lsdb fake) (Lsdb.fakes t.lsdb);
-  { graph; lsdb; control = Flooding.zero; fib_cache = Hashtbl.create 64 }
+  { graph; lsdb; engine = Spf_engine.create lsdb; control = Flooding.zero }
 
 let graph t = t.graph
 
@@ -65,31 +65,33 @@ let retract_all_fakes t =
 
 let fakes t = Lsdb.fakes t.lsdb
 
-let fib t ~router prefix =
-  let key = (Lsdb.version t.lsdb, router, prefix) in
-  match Hashtbl.find_opt t.fib_cache key with
-  | Some fib -> fib
-  | None ->
-    let fib = Spf.compute_prefix (Lsdb.view t.lsdb) ~router prefix in
-    if Hashtbl.length t.fib_cache > 4096 then Hashtbl.reset t.fib_cache;
-    Hashtbl.add t.fib_cache key fib;
-    fib
+let fib t ~router prefix = Spf_engine.fib t.engine ~router prefix
+
+let fib_table t prefix = Spf_engine.prefix_table t.engine prefix
 
 let fibs t prefix =
+  let table = fib_table t prefix in
   List.filter_map
-    (fun router ->
-      Option.map (fun f -> (router, f)) (fib t ~router prefix))
+    (fun router -> Option.map (fun f -> (router, f)) table.(router))
     (Graph.nodes t.graph)
 
-let distance t ~router prefix =
-  Option.map (fun (f : Fib.t) -> f.distance) (fib t ~router prefix)
+let distance t ~router prefix = Spf_engine.distance t.engine ~router prefix
 
 let next_hops t ~router prefix =
   match fib t ~router prefix with None -> [] | Some f -> Fib.next_hops f
 
+let warm t = Spf_engine.compute_all t.engine
+
+let engine t = t.engine
+
 let set_weight t u v ~weight =
+  let old_weight = Graph.weight_exn t.graph u v in
+  (* Drain pending deltas before the graph mutates, so each weight delta
+     reaches the engine alone and is judged against the graph state it
+     describes — that keeps the engine on its precise single-edge rule. *)
+  Spf_engine.sync t.engine;
   Graph.set_weight t.graph u v ~weight;
-  Lsdb.touch ~origin:u t.lsdb;
+  Lsdb.weight_changed t.lsdb u v ~old_weight ~new_weight:weight;
   account t ~origin:u
 
 let control_cost t = t.control

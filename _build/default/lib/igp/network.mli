@@ -39,7 +39,14 @@ val router_lsa : t -> origin:Netgraph.Graph.node -> Lsa.t
 val fakes : t -> Lsa.fake list
 
 val fib : t -> router:Netgraph.Graph.node -> Lsa.prefix -> Fib.t option
-(** Cached per LSDB version. *)
+(** Served by the [Spf_engine]: one cached Dijkstra per router covers
+    every prefix, and caches survive LSDB changes that provably cannot
+    affect the router. *)
+
+val fib_table : t -> Lsa.prefix -> Fib.t option array
+(** Per-router FIBs for one prefix, indexed by router id; computes all
+    routers in one (parallel) batch. Prefer this over calling [fib] in a
+    loop when every router is needed. *)
 
 val fibs : t -> Lsa.prefix -> (Netgraph.Graph.node * Fib.t) list
 (** FIB of every router that can reach the prefix, by router id. *)
@@ -48,8 +55,16 @@ val distance : t -> router:Netgraph.Graph.node -> Lsa.prefix -> int option
 
 val next_hops : t -> router:Netgraph.Graph.node -> Lsa.prefix -> Netgraph.Graph.node list
 
+val warm : t -> unit
+(** Precompute every router's FIB table (parallel batch); subsequent
+    [fib] lookups are pure hash lookups until the LSDB changes. *)
+
+val engine : t -> Spf_engine.t
+(** The underlying SPF engine (stats, explicit sync). *)
+
 val set_weight : t -> Netgraph.Graph.node -> Netgraph.Graph.node -> weight:int -> unit
-(** Change a (directed) link weight; triggers a full reconvergence and
+(** Change a (directed) link weight; triggers reconvergence (incremental
+    — only routers whose shortest paths can use the edge recompute) and
     accounts the router-LSA reflood (both endpoints of the paper's
     "per-device reconfiguration"). *)
 

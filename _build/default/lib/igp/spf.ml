@@ -17,7 +17,7 @@ let fib_of_first_hops (view : Lsdb.view) ~router ~prefix ~sink result =
     let resolve h =
       if h < view.real_nodes then (h, None)
       else begin
-        match List.assoc_opt h view.fake_of_node with
+        match Lsdb.fake_of_node view h with
         | Some fake -> (fake.Lsa.forwarding, Some fake.Lsa.fake_id)
         | None ->
           (* Only fake stubs and sinks live above real_nodes, and sinks
@@ -49,23 +49,25 @@ let fib_of_first_hops (view : Lsdb.view) ~router ~prefix ~sink result =
 
 let compute_prefix (view : Lsdb.view) ~router prefix =
   check_router view router;
-  match List.assoc_opt prefix view.sink_of_prefix with
+  match Lsdb.sink view prefix with
   | None -> None
   | Some sink ->
     let result = Dijkstra.run view.graph ~source:router in
     fib_of_first_hops view ~router ~prefix ~sink result
 
+(* [view.prefixes] is already sorted, so one Dijkstra and a scan gives
+   FIBs for every prefix in order. *)
 let compute (view : Lsdb.view) ~router =
   check_router view router;
   let result = Dijkstra.run view.graph ~source:router in
-  view.sink_of_prefix
-  |> List.sort (fun (p, _) (q, _) -> compare p q)
-  |> List.filter_map (fun (prefix, sink) ->
+  Array.to_list view.prefixes
+  |> List.filter_map (fun prefix ->
+         let sink = Hashtbl.find view.sinks prefix in
          fib_of_first_hops view ~router ~prefix ~sink result)
 
 let distance (view : Lsdb.view) ~router prefix =
   check_router view router;
-  match List.assoc_opt prefix view.sink_of_prefix with
+  match Lsdb.sink view prefix with
   | None -> None
   | Some sink ->
     let result = Dijkstra.run view.graph ~source:router in

@@ -1,0 +1,70 @@
+(** Batched, incremental, parallel SPF/FIB engine.
+
+    The engine keeps one full per-prefix FIB table per router — computed
+    by a single Dijkstra over the LSDB view and shared by every prefix —
+    instead of a per-(router, prefix) cache. Tables stay valid across
+    LSDB version bumps whenever the logged deltas provably cannot change
+    a router's shortest-path DAGs:
+
+    - a fake install/retract at attachment [a] with sink cost [c] dirties
+      router [r] only when [d(r, a) + c <= r]'s cached distance for the
+      fake's prefix (one reverse Dijkstra per attachment answers all
+      routers at once);
+    - a single weight change on edge [(u, v)] dirties [r] only when
+      [d(r, u) + min(w_old, w_new) <= d(r, v)] on the post-change graph
+      (two reverse Dijkstras), which holds exactly when the edge lies on
+      one of [r]'s old or new shortest-path DAGs;
+    - anything else (announcements, link removals, several weight changes
+      in one batch, log overflow) invalidates every table.
+
+    Both rules are sound over-approximations: a kept table is bitwise
+    what a from-scratch SPF would produce. Dirty routers are recomputed
+    lazily on lookup, or in bulk by [compute_all], which fans the batch
+    across a [Kit.Pool] of domains (per-source Dijkstra is embarrassingly
+    parallel).
+
+    The engine is not itself thread-safe: calls into one engine must come
+    from a single domain (it parallelizes internally). *)
+
+type t
+
+type stats = {
+  spf_runs : int;  (** Dijkstras run on the view (one per router refill). *)
+  syncs : int;  (** Version bumps absorbed. *)
+  full_invalidations : int;  (** Syncs that dropped every table. *)
+  routers_dirtied : int;  (** Tables dropped across all syncs. *)
+  routers_kept : int;  (** Tables preserved across all syncs. *)
+}
+
+val create : ?pool:Kit.Pool.t -> Lsdb.t -> t
+(** A fresh engine has no cached tables. [pool] defaults to a pool sized
+    by [Domain.recommended_domain_count]. *)
+
+val pool : t -> Kit.Pool.t
+
+val sync : t -> unit
+(** Absorb any pending LSDB changes now, dirtying affected routers.
+    Every lookup syncs implicitly; call this explicitly before mutating
+    the base graph in place so pending deltas are evaluated against the
+    graph they described. *)
+
+val fib : t -> router:Netgraph.Graph.node -> Lsa.prefix -> Fib.t option
+(** The router's FIB for one prefix; computes (and caches) the router's
+    whole table on a miss. [None] if the prefix is unknown or
+    unreachable. Raises [Invalid_argument] for non-real routers. *)
+
+val distance : t -> router:Netgraph.Graph.node -> Lsa.prefix -> int option
+
+val compute_all : t -> unit
+(** Bring every router's table up to date, fanning dirty routers across
+    the pool. *)
+
+val prefix_table : t -> Lsa.prefix -> Fib.t option array
+(** Per-router FIBs for one prefix, indexed by router id ([compute_all]
+    is implied). The returned array is fresh; mutating it is harmless. *)
+
+val invalidate_all : t -> unit
+(** Drop every cached table (e.g. to measure cold-start cost). *)
+
+val stats : t -> stats
+(** Cumulative counters since [create]. *)

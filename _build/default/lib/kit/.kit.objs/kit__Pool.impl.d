@@ -1,0 +1,1 @@
+lib/kit/pool.ml: Array Atomic Domain List Printexc

@@ -1,0 +1,1 @@
+lib/kit/pool.mli:

@@ -20,3 +20,33 @@ val pop : 'a t -> (float * 'a) option
     arbitrarily but deterministically. *)
 
 val peek : 'a t -> (float * 'a) option
+
+(** Monomorphic binary min-heap with unboxed [int] priorities and [int]
+    payloads — the Dijkstra workhorse.
+
+    There is deliberately no [decrease_key]: Dijkstra relaxations push a
+    fresh (priority, node) pair instead, and pops of already-settled
+    nodes are skipped by the caller (lazy deletion). This keeps every
+    operation allocation-free on the hot path at the cost of a heap that
+    may transiently hold O(edges) stale entries. *)
+module Int : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] pre-sizes the backing arrays (default grows on demand). *)
+
+  val is_empty : t -> bool
+
+  val size : t -> int
+  (** Number of stored entries, including stale duplicates. *)
+
+  val clear : t -> unit
+  (** Drop all entries; keeps the backing arrays for reuse. *)
+
+  val push : t -> priority:int -> int -> unit
+
+  val pop : t -> (int * int) option
+  (** Remove and return the minimum-priority entry, if any. *)
+
+  val peek : t -> (int * int) option
+end

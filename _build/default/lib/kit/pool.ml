@@ -1,0 +1,71 @@
+(* Domain-based fork/join worker pool.
+
+   Domains are spawned per [iter] call and always joined before it
+   returns, so the pool holds no long-lived resources and needs no
+   shutdown protocol. OCaml domain spawn is cheap relative to an SPF
+   batch, and ephemeral domains sidestep the hazards of a persistent
+   pool (domains outliving the main domain at exit, deadlocks on
+   teardown).
+
+   Work distribution is a shared atomic counter: each participant —
+   helper domains plus the calling domain itself — claims the next
+   index until the range is exhausted. The first exception raised by
+   any participant is captured and re-raised on the caller after all
+   domains have been joined; remaining indices may or may not have been
+   processed when that happens. *)
+
+type t = { domains : int }
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  { domains }
+
+let domain_count t = t.domains
+
+let iter t ~n f =
+  if n <= 0 then ()
+  else begin
+    let helpers = min (t.domains - 1) (n - 1) in
+    if helpers <= 0 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let work () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else
+            match f i with
+            | () -> ()
+            | exception exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (exn, bt)));
+              continue := false
+        done
+      in
+      let spawned = List.init helpers (fun _ -> Domain.spawn work) in
+      work ();
+      List.iter Domain.join spawned;
+      match Atomic.get failure with
+      | None -> ()
+      | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    end
+  end
+
+let map t ~n f =
+  if n <= 0 then [||]
+  else begin
+    let results = Array.make n None in
+    iter t ~n (fun i -> results.(i) <- Some (f i));
+    Array.map
+      (function Some v -> v | None -> assert false (* iter covers [0, n) *))
+      results
+  end

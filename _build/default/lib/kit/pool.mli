@@ -1,0 +1,32 @@
+(** Fork/join worker pool over OCaml 5 domains.
+
+    A pool is a concurrency budget, not a set of live threads: every
+    [iter]/[map] call spawns up to [domains - 1] helper domains, has the
+    calling domain participate too, and joins all helpers before
+    returning. Work items are claimed from a shared atomic counter, so
+    uneven per-item cost balances automatically.
+
+    The body [f] runs concurrently with itself on different indices. It
+    must only touch shared state that is safe under that: read-only
+    structures built before the call, or writes to disjoint slots of a
+    pre-allocated array. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ()] sizes the pool to [Domain.recommended_domain_count ()].
+    [domains] overrides it; values below 1 are clamped to 1 (purely
+    sequential). *)
+
+val domain_count : t -> int
+
+val iter : t -> n:int -> (int -> unit) -> unit
+(** [iter t ~n f] runs [f i] for every [i] in [0, n), fanned across the
+    pool's domains. Returns once every index has been claimed and all
+    helper domains have been joined. If any call to [f] raises, the
+    first captured exception is re-raised on the caller (after joining);
+    remaining indices may be skipped. *)
+
+val map : t -> n:int -> (int -> 'a) -> 'a array
+(** [map t ~n f] is [iter] collecting results: element [i] of the
+    returned array is [f i]. *)

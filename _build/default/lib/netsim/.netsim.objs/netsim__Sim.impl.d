@@ -1,1 +1,1 @@
-lib/netsim/sim.ml: Aimd Events Fairshare Flow Hashing Hashtbl Igp Kit Link List Monitor Netgraph Option Printf
+lib/netsim/sim.ml: Aimd Array Events Fairshare Flow Hashing Hashtbl Igp Kit Link List Monitor Netgraph Option Printf

@@ -188,11 +188,10 @@ let snapshot_fibs t =
   Hashtbl.reset t.fib_snapshot;
   List.iter
     (fun prefix ->
-      List.iter
-        (fun router ->
-          Hashtbl.replace t.fib_snapshot (router, prefix)
-            (Igp.Network.fib t.net ~router prefix))
-        (Igp.Network.routers t.net))
+      let table = Igp.Network.fib_table t.net prefix in
+      Array.iteri
+        (fun router fib -> Hashtbl.replace t.fib_snapshot (router, prefix) fib)
+        table)
     (active_prefixes t)
 
 (* Re-derive every active flow's hashed path from the current FIBs. *)

@@ -1,1 +1,1 @@
-test/test_igp.ml: Alcotest Bytes Gen Igp Kit List Netgraph Option Printf QCheck QCheck_alcotest Result String
+test/test_igp.ml: Alcotest Array Bytes Gen Igp Kit List Netgraph Option Printf QCheck QCheck_alcotest Result String

@@ -52,9 +52,10 @@ let test_lsdb_announce_and_view () =
   Alcotest.(check int) "real nodes" 7 view.real_nodes;
   Alcotest.(check int) "augmented nodes" 8 (G.node_count view.graph);
   Alcotest.(check bool) "sink fed by C" true
-    (match List.assoc_opt "blue" view.sink_of_prefix with
+    (match Igp.Lsdb.sink view "blue" with
     | Some sink -> G.has_edge view.graph d.c sink
-    | None -> false)
+    | None -> false);
+  Alcotest.(check (array string)) "prefixes sorted" [| "blue" |] view.prefixes
 
 let test_lsdb_install_fake_validation () =
   let d, net = demo_net () in
@@ -399,6 +400,111 @@ let prop_fakes_never_increase_distance =
           | Some d_after -> d_after <= d_before
           | None -> false)
         before)
+
+(* ---------- Spf_engine ---------- *)
+
+let test_engine_incremental_keeps_routers () =
+  let d, net = demo_net () in
+  Igp.Network.warm net;
+  let engine = Igp.Network.engine net in
+  let s0 = Igp.Spf_engine.stats engine in
+  Alcotest.(check int) "one spf per router" 7 s0.spf_runs;
+  Igp.Network.warm net;
+  Alcotest.(check int) "re-warm is free" 7 (Igp.Spf_engine.stats engine).spf_runs;
+  (* A fake far above every router's current distance can't move anyone:
+     all tables survive the version bump, with zero new Dijkstras. *)
+  Igp.Network.inject_fake net (fake ~id:"far" ~at:d.b ~cost:9 ~fwd:d.r3);
+  Igp.Network.warm net;
+  let s1 = Igp.Spf_engine.stats engine in
+  Alcotest.(check int) "everyone kept" 7 (s1.routers_kept - s0.routers_kept);
+  Alcotest.(check int) "no recompute" 7 s1.spf_runs;
+  (* A cheaper-than-current fake must dirty its attachment (at least). *)
+  Igp.Network.inject_fake net (fake ~id:"near" ~at:d.b ~cost:1 ~fwd:d.r3);
+  Igp.Network.warm net;
+  let s2 = Igp.Spf_engine.stats engine in
+  Alcotest.(check bool) "some router dirtied" true
+    (s2.routers_dirtied > s1.routers_dirtied);
+  Alcotest.(check bool) "but not everyone" true
+    (s2.routers_kept > s1.routers_kept);
+  let fib_b = fib_exn net ~router:d.b "blue" in
+  Alcotest.(check (list int)) "B took the cheap fake" [ d.r3 ]
+    (Igp.Fib.next_hops fib_b)
+
+(* The incremental engine must be invisible: after any churn sequence,
+   every router's FIB for every prefix equals a from-scratch SPF on the
+   current view. Exercises the sequential fake rule (installs, retracts,
+   supersessions), the single-weight-change rule, and the generic
+   full-invalidation fallback (link removals). *)
+let prop_engine_matches_scratch =
+  QCheck.Test.make ~name:"incremental engine = from-scratch SPF" ~count:500
+    QCheck.(pair (int_range 0 1000000) (int_range 1 8))
+    (fun (seed, ops) ->
+      let prng = Kit.Prng.create ~seed in
+      let zoo = Netgraph.Zoo.all () in
+      let entry = List.nth zoo (Kit.Prng.int prng (List.length zoo)) in
+      let g = entry.Netgraph.Zoo.graph in
+      let n = G.node_count g in
+      let net = Igp.Network.create g in
+      let prefixes = [ "p0"; "p1" ] in
+      List.iter
+        (fun p ->
+          Igp.Network.announce_prefix net p ~origin:(Kit.Prng.int prng n)
+            ~cost:(Kit.Prng.int prng 3))
+        prefixes;
+      let random_neighbor router =
+        let succ = G.succ g router in
+        fst (List.nth succ (Kit.Prng.int prng (List.length succ)))
+      in
+      let churn () =
+        match Kit.Prng.int prng 10 with
+        | 0 | 1 | 2 | 3 ->
+          (* Install (ids are reused, so supersessions happen too). *)
+          let attachment = Kit.Prng.int prng n in
+          Igp.Network.inject_fake net
+            {
+              fake_id = Printf.sprintf "f%d" (Kit.Prng.int prng 4);
+              attachment;
+              attachment_cost = 1 + Kit.Prng.int prng 3;
+              prefix = List.nth prefixes (Kit.Prng.int prng 2);
+              announced_cost = Kit.Prng.int prng 6;
+              forwarding = random_neighbor attachment;
+            }
+        | 4 | 5 -> (
+          match Igp.Network.fakes net with
+          | [] -> ()
+          | fakes ->
+            let f = List.nth fakes (Kit.Prng.int prng (List.length fakes)) in
+            Igp.Network.retract_fake net ~fake_id:f.Igp.Lsa.fake_id)
+        | 6 | 7 | 8 -> (
+          match G.edges g with
+          | [] -> ()
+          | edges ->
+            let u, v, _ = List.nth edges (Kit.Prng.int prng (List.length edges)) in
+            Igp.Network.set_weight net u v ~weight:(1 + Kit.Prng.int prng 8))
+        | _ -> (
+          (* Remove a link out of band: only a generic touch reaches the
+             engine, forcing the full-invalidation path. *)
+          match G.edges g with
+          | [] -> ()
+          | edges ->
+            let u, v, _ = List.nth edges (Kit.Prng.int prng (List.length edges)) in
+            G.remove_edge g u v;
+            Igp.Lsdb.touch ~origin:u (Igp.Network.lsdb net))
+      in
+      let agrees () =
+        let view = Igp.Lsdb.view (Igp.Network.lsdb net) in
+        (* p0 through per-router lookups, p1 through the batched
+           (pool-backed) table, so both engine paths are checked. *)
+        let table1 = Igp.Network.fib_table net "p1" in
+        List.for_all
+          (fun router ->
+            Igp.Network.fib net ~router "p0"
+            = Igp.Spf.compute_prefix view ~router "p0"
+            && table1.(router) = Igp.Spf.compute_prefix view ~router "p1")
+          (G.nodes g)
+      in
+      let rec go k = k = 0 || (churn (); agrees () && go (k - 1)) in
+      agrees () && go ops)
 
 (* ---------- Convergence ---------- *)
 
@@ -770,6 +876,11 @@ let () =
           Alcotest.test_case "refresh cost" `Quick test_network_refresh_cost;
           Alcotest.test_case "retract all" `Quick test_network_retract_all;
         ] );
+      ( "spf-engine",
+        [
+          Alcotest.test_case "incremental invalidation" `Quick
+            test_engine_incremental_keeps_routers;
+        ] );
       ( "convergence",
         [
           Alcotest.test_case "schedule ordering" `Quick test_convergence_schedule_ordering;
@@ -798,5 +909,9 @@ let () =
           prop_codec_decode_total;
         ];
       qsuite "igp-props"
-        [ prop_equal_cost_fake_is_surgical; prop_fakes_never_increase_distance ];
+        [
+          prop_equal_cost_fake_is_surgical;
+          prop_fakes_never_increase_distance;
+          prop_engine_matches_scratch;
+        ];
     ]

@@ -124,6 +124,88 @@ let prop_heap_sorts =
       let popped = drain [] in
       popped = List.sort compare priorities)
 
+(* ---------- Heap.Int ---------- *)
+
+let test_int_heap_ordering () =
+  let h = Kit.Heap.Int.create () in
+  List.iter (fun p -> Kit.Heap.Int.push h ~priority:p (p * 10))
+    [ 5; 1; 4; 2; 3 ];
+  let order = List.init 5 (fun _ -> match Kit.Heap.Int.pop h with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail "heap empty early")
+  in
+  Alcotest.(check (list int)) "ascending" [ 10; 20; 30; 40; 50 ] order
+
+let test_int_heap_empty_and_clear () =
+  let h = Kit.Heap.Int.create ~capacity:4 () in
+  Alcotest.(check bool) "is_empty" true (Kit.Heap.Int.is_empty h);
+  Alcotest.(check bool) "pop none" true (Kit.Heap.Int.pop h = None);
+  Alcotest.(check bool) "peek none" true (Kit.Heap.Int.peek h = None);
+  Kit.Heap.Int.push h ~priority:3 7;
+  Kit.Heap.Int.push h ~priority:1 9;
+  Alcotest.(check bool) "peek min" true (Kit.Heap.Int.peek h = Some (1, 9));
+  Alcotest.(check int) "size" 2 (Kit.Heap.Int.size h);
+  Kit.Heap.Int.clear h;
+  Alcotest.(check bool) "cleared" true (Kit.Heap.Int.is_empty h)
+
+let test_int_heap_duplicates () =
+  (* Lazy deletion: the same value may sit in the heap several times with
+     different priorities; every copy surfaces. *)
+  let h = Kit.Heap.Int.create () in
+  Kit.Heap.Int.push h ~priority:4 1;
+  Kit.Heap.Int.push h ~priority:2 1;
+  Kit.Heap.Int.push h ~priority:2 2;
+  Alcotest.(check int) "all retained" 3 (Kit.Heap.Int.size h);
+  let popped = List.init 3 (fun _ -> match Kit.Heap.Int.pop h with
+    | Some pv -> pv
+    | None -> Alcotest.fail "missing")
+  in
+  Alcotest.(check (list (pair int int))) "ordered with duplicates"
+    [ (2, 1); (2, 2); (4, 1) ]
+    (List.sort compare popped)
+
+let prop_int_heap_sorts =
+  QCheck.Test.make ~name:"int heap pops in priority order" ~count:200
+    QCheck.(list (int_range 0 100000))
+    (fun priorities ->
+      let h = Kit.Heap.Int.create () in
+      List.iteri (fun i p -> Kit.Heap.Int.push h ~priority:p i) priorities;
+      let rec drain acc =
+        match Kit.Heap.Int.pop h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare priorities)
+
+(* ---------- Pool ---------- *)
+
+let test_pool_iter_covers_all () =
+  let pool = Kit.Pool.create ~domains:4 () in
+  Alcotest.(check int) "domain count" 4 (Kit.Pool.domain_count pool);
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  (* Disjoint slots: each index is claimed exactly once. *)
+  Kit.Pool.iter pool ~n (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "each index exactly once" true
+    (Array.for_all (fun h -> h = 1) hits)
+
+let test_pool_map_results () =
+  let pool = Kit.Pool.create ~domains:3 () in
+  let squares = Kit.Pool.map pool ~n:50 (fun i -> i * i) in
+  Alcotest.(check (array int)) "squares" (Array.init 50 (fun i -> i * i)) squares
+
+let test_pool_sequential_degenerate () =
+  let pool = Kit.Pool.create ~domains:1 () in
+  let sum = ref 0 in
+  Kit.Pool.iter pool ~n:100 (fun i -> sum := !sum + i);
+  Alcotest.(check int) "sequential sum" 4950 !sum;
+  Kit.Pool.iter pool ~n:0 (fun _ -> Alcotest.fail "no work expected")
+
+let test_pool_propagates_exception () =
+  let pool = Kit.Pool.create ~domains:4 () in
+  Alcotest.check_raises "first failure re-raised" (Failure "boom") (fun () ->
+      Kit.Pool.iter pool ~n:64 (fun i -> if i = 13 then failwith "boom"))
+
 (* ---------- Stats ---------- *)
 
 let test_stats_mean () =
@@ -281,7 +363,22 @@ let () =
           Alcotest.test_case "peek" `Quick test_heap_peek_does_not_remove;
           Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
         ] );
-      qsuite "heap-props" [ prop_heap_sorts ];
+      ( "heap-int",
+        [
+          Alcotest.test_case "ordering" `Quick test_int_heap_ordering;
+          Alcotest.test_case "empty/clear" `Quick test_int_heap_empty_and_clear;
+          Alcotest.test_case "duplicates" `Quick test_int_heap_duplicates;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "iter covers all" `Quick test_pool_iter_covers_all;
+          Alcotest.test_case "map results" `Quick test_pool_map_results;
+          Alcotest.test_case "sequential degenerate" `Quick
+            test_pool_sequential_degenerate;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_propagates_exception;
+        ] );
+      qsuite "heap-props" [ prop_heap_sorts; prop_int_heap_sorts ];
       ( "stats",
         [
           Alcotest.test_case "mean" `Quick test_stats_mean;

@@ -11,24 +11,26 @@ let run g ~source =
   let dist = Array.make n unreachable in
   let preds = Array.make n [] in
   let settled = Array.make n false in
-  let heap = Kit.Heap.create () in
+  let heap = Kit.Heap.Int.create ~capacity:n () in
   dist.(source) <- 0;
-  Kit.Heap.push heap ~priority:0. source;
+  Kit.Heap.Int.push heap ~priority:0 source;
   let rec loop () =
-    match Kit.Heap.pop heap with
+    match Kit.Heap.Int.pop heap with
     | None -> ()
     | Some (_, u) ->
       if not settled.(u) then begin
         settled.(u) <- true;
+        (* Each directed edge (u, v) is relaxed exactly once ([settled]
+           guards re-expansion of u), so [u] can never already be in
+           [preds.(v)] — no membership scan needed. *)
         Graph.iter_succ g u (fun v w ->
             let candidate = dist.(u) + w in
             if candidate < dist.(v) then begin
               dist.(v) <- candidate;
               preds.(v) <- [ u ];
-              Kit.Heap.push heap ~priority:(float_of_int candidate) v
+              Kit.Heap.Int.push heap ~priority:candidate v
             end
-            else if candidate = dist.(v) && not (List.mem u preds.(v)) then
-              preds.(v) <- u :: preds.(v));
+            else if candidate = dist.(v) then preds.(v) <- u :: preds.(v));
         loop ()
       end
       else loop ()

@@ -22,17 +22,12 @@ let propagate_prefix t net prefix demands =
   let g = Igp.Network.graph net in
   let n = Graph.node_count g in
   let node_load = Array.make n 0. in
+  let fibs = Igp.Network.fib_table net prefix in
   List.iter
     (fun d ->
-      (match Igp.Network.fib net ~router:d.src prefix with
-      | None -> raise (Unreachable prefix)
-      | Some _ -> ());
+      if fibs.(d.src) = None then raise (Unreachable prefix);
       node_load.(d.src) <- node_load.(d.src) +. d.amount)
     demands;
-  let fibs = Array.make n None in
-  List.iter
-    (fun router -> fibs.(router) <- Igp.Network.fib net ~router prefix)
-    (Graph.nodes g);
   (* Kahn's algorithm on forwarding edges. *)
   let indegree = Array.make n 0 in
   let forwarding router =
