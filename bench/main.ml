@@ -888,35 +888,41 @@ let tspf ~json () =
   let prefixes = Igp.Lsdb.prefix_list (Igp.Network.lsdb net) in
   let routers = G.nodes g in
   let engine = Igp.Network.engine net in
-  let wall_ms ?(repeat = 5) ?(prepare = ignore) f =
-    let best = ref infinity in
+  (* All repetitions are kept (not just the best) so the percentiles
+     below come from real samples; telemetry stays disabled while the
+     clock runs, so the instrumentation costs only its flag checks. *)
+  let wall_samples ?(repeat = 5) ?(prepare = ignore) f =
+    let samples = ref [] in
     for _ = 1 to repeat do
       prepare ();
       let t0 = Unix.gettimeofday () in
       f ();
-      best := min !best ((Unix.gettimeofday () -. t0) *. 1000.)
+      samples := ((Unix.gettimeofday () -. t0) *. 1000.) :: !samples
     done;
-    !best
+    List.rev !samples
   in
+  let best = List.fold_left min infinity in
   (* Seed path: one Dijkstra per (router, prefix) — what the old
      per-(version, router, prefix) FIB cache recomputed after every
      version bump. *)
   let seed_full_ms =
-    wall_ms (fun () ->
-        let view = Igp.Lsdb.view (Igp.Network.lsdb net) in
-        List.iter
-          (fun r ->
-            List.iter
-              (fun p -> ignore (Igp.Spf.compute_prefix view ~router:r p))
-              prefixes)
-          routers)
+    best
+      (wall_samples (fun () ->
+           let view = Igp.Lsdb.view (Igp.Network.lsdb net) in
+           List.iter
+             (fun r ->
+               List.iter
+                 (fun p -> ignore (Igp.Spf.compute_prefix view ~router:r p))
+                 prefixes)
+             routers))
   in
   (* Engine, cold: one Dijkstra per router shared by all prefixes. *)
-  let engine_cold_ms =
-    wall_ms
+  let cold_samples =
+    wall_samples ~repeat:10
       ~prepare:(fun () -> Igp.Spf_engine.invalidate_all engine)
       (fun () -> Igp.Network.warm net)
   in
+  let engine_cold_ms = best cold_samples in
   (* Engine, churn: install/retract one fake and reconverge the full
      table. The fake attaches near router 0 and lies about the prefix of
      the farthest PoP, so a realistic fraction of routers is affected. *)
@@ -946,11 +952,25 @@ let tspf ~json () =
   in
   Igp.Network.warm net;
   let s0 = Igp.Spf_engine.stats engine in
-  let churns = 6 in
-  let engine_churn_ms =
-    wall_ms ~repeat:churns ~prepare:churn (fun () -> Igp.Network.warm net)
+  let churns = 30 in
+  let churn_samples =
+    wall_samples ~repeat:churns ~prepare:churn (fun () -> Igp.Network.warm net)
   in
+  let engine_churn_ms = best churn_samples in
   let s1 = Igp.Spf_engine.stats engine in
+  (* Percentiles via the Obs histograms (values observed directly, so
+     the clock source is irrelevant); enabled only after timing ends. *)
+  let cold_summary, churn_summary =
+    Obs.reset ();
+    Obs.enable ();
+    let h_cold = Obs.Metrics.histogram "bench.spf_cold_ms" in
+    let h_churn = Obs.Metrics.histogram "bench.spf_churn_ms" in
+    List.iter (Obs.Metrics.observe h_cold) cold_samples;
+    List.iter (Obs.Metrics.observe h_churn) churn_samples;
+    let s = (Obs.Metrics.summary h_cold, Obs.Metrics.summary h_churn) in
+    Obs.disable ();
+    s
+  in
   let avg_dirty =
     float_of_int (s1.routers_dirtied - s0.routers_dirtied)
     /. float_of_int churns
@@ -968,6 +988,12 @@ let tspf ~json () =
   Format.printf "%-44s %10.3f ms  (%.1fx)@."
     (Printf.sprintf "engine churn (1 fake, ~%.1f routers dirty)" avg_dirty)
     engine_churn_ms speedup_churn;
+  let pp_pcts label (s : Obs.Metrics.histogram_summary) =
+    Format.printf "%-44s p50 %8.3f  p95 %8.3f  p99 %8.3f ms (%d samples)@."
+      label s.p50 s.p95 s.p99 s.count
+  in
+  pp_pcts "engine cold percentiles" cold_summary;
+  pp_pcts "engine churn percentiles" churn_summary;
   if json then begin
     let oc = open_out "BENCH_spf.json" in
     Printf.fprintf oc
@@ -981,13 +1007,20 @@ let tspf ~json () =
       \  \"seed_full_ms\": %.6f,\n\
       \  \"engine_cold_ms\": %.6f,\n\
       \  \"engine_churn_ms\": %.6f,\n\
+      \  \"engine_cold_p50_ms\": %.6f,\n\
+      \  \"engine_cold_p95_ms\": %.6f,\n\
+      \  \"engine_cold_p99_ms\": %.6f,\n\
+      \  \"engine_churn_p50_ms\": %.6f,\n\
+      \  \"engine_churn_p95_ms\": %.6f,\n\
+      \  \"engine_churn_p99_ms\": %.6f,\n\
       \  \"speedup_cold\": %.2f,\n\
       \  \"speedup_churn\": %.2f,\n\
       \  \"avg_dirty_routers\": %.2f\n\
        }\n"
       entry.Netgraph.Zoo.name n links (List.length prefixes) domains
-      seed_full_ms engine_cold_ms engine_churn_ms speedup_cold speedup_churn
-      avg_dirty;
+      seed_full_ms engine_cold_ms engine_churn_ms cold_summary.p50
+      cold_summary.p95 cold_summary.p99 churn_summary.p50 churn_summary.p95
+      churn_summary.p99 speedup_cold speedup_churn avg_dirty;
     close_out oc;
     Format.printf "wrote BENCH_spf.json@."
   end

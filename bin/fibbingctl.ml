@@ -195,6 +195,68 @@ let demo_cmd =
   let doc = "Run the paper's flash-crowd demo (Fig. 2)." in
   Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ off $ until $ step $ csv)
 
+(* ---------- trace / metrics (telemetry) ---------- *)
+
+(* Run the Fig. 2 demo with telemetry enabled and the Obs clock bound to
+   simulated time, so two identical runs stamp byte-identical timelines. *)
+let traced_demo ~fibbing ~until =
+  let d = Scenarios.Demo.make ~fibbing () in
+  Obs.reset ();
+  Obs.enable ();
+  Obs.Clock.set_source (fun () -> Netsim.Sim.time d.sim);
+  ignore (Scenarios.Demo.load_fig2_workload d);
+  Scenarios.Demo.run d ~until;
+  Obs.disable ();
+  Obs.Clock.use_cpu_time ();
+  d
+
+let fibbing_off_arg =
+  Arg.(value & flag & info [ "no-fibbing" ] ~doc:"Disable the controller (baseline run).")
+
+let until_arg =
+  Arg.(value & opt float 55. & info [ "until" ] ~docv:"SECONDS" ~doc:"Simulated horizon.")
+
+let trace_cmd =
+  let run fibbing_off until json spans =
+    ignore (traced_demo ~fibbing:(not fibbing_off) ~until);
+    if spans then Format.printf "%a" Obs.Trace.pp_tree ()
+    else if json then print_string (Obs.Timeline.to_json_lines ())
+    else Format.printf "%a" (Obs.Timeline.pp_table ?include_spans:None) ();
+    0
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the timeline as JSON lines.")
+  in
+  let spans =
+    Arg.(value & flag & info [ "spans" ]
+           ~doc:"Print the span tree instead of the merged timeline.")
+  in
+  let doc =
+    "Run the Fig. 2 demo with telemetry on and print the scenario \
+     timeline: monitor polls and alarms, controller reactions, SPF \
+     recompute spans — one causally ordered stream, replayable \
+     (identical runs emit identical output)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ fibbing_off_arg $ until_arg $ json $ spans)
+
+let metrics_cmd =
+  let run fibbing_off until json =
+    ignore (traced_demo ~fibbing:(not fibbing_off) ~until);
+    if json then print_string (Obs.Metrics.to_json_lines ())
+    else Format.printf "%a" Obs.Metrics.pp_table ();
+    0
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit metrics as JSON lines.")
+  in
+  let doc =
+    "Run the Fig. 2 demo with telemetry on and dump the metrics \
+     registry (counters, gauges, histogram percentiles)."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(const run $ fibbing_off_arg $ until_arg $ json)
+
 (* ---------- optimize ---------- *)
 
 let optimize_cmd =
@@ -455,6 +517,8 @@ let () =
             routes_cmd;
             steer_cmd;
             demo_cmd;
+            trace_cmd;
+            metrics_cmd;
             optimize_cmd;
             topo_cmd;
             failover_cmd;

@@ -4,6 +4,12 @@ module Monitor = Netsim.Monitor
 module Link = Netsim.Link
 module Flow = Netsim.Flow
 
+(* Telemetry: no-ops while Obs is disabled. *)
+let m_reactions = Obs.Metrics.counter "controller.reactions"
+let m_candidates_considered = Obs.Metrics.counter "controller.candidates_considered"
+let m_candidates_dropped = Obs.Metrics.counter "controller.candidates_dropped"
+let g_fakes_live = Obs.Metrics.gauge "controller.fakes_live"
+
 type strategy = Local_deflection | Global_optimal
 
 type config = {
@@ -13,6 +19,7 @@ type config = {
   relax_after : float;
   escalation_depth : int;
   strategy : strategy;
+  log_capacity : int;
 }
 
 let default_config =
@@ -23,6 +30,7 @@ let default_config =
     relax_after = 60.;
     escalation_depth = 4;
     strategy = Local_deflection;
+    log_capacity = 4096;
   }
 
 type reoptimizer =
@@ -46,19 +54,26 @@ type t = {
   config : config;
   reoptimize : reoptimizer option;
   states : (Igp.Lsa.prefix, prefix_state) Hashtbl.t;
-  mutable log : action list; (* newest first *)
+  log : action Kit.Ring.t; (* bounded, oldest evicted first *)
   mutable calm_since : float option;
 }
 
 let create ?(config = default_config) ?reoptimize net =
+  if config.log_capacity <= 0 then
+    invalid_arg "Controller.create: log_capacity must be positive";
   {
     net;
     config;
     reoptimize;
     states = Hashtbl.create 4;
-    log = [];
+    log = Kit.Ring.create ~capacity:config.log_capacity;
     calm_since = None;
   }
+
+let fake_count t =
+  Hashtbl.fold
+    (fun _ s acc -> acc + Augmentation.fake_count s.plan)
+    t.states 0
 
 let record t ~time ~prefix description =
   let fakes_installed =
@@ -66,14 +81,19 @@ let record t ~time ~prefix description =
     | Some s -> Augmentation.fake_count s.plan
     | None -> 0
   in
-  t.log <- { time; description; fakes_installed } :: t.log
+  Kit.Ring.push t.log { time; description; fakes_installed };
+  Obs.Metrics.incr m_reactions;
+  if Obs.enabled () then begin
+    Obs.Metrics.set g_fakes_live (float_of_int (fake_count t));
+    Obs.Timeline.record ~time ~source:"controller" ~kind:"action"
+      [
+        ("prefix", String prefix);
+        ("description", String description);
+        ("fakes", Int fakes_installed);
+      ]
+  end
 
-let actions t = List.rev t.log
-
-let fake_count t =
-  Hashtbl.fold
-    (fun _ s acc -> acc + Augmentation.fake_count s.plan)
-    t.states 0
+let actions t = Kit.Ring.to_list t.log
 
 let requirements t prefix =
   Option.map (fun s -> s.reqs) (Hashtbl.find_opt t.states prefix)
@@ -314,6 +334,9 @@ let rec handle_router t sim ~time ~prefix ~visited ~depth v =
         |> List.sort compare
       in
       let kept_total = List.fold_left (fun acc (_, a) -> acc +. a) 0. kept in
+      Obs.Metrics.add m_candidates_considered (List.length cands);
+      Obs.Metrics.add m_candidates_dropped
+        (List.length cands - List.length kept);
       (if List.length kept >= 1 && kept_total > 0.
           && not (cooldown_active t ~time prefix)
       then begin
@@ -356,6 +379,14 @@ let rec handle_router t sim ~time ~prefix ~visited ~depth v =
         in
         match best with
         | Some (u, _) when u <> v ->
+          if Obs.enabled () then
+            Obs.Timeline.record ~time ~source:"controller" ~kind:"escalate"
+              [
+                ("prefix", String prefix);
+                ("from", String (Graph.name g v));
+                ("to", String (Graph.name g u));
+                ("depth", Int (depth + 1));
+              ];
           handle_router t sim ~time ~prefix ~visited:(v :: visited)
             ~depth:(depth + 1) u
         | Some _ | None -> ignore g
@@ -452,10 +483,15 @@ let react t sim _alarms =
     | true, Some since ->
       if time -. since >= t.config.relax_after && fake_count t > 0 then begin
         withdraw_all t;
-        t.log <-
+        Kit.Ring.push t.log
           { time; description = "calm period over: all lies withdrawn";
-            fakes_installed = 0 }
-          :: t.log;
+            fakes_installed = 0 };
+        Obs.Metrics.incr m_reactions;
+        if Obs.enabled () then begin
+          Obs.Metrics.set g_fakes_live 0.;
+          Obs.Timeline.record ~time ~source:"controller" ~kind:"withdraw"
+            [ ("reason", String "calm period over") ]
+        end;
         t.calm_since <- None
       end);
     (* React to the currently hottest link above threshold (not only to

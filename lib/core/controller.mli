@@ -50,6 +50,10 @@ type config = {
   escalation_depth : int;
       (** Maximum upstream hops walked in one reaction (default 4). *)
   strategy : strategy;  (** Default [Local_deflection]. *)
+  log_capacity : int;
+      (** Capacity of the bounded action log (default 4096). Once full,
+          the oldest actions are evicted; the controller never grows
+          without bound over long scenarios. Must be positive. *)
 }
 
 type reoptimizer =
@@ -95,7 +99,8 @@ val requirements : t -> Igp.Lsa.prefix -> Requirements.t option
 (** The requirements currently enforced for a prefix, if any. *)
 
 val actions : t -> action list
-(** Event log, oldest first. *)
+(** Event log, oldest first. At most [log_capacity] entries are
+    retained — the oldest are dropped once the ring is full. *)
 
 val fake_count : t -> int
 (** Fakes currently installed by this controller. *)

@@ -1,5 +1,11 @@
 module Graph = Netgraph.Graph
 
+(* A flood sends one message over every edge between reached routers;
+   only [reached - 1] of those deliver news, the rest are duplicates the
+   receiver suppresses. *)
+let m_messages = Obs.Metrics.counter "flooding.messages"
+let m_suppressed = Obs.Metrics.counter "flooding.suppressed"
+
 type cost = { messages : int; rounds : int }
 
 let zero = { messages = 0; rounds = 0 }
@@ -26,4 +32,7 @@ let flood g ~origin =
     Graph.fold_edges g ~init:0 ~f:(fun acc u v _ ->
         if depth.(u) >= 0 && depth.(v) >= 0 then acc + 1 else acc)
   in
+  let reached = Array.fold_left (fun k d -> if d >= 0 then k + 1 else k) 0 depth in
+  Obs.Metrics.add m_messages messages;
+  Obs.Metrics.add m_suppressed (max 0 (messages - (reached - 1)));
   { messages; rounds = !rounds }

@@ -1,5 +1,8 @@
 module Graph = Netgraph.Graph
 
+let m_delta_appends = Obs.Metrics.counter "lsdb.delta_appends"
+let m_log_overflows = Obs.Metrics.counter "lsdb.log_overflows"
+
 type view = {
   graph : Graph.t;
   real_nodes : int;
@@ -67,13 +70,18 @@ let base_graph t = t.base
 let record t deltas =
   let count = List.length deltas in
   if t.log_entries + count > log_cap then begin
+    Obs.Metrics.incr m_log_overflows;
+    if Obs.enabled () then
+      Obs.Timeline.record ~source:"lsdb" ~kind:"log_overflow"
+        [ ("dropped", Int t.log_entries); ("version", Int t.version) ];
     t.delta_log <- [];
     t.log_entries <- 0;
     t.log_floor <- t.version
   end
   else begin
     List.iter (fun d -> t.delta_log <- (t.version, d) :: t.delta_log) deltas;
-    t.log_entries <- t.log_entries + count
+    t.log_entries <- t.log_entries + count;
+    Obs.Metrics.add m_delta_appends count
   end
 
 let deltas_since t ~since =

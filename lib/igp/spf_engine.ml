@@ -1,6 +1,16 @@
 module Graph = Netgraph.Graph
 module Dijkstra = Netgraph.Dijkstra
 
+(* Telemetry (no-ops while Obs is disabled; only touched from the
+   coordinating domain — workers report through the [spf_runs] atomic). *)
+let m_spf_runs = Obs.Metrics.counter "spf.runs"
+let m_syncs = Obs.Metrics.counter "spf.syncs"
+let m_full_invalidations = Obs.Metrics.counter "spf.full_invalidations"
+let m_routers_dirtied = Obs.Metrics.counter "spf.routers_dirtied"
+let m_routers_kept = Obs.Metrics.counter "spf.routers_kept"
+let m_recompute_ms = Obs.Metrics.histogram "spf.recompute_ms"
+let g_dirty = Obs.Metrics.gauge "spf.dirty_routers"
+
 type stats = {
   spf_runs : int;
   syncs : int;
@@ -59,7 +69,8 @@ let compute_router t view r =
 
 let drop_all t =
   Array.fill t.entries 0 (Array.length t.entries) None;
-  t.full_invalidations <- t.full_invalidations + 1
+  t.full_invalidations <- t.full_invalidations + 1;
+  Obs.Metrics.incr m_full_invalidations
 
 let invalidate_all t =
   drop_all t;
@@ -185,10 +196,12 @@ let sync t =
   let current = Lsdb.version t.lsdb in
   if current <> t.synced then begin
     t.syncs <- t.syncs + 1;
+    Obs.Metrics.incr m_syncs;
     let n = Graph.node_count (Lsdb.base_graph t.lsdb) in
     if Array.length t.entries <> n then begin
       t.entries <- Array.make n None;
-      t.full_invalidations <- t.full_invalidations + 1
+      t.full_invalidations <- t.full_invalidations + 1;
+      Obs.Metrics.incr m_full_invalidations
     end
     else begin
       let valid a =
@@ -201,7 +214,14 @@ let sync t =
         | Some deltas -> apply_deltas t deltas);
         let after = valid t.entries in
         t.routers_kept <- t.routers_kept + after;
-        t.routers_dirtied <- t.routers_dirtied + (before - after)
+        t.routers_dirtied <- t.routers_dirtied + (before - after);
+        Obs.Metrics.add m_routers_kept after;
+        Obs.Metrics.add m_routers_dirtied (before - after);
+        if Obs.enabled () then begin
+          Obs.Metrics.set g_dirty (float_of_int (n - after));
+          Obs.Timeline.record ~source:"spf" ~kind:"sync"
+            [ ("kept", Int after); ("dirtied", Int (before - after)) ]
+        end
       end
     end;
     t.synced <- current
@@ -215,7 +235,21 @@ let table_for t router =
   match t.entries.(router) with
   | Some tbl -> tbl
   | None ->
-    let tbl = compute_router t (Lsdb.view t.lsdb) router in
+    let fill () = compute_router t (Lsdb.view t.lsdb) router in
+    let tbl =
+      if Obs.enabled () then begin
+        let t0 = Obs.Clock.now () in
+        let tbl =
+          Obs.Trace.with_span "spf.recompute"
+            ~attrs:[ ("router", Int router); ("dirty", Int 1) ]
+            fill
+        in
+        Obs.Metrics.observe m_recompute_ms ((Obs.Clock.now () -. t0) *. 1000.);
+        tbl
+      end
+      else fill ()
+    in
+    Obs.Metrics.incr m_spf_runs;
     t.entries.(router) <- Some tbl;
     tbl
 
@@ -243,9 +277,24 @@ let compute_all t =
        write disjoint slots of [entries]. *)
     let view = Lsdb.view t.lsdb in
     let missing = Array.of_list rs in
-    Kit.Pool.iter t.pool ~n:(Array.length missing) (fun i ->
-        let r = missing.(i) in
-        t.entries.(r) <- Some (compute_router t view r))
+    let work () =
+      Kit.Pool.iter t.pool ~n:(Array.length missing) (fun i ->
+          let r = missing.(i) in
+          t.entries.(r) <- Some (compute_router t view r))
+    in
+    Obs.Metrics.add m_spf_runs (Array.length missing);
+    if Obs.enabled () then begin
+      let t0 = Obs.Clock.now () in
+      Obs.Trace.with_span "spf.recompute"
+        ~attrs:
+          [
+            ("dirty", Int (Array.length missing));
+            ("fanout", Int (Kit.Pool.domain_count t.pool));
+          ]
+        work;
+      Obs.Metrics.observe m_recompute_ms ((Obs.Clock.now () -. t0) *. 1000.)
+    end
+    else work ()
 
 let prefix_table t prefix =
   compute_all t;

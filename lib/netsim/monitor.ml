@@ -1,5 +1,9 @@
 type alarm = { link : Link.t; utilization : float; raised : bool }
 
+let m_polls = Obs.Metrics.counter "monitor.polls"
+let m_alarms_raised = Obs.Metrics.counter "monitor.alarms_raised"
+let m_alarms_cleared = Obs.Metrics.counter "monitor.alarms_cleared"
+
 type t = {
   poll_interval : float;
   threshold : float;
@@ -9,6 +13,7 @@ type t = {
   window_bytes : (Link.t, float) Hashtbl.t;
   smoothed : (Link.t, float) Hashtbl.t;
   alarmed : (Link.t, unit) Hashtbl.t;
+  histories : (Link.t, Kit.Timeseries.t) Hashtbl.t;
   mutable last_poll : float;
 }
 
@@ -26,6 +31,7 @@ let create ?(poll_interval = 2.0) ?(threshold = 0.9) ?(clear_threshold = 0.7)
     window_bytes = Hashtbl.create 32;
     smoothed = Hashtbl.create 32;
     alarmed = Hashtbl.create 8;
+    histories = Hashtbl.create 8;
     last_poll = 0.;
   }
 
@@ -55,16 +61,37 @@ let poll t ~time =
       if not (Hashtbl.mem t.window_bytes link) then update link)
     t.smoothed;
   Hashtbl.reset t.window_bytes;
+  Obs.Metrics.incr m_polls;
+  (* Per-link utilization histories, sampled once per poll. Only kept
+     while telemetry is on: unbounded series would leak over long runs. *)
+  if Obs.enabled () then
+    Hashtbl.iter
+      (fun link u ->
+        let ts =
+          match Hashtbl.find_opt t.histories link with
+          | Some ts -> ts
+          | None ->
+            let a, b = link in
+            let ts =
+              Kit.Timeseries.create ~name:(Printf.sprintf "util %d-%d" a b)
+            in
+            Hashtbl.add t.histories link ts;
+            ts
+        in
+        Kit.Timeseries.add ts ~time u)
+      t.smoothed;
   let alarms = ref [] in
   Hashtbl.iter
     (fun link utilization ->
       let was_alarmed = Hashtbl.mem t.alarmed link in
       if (not was_alarmed) && utilization > t.threshold then begin
         Hashtbl.replace t.alarmed link ();
+        Obs.Metrics.incr m_alarms_raised;
         alarms := { link; utilization; raised = true } :: !alarms
       end
       else if was_alarmed && utilization < t.clear_threshold then begin
         Hashtbl.remove t.alarmed link;
+        Obs.Metrics.incr m_alarms_cleared;
         alarms := { link; utilization; raised = false } :: !alarms
       end)
     t.smoothed;
@@ -80,6 +107,8 @@ let utilizations t =
 let threshold t = t.threshold
 
 let clear_threshold t = t.clear_threshold
+
+let history t link = Hashtbl.find_opt t.histories link
 
 let overloaded t =
   Hashtbl.fold (fun link () acc -> link :: acc) t.alarmed []

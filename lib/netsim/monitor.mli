@@ -48,3 +48,7 @@ val clear_threshold : t -> float
 
 val overloaded : t -> Link.t list
 (** Links currently in the alarmed state. *)
+
+val history : t -> Link.t -> Kit.Timeseries.t option
+(** Smoothed utilization sampled once per poll, recorded only while
+    [Obs] telemetry is enabled; [None] when nothing was recorded. *)

@@ -1,5 +1,7 @@
 type event = Start of Flow.t | Stop of int
 
+let m_steps = Obs.Metrics.counter "sim.steps"
+
 type rate_model = Max_min_fair | Aimd of Aimd.t
 
 (* A reconvergence in progress: routers still on [old_fib] until their
@@ -250,9 +252,19 @@ let step t =
       match event with
       | Start flow ->
         t.active <- t.active @ [ flow ];
+        if Obs.enabled () then
+          Obs.Timeline.record ~time:step_start ~source:"sim" ~kind:"flow_start"
+            [
+              ("flow", Int flow.Flow.id);
+              ("prefix", String flow.Flow.prefix);
+              ("demand", Float flow.Flow.demand);
+            ];
         t.routes_dirty <- true
       | Stop id ->
         t.active <- List.filter (fun f -> f.Flow.id <> id) t.active;
+        if Obs.enabled () then
+          Obs.Timeline.record ~time:step_start ~source:"sim" ~kind:"flow_stop"
+            [ ("flow", Int id) ];
         (match t.rate_model with
         | Aimd aimd -> Aimd.forget aimd id
         | Max_min_fair -> ());
@@ -299,12 +311,30 @@ let step t =
     (List.sort_uniq Link.compare (touched @ tracked));
   (* 5. Advance time, then feed the monitor and fire hooks. *)
   t.time <- step_start +. t.dt;
+  Obs.Metrics.incr m_steps;
   (match t.monitor with
   | None -> ()
   | Some monitor ->
     Monitor.observe monitor ~time:t.time ~dt:t.dt t.link_rates;
     if Monitor.poll_due monitor ~time:t.time then begin
       let alarms = Monitor.poll monitor ~time:t.time in
+      (* Alarms are recorded before the poll hooks run, so controller
+         reactions always follow their triggering alarm in the merged
+         timeline's causal order. *)
+      if Obs.enabled () then begin
+        Obs.Timeline.record ~time:t.time ~source:"monitor" ~kind:"poll"
+          [ ("alarms", Int (List.length alarms)) ];
+        let g = Igp.Network.graph t.net in
+        List.iter
+          (fun (a : Monitor.alarm) ->
+            Obs.Timeline.record ~time:t.time ~source:"monitor"
+              ~kind:(if a.raised then "alarm" else "clear")
+              [
+                ("link", String (Link.name g a.link));
+                ("utilization", Float a.utilization);
+              ])
+          alarms
+      end;
       List.iter (fun hook -> hook t alarms) t.poll_hooks
     end);
   List.iter (fun hook -> hook t) t.step_hooks

@@ -1,0 +1,44 @@
+type value = String of string | Int of int | Float of float | Bool of bool
+
+type t = string * value
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_json = function
+  | String s -> Printf.sprintf "\"%s\"" (escape s)
+  | Int i -> string_of_int i
+  | Float f ->
+    (* JSON has no inf/nan literals; quote them instead. *)
+    if Float.is_finite f then Printf.sprintf "%.6g" f
+    else Printf.sprintf "\"%.6g\"" f
+  | Bool b -> if b then "true" else "false"
+
+let list_to_json attrs =
+  let field (k, v) = Printf.sprintf "\"%s\":%s" (escape k) (value_to_json v) in
+  Printf.sprintf "{%s}" (String.concat "," (List.map field attrs))
+
+let pp_value fmt = function
+  | String s -> Format.pp_print_string fmt s
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%.6g" f
+  | Bool b -> Format.pp_print_bool fmt b
+
+let pp_list fmt attrs =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+    (fun fmt (k, v) -> Format.fprintf fmt "%s=%a" k pp_value v)
+    fmt attrs

@@ -1,0 +1,7 @@
+let source : (unit -> float) ref = ref Sys.time
+
+let set_source f = source := f
+
+let use_cpu_time () = source := Sys.time
+
+let now () = !source ()

@@ -1,0 +1,15 @@
+(** The time source stamped onto spans and timeline events.
+
+    Defaults to [Sys.time] (CPU seconds — monotonic, dependency-free).
+    Harnesses replace it: [bench/main] installs a wall clock for real
+    durations, and [fibbingctl trace] points it at the simulator's
+    virtual time so two identical runs stamp identical (and therefore
+    byte-identical, see {!Attr}) timelines. *)
+
+val set_source : (unit -> float) -> unit
+(** The source must be non-decreasing between calls. *)
+
+val use_cpu_time : unit -> unit
+(** Restore the default [Sys.time] source. *)
+
+val now : unit -> float

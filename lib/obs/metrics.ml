@@ -1,0 +1,203 @@
+type counter = { c_name : string; mutable n : int }
+
+type gauge = { g_name : string; mutable v : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array; (* strictly increasing upper bounds *)
+  counts : int array; (* length bounds + 1, last = overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_error name = invalid_arg (Printf.sprintf "Metrics: %s registered as another kind" name)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (C c) -> c
+  | Some _ -> kind_error name
+  | None ->
+    let c = { c_name = name; n = 0 } in
+    Hashtbl.replace registry name (C c);
+    c
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (G g) -> g
+  | Some _ -> kind_error name
+  | None ->
+    let g = { g_name = name; v = 0. } in
+    Hashtbl.replace registry name (G g);
+    g
+
+(* Log-spaced at ratio 1.25 over [1e-3, 1e4]: 10% worst-case relative
+   error on percentile estimates, fine enough for millisecond timings. *)
+let default_buckets =
+  let rec go acc x = if x > 1e4 then List.rev acc else go (x :: acc) (x *. 1.25) in
+  Array.of_list (go [] 1e-3)
+
+let histogram ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt registry name with
+  | Some (H h) -> h
+  | Some _ -> kind_error name
+  | None ->
+    if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && buckets.(i - 1) >= b then
+          invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+      buckets;
+    let h =
+      {
+        h_name = name;
+        bounds = Array.copy buckets;
+        counts = Array.make (Array.length buckets + 1) 0;
+        count = 0;
+        sum = 0.;
+        minv = infinity;
+        maxv = neg_infinity;
+      }
+    in
+    Hashtbl.replace registry name (H h);
+    h
+
+let incr c = if !State.enabled then c.n <- c.n + 1
+
+let add c k = if !State.enabled then c.n <- c.n + k
+
+let set g v = if !State.enabled then g.v <- v
+
+(* Index of the bucket holding [v]: smallest [i] with [v <= bounds.(i)],
+   or the overflow bucket. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v <= bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe h v =
+  if !State.enabled then begin
+    let i = bucket_index h.bounds v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.minv then h.minv <- v;
+    if v > h.maxv then h.maxv <- v
+  end
+
+let counter_value c = c.n
+
+let gauge_value g = g.v
+
+let quantile h q =
+  if q < 0. || q > 1. then invalid_arg "Metrics.quantile: q outside [0, 1]";
+  if h.count = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    let n = Array.length h.bounds in
+    let i = ref 0 and cum = ref h.counts.(0) in
+    while !cum < rank do
+      i := !i + 1;
+      cum := !cum + h.counts.(!i)
+    done;
+    let i = !i in
+    let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+    let hi = if i < n then h.bounds.(i) else h.maxv in
+    let before = !cum - h.counts.(i) in
+    let frac = float_of_int (rank - before) /. float_of_int h.counts.(i) in
+    let estimate = lo +. (frac *. (hi -. lo)) in
+    Float.min h.maxv (Float.max h.minv estimate)
+  end
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summary (h : histogram) =
+  {
+    count = h.count;
+    sum = h.sum;
+    min = (if h.count = 0 then 0. else h.minv);
+    max = (if h.count = 0 then 0. else h.maxv);
+    p50 = quantile h 0.5;
+    p95 = quantile h 0.95;
+    p99 = quantile h 0.99;
+  }
+
+type snapshot =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+let dump () =
+  Hashtbl.fold
+    (fun name metric acc ->
+      let snap =
+        match metric with
+        | C c -> Counter c.n
+        | G g -> Gauge g.v
+        | H h -> Histogram (summary h)
+      in
+      (name, snap) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_json_lines () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, snap) ->
+      let body =
+        match snap with
+        | Counter n -> Printf.sprintf "\"type\":\"counter\",\"value\":%d" n
+        | Gauge v -> Printf.sprintf "\"type\":\"gauge\",\"value\":%.6g" v
+        | Histogram s ->
+          Printf.sprintf
+            "\"type\":\"histogram\",\"count\":%d,\"sum\":%.6g,\"min\":%.6g,\"max\":%.6g,\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g"
+            s.count s.sum s.min s.max s.p50 s.p95 s.p99
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",%s}\n" (Attr.escape name) body))
+    (dump ());
+  Buffer.contents buf
+
+let pp_table fmt () =
+  Format.fprintf fmt "%-36s %-10s %s@." "metric" "kind" "value";
+  List.iter
+    (fun (name, snap) ->
+      match snap with
+      | Counter n -> Format.fprintf fmt "%-36s %-10s %d@." name "counter" n
+      | Gauge v -> Format.fprintf fmt "%-36s %-10s %.6g@." name "gauge" v
+      | Histogram s ->
+        Format.fprintf fmt
+          "%-36s %-10s count=%d sum=%.6g min=%.6g max=%.6g p50=%.6g p95=%.6g p99=%.6g@."
+          name "histogram" s.count s.sum s.min s.max s.p50 s.p95 s.p99)
+    (dump ())
+
+let reset () =
+  Hashtbl.iter
+    (fun _ metric ->
+      match metric with
+      | C c -> c.n <- 0
+      | G g -> g.v <- 0.
+      | H h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.count <- 0;
+        h.sum <- 0.;
+        h.minv <- infinity;
+        h.maxv <- neg_infinity)
+    registry

@@ -1,0 +1,34 @@
+(** Unified telemetry for the Fibbing reproduction: a metrics registry
+    ({!Metrics}), structured trace spans ({!Trace}) and the merged
+    scenario timeline ({!Timeline}).
+
+    Everything hangs off one global switch, off by default. While off,
+    every instrumentation point costs a single flag check — counters
+    and gauges are plain unboxed cells, spans run their function
+    directly, timeline recording returns immediately. Hot-path callers
+    additionally guard attribute-list construction with {!enabled}.
+
+    Instrumented subsystems share one sequence counter, so metrics,
+    spans and events from the IGP engine, the controller, the monitor
+    and the simulator line up in a single causal order (what
+    [fibbingctl trace] prints). See DESIGN.md, "Observability". *)
+
+module Attr = Attr
+module Clock = Clock
+module Metrics = Metrics
+module Trace = Trace
+module Timeline = Timeline
+
+let enable () = State.enabled := true
+
+let disable () = State.enabled := false
+
+let enabled () = !State.enabled
+
+(** Zero all metrics, drop all spans and events, restart the sequence
+    counter. Metric registrations survive. *)
+let reset () =
+  Metrics.reset ();
+  Trace.reset ();
+  Timeline.reset ();
+  State.reset_seq ()

@@ -1,0 +1,14 @@
+(* Shared internal state of the Obs library: the global on/off switch
+   and the sequence counter that gives every trace span and timeline
+   event a position in one total causal order. Not exported. *)
+
+let enabled = ref false
+
+let next_seq = ref 0
+
+let fresh_seq () =
+  let s = !next_seq in
+  incr next_seq;
+  s
+
+let reset_seq () = next_seq := 0

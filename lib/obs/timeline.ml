@@ -1,0 +1,62 @@
+type event = {
+  time : float;
+  seq : int;
+  source : string;
+  kind : string;
+  attrs : Attr.t list;
+}
+
+let default_capacity = 65536
+
+let ring : event Kit.Ring.t ref = ref (Kit.Ring.create ~capacity:default_capacity)
+
+let record ?time ~source ~kind attrs =
+  if !State.enabled then begin
+    let time = match time with Some t -> t | None -> Clock.now () in
+    Kit.Ring.push !ring
+      { time; seq = State.fresh_seq (); source; kind; attrs }
+  end
+
+let span_event (s : Trace.span) =
+  {
+    time = s.start_time;
+    seq = s.seq;
+    source = "trace";
+    kind = s.name;
+    attrs =
+      s.attrs
+      @ [ ("duration_ms", Attr.Float ((s.end_time -. s.start_time) *. 1000.)) ];
+  }
+
+let events ?(include_spans = true) () =
+  let own = Kit.Ring.to_list !ring in
+  let merged =
+    if include_spans then own @ List.map span_event (Trace.spans ()) else own
+  in
+  List.sort (fun a b -> compare a.seq b.seq) merged
+
+let dropped () = Kit.Ring.dropped !ring
+
+let to_json_lines ?include_spans () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"seq\":%d,\"time\":%.6f,\"source\":\"%s\",\"kind\":\"%s\",\"attrs\":%s}\n"
+           e.seq e.time (Attr.escape e.source) (Attr.escape e.kind)
+           (Attr.list_to_json e.attrs)))
+    (events ?include_spans ());
+  Buffer.contents buf
+
+let pp_table ?include_spans fmt () =
+  Format.fprintf fmt "%10s  %-12s %-18s %s@." "time" "source" "kind" "attrs";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%10.3f  %-12s %-18s %a@." e.time e.source e.kind
+        Attr.pp_list e.attrs)
+    (events ?include_spans ())
+
+let set_capacity capacity = ring := Kit.Ring.create ~capacity
+
+let reset () = Kit.Ring.clear !ring

@@ -1,0 +1,115 @@
+type span = {
+  seq : int;
+  parent : int option;
+  depth : int;
+  name : string;
+  attrs : Attr.t list;
+  start_time : float;
+  end_time : float;
+}
+
+(* An open span awaiting its end timestamp. *)
+type active = {
+  a_seq : int;
+  a_parent : int option;
+  a_depth : int;
+  a_name : string;
+  a_attrs : Attr.t list;
+  a_start : float;
+}
+
+let default_capacity = 16384
+
+let ring : span Kit.Ring.t ref = ref (Kit.Ring.create ~capacity:default_capacity)
+
+let stack : active list ref = ref []
+
+let with_span ?(attrs = []) name f =
+  if not !State.enabled then f ()
+  else begin
+    let parent, depth =
+      match !stack with
+      | [] -> (None, 0)
+      | p :: _ -> (Some p.a_seq, p.a_depth + 1)
+    in
+    let a =
+      {
+        a_seq = State.fresh_seq ();
+        a_parent = parent;
+        a_depth = depth;
+        a_name = name;
+        a_attrs = attrs;
+        a_start = Clock.now ();
+      }
+    in
+    stack := a :: !stack;
+    let finish () =
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      Kit.Ring.push !ring
+        {
+          seq = a.a_seq;
+          parent = a.a_parent;
+          depth = a.a_depth;
+          name = a.a_name;
+          attrs = a.a_attrs;
+          start_time = a.a_start;
+          end_time = Clock.now ();
+        }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let spans () = Kit.Ring.to_list !ring
+
+let dropped () = Kit.Ring.dropped !ring
+
+let to_json_lines () =
+  let buf = Buffer.create 1024 in
+  Kit.Ring.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"seq\":%d,\"parent\":%s,\"name\":\"%s\",\"start\":%.6f,\"end\":%.6f,\"attrs\":%s}\n"
+           s.seq
+           (match s.parent with Some p -> string_of_int p | None -> "null")
+           (Attr.escape s.name) s.start_time s.end_time
+           (Attr.list_to_json s.attrs)))
+    !ring;
+  Buffer.contents buf
+
+let pp_tree fmt () =
+  let all = spans () in
+  let present = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace present s.seq ()) all;
+  let children = Hashtbl.create 64 in
+  let roots = ref [] in
+  List.iter
+    (fun s ->
+      match s.parent with
+      | Some p when Hashtbl.mem present p ->
+        Hashtbl.replace children p (s :: Option.value ~default:[] (Hashtbl.find_opt children p))
+      | Some _ | None -> roots := s :: !roots)
+    all;
+  let by_seq l = List.sort (fun a b -> compare a.seq b.seq) l in
+  let rec pp indent s =
+    Format.fprintf fmt "%s%s [%.6f..%.6f]%s%a@." indent s.name s.start_time
+      s.end_time
+      (if s.attrs = [] then "" else " ")
+      Attr.pp_list s.attrs;
+    List.iter
+      (pp (indent ^ "  "))
+      (by_seq (Option.value ~default:[] (Hashtbl.find_opt children s.seq)))
+  in
+  List.iter (pp "") (by_seq !roots)
+
+let set_capacity capacity = ring := Kit.Ring.create ~capacity
+
+let reset () =
+  Kit.Ring.clear !ring;
+  stack := []

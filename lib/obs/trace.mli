@@ -1,0 +1,41 @@
+(** Structured trace spans.
+
+    [with_span "spf.recompute" ~attrs f] stamps a begin/end pair around
+    [f] and stores the completed span in a bounded in-memory ring.
+    Spans nest: a span opened inside another becomes its child, and
+    every span carries a global sequence number shared with
+    {!Timeline} events, so the two streams merge into one causal
+    order. When the library is disabled ([Obs.disable]), [with_span]
+    is the identity on [f] — one flag check, no clock read, no
+    allocation beyond the caller's [attrs] list. *)
+
+type span = {
+  seq : int;  (** Global order at span begin; also the span's id. *)
+  parent : int option;  (** Enclosing span's [seq]. *)
+  depth : int;
+  name : string;
+  attrs : Attr.t list;
+  start_time : float;
+  end_time : float;
+}
+
+val with_span : ?attrs:Attr.t list -> string -> (unit -> 'a) -> 'a
+(** Runs the function, recording the span even when it raises. *)
+
+val spans : unit -> span list
+(** Completed spans retained by the ring, in completion order. *)
+
+val dropped : unit -> int
+(** Spans evicted by the ring since the last [reset]. *)
+
+val to_json_lines : unit -> string
+(** One JSON object per completed span, deterministic. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Spans as an indented forest (children under parents, by [seq]).
+    Spans whose parent was evicted from the ring print as roots. *)
+
+val set_capacity : int -> unit
+(** Resize the ring (default 16384). Drops all retained spans. *)
+
+val reset : unit -> unit

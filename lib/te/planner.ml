@@ -1,5 +1,8 @@
 module Graph = Netgraph.Graph
 
+let m_scenarios = Obs.Metrics.counter "planner.scenarios"
+let m_compile_failures = Obs.Metrics.counter "planner.compile_failures"
+
 type scenario = No_failure | Link_failure of Netsim.Link.t
 
 let pp_scenario g fmt = function
@@ -63,6 +66,8 @@ let prepare ?(epsilon = 0.1) ?(max_entries = 16) net ~demands ~capacity
   in
   List.map
     (fun scenario ->
+      Obs.Metrics.incr m_scenarios;
+      let plan_scenario () =
       (* Build the scenario's network. *)
       let what_if = Igp.Network.clone net in
       (match scenario with
@@ -112,6 +117,7 @@ let prepare ?(epsilon = 0.1) ?(max_entries = 16) net ~demands ~capacity
         else begin
           match Fibbing.Augmentation.compile ~max_entries what_if reqs with
           | Error reason ->
+            Obs.Metrics.incr m_compile_failures;
             {
               scenario;
               igp_utilization;
@@ -130,7 +136,32 @@ let prepare ?(epsilon = 0.1) ?(max_entries = 16) net ~demands ~capacity
               plan = Some plan;
               note = None;
             }
-        end)
+        end
+      in
+      if Obs.enabled () then begin
+        let name =
+          Format.asprintf "%a" (pp_scenario (Igp.Network.graph net)) scenario
+        in
+        let entry =
+          Obs.Trace.with_span "planner.scenario"
+            ~attrs:[ ("scenario", String name) ]
+            plan_scenario
+        in
+        Obs.Timeline.record ~source:"planner" ~kind:"entry"
+          [
+            ("scenario", String name);
+            ("igp_utilization", Float entry.igp_utilization);
+            ("planned_utilization", Float entry.planned_utilization);
+            ("optimal_utilization", Float entry.optimal_utilization);
+            ( "fakes",
+              Int
+                (match entry.plan with
+                | None -> 0
+                | Some p -> Fibbing.Augmentation.fake_count p) );
+          ];
+        entry
+      end
+      else plan_scenario ())
     scenarios
 
 let worst_case = function

@@ -394,6 +394,90 @@ let test_monitor_ewma_smoothing () =
   ignore (Netsim.Monitor.poll m ~time:4.);
   checkf "decayed" 0.5 (Netsim.Monitor.utilization m (0, 1))
 
+let test_monitor_poll_cadence () =
+  let caps = Link.capacities ~default:10. in
+  let m = Netsim.Monitor.create ~poll_interval:2. caps in
+  Alcotest.(check bool) "not due early" false (Netsim.Monitor.poll_due m ~time:1.9);
+  Alcotest.(check bool) "due at interval" true (Netsim.Monitor.poll_due m ~time:2.);
+  ignore (Netsim.Monitor.poll m ~time:2.);
+  Alcotest.(check bool) "window restarts" false (Netsim.Monitor.poll_due m ~time:3.9);
+  Alcotest.(check bool) "due again" true (Netsim.Monitor.poll_due m ~time:4.)
+
+let test_monitor_hysteresis_band () =
+  (* Utilization between clear_threshold and threshold keeps the alarm:
+     no repeat alarm, no premature clear. *)
+  let caps = Link.capacities ~default:10. in
+  let m =
+    Netsim.Monitor.create ~poll_interval:1. ~threshold:0.9 ~clear_threshold:0.5
+      ~alpha:1.0 caps
+  in
+  Netsim.Monitor.observe m ~time:1. ~dt:1. [ ((0, 1), 10.) ];
+  Alcotest.(check int) "raised" 1 (List.length (Netsim.Monitor.poll m ~time:1.));
+  Netsim.Monitor.observe m ~time:2. ~dt:1. [ ((0, 1), 7.) ];
+  Alcotest.(check int) "in-band: silent" 0
+    (List.length (Netsim.Monitor.poll m ~time:2.));
+  Alcotest.(check (list (pair int int))) "still overloaded" [ (0, 1) ]
+    (Netsim.Monitor.overloaded m);
+  Netsim.Monitor.observe m ~time:3. ~dt:1. [ ((0, 1), 4.) ];
+  let alarms = Netsim.Monitor.poll m ~time:3. in
+  Alcotest.(check int) "cleared below clear_threshold" 1 (List.length alarms);
+  Alcotest.(check bool) "clear event" false (List.hd alarms).raised
+
+let test_monitor_history_gated_by_obs () =
+  let caps = Link.capacities ~default:10. in
+  let m = Netsim.Monitor.create ~poll_interval:2. ~alpha:1.0 caps in
+  Netsim.Monitor.observe m ~time:2. ~dt:2. [ ((0, 1), 5.) ];
+  ignore (Netsim.Monitor.poll m ~time:2.);
+  Alcotest.(check bool) "no history while disabled" true
+    (Netsim.Monitor.history m (0, 1) = None);
+  Obs.enable ();
+  Netsim.Monitor.observe m ~time:4. ~dt:2. [ ((0, 1), 10.) ];
+  ignore (Netsim.Monitor.poll m ~time:4.);
+  Obs.disable ();
+  match Netsim.Monitor.history m (0, 1) with
+  | None -> Alcotest.fail "history expected while enabled"
+  | Some ts ->
+    Alcotest.(check int) "one sample" 1 (Kit.Timeseries.length ts);
+    checkf "smoothed utilization sampled" 1.0 (Kit.Timeseries.value_at ts 4.)
+
+(* Property: with offered rates within capacity and observation windows
+   covering each poll interval, the smoothed estimate stays in [0, 1]. *)
+let monitor_gen =
+  QCheck.make
+    ~print:(fun (polls, seed) -> Printf.sprintf "polls=%d seed=%d" polls seed)
+    QCheck.Gen.(pair (int_range 1 20) (int_range 0 100000))
+
+let prop_monitor_utilization_bounded =
+  QCheck.Test.make ~name:"smoothed utilization stays within [0, 1]" ~count:200
+    monitor_gen (fun (polls, seed) ->
+      let prng = Kit.Prng.create ~seed in
+      let capacity = 10. in
+      let caps = Link.capacities ~default:capacity in
+      let alpha = 0.1 +. Kit.Prng.float prng 0.9 in
+      let m = Netsim.Monitor.create ~poll_interval:1. ~alpha caps in
+      let links = [ (0, 1); (1, 2); (2, 3) ] in
+      for p = 1 to polls do
+        let time = float_of_int p in
+        (* Two half-window observations per poll, each within capacity. *)
+        List.iter
+          (fun half ->
+            let rates =
+              List.filter_map
+                (fun link ->
+                  if Kit.Prng.float prng 1. < 0.7 then
+                    Some (link, Kit.Prng.float prng capacity)
+                  else None)
+                links
+            in
+            Netsim.Monitor.observe m ~time:(time -. 0.5 +. (0.5 *. half))
+              ~dt:0.5 rates)
+          [ 1.; 2. ];
+        ignore (Netsim.Monitor.poll m ~time)
+      done;
+      List.for_all
+        (fun (_, u) -> u >= -1e-9 && u <= 1. +. 1e-9)
+        (Netsim.Monitor.utilizations m))
+
 (* ---------- Sim ---------- *)
 
 let test_sim_single_flow_full_rate () =
@@ -933,7 +1017,12 @@ let () =
           Alcotest.test_case "alarm cycle" `Quick test_monitor_alarm_cycle;
           Alcotest.test_case "no repeats" `Quick test_monitor_no_repeat_alarms;
           Alcotest.test_case "ewma" `Quick test_monitor_ewma_smoothing;
+          Alcotest.test_case "poll cadence" `Quick test_monitor_poll_cadence;
+          Alcotest.test_case "hysteresis band" `Quick test_monitor_hysteresis_band;
+          Alcotest.test_case "history gated by Obs" `Quick
+            test_monitor_history_gated_by_obs;
         ] );
+      qsuite "monitor-props" [ prop_monitor_utilization_bounded ];
       ( "aimd",
         [
           Alcotest.test_case "ramps to demand" `Quick test_aimd_ramps_up_to_demand;

@@ -1,0 +1,369 @@
+(* Tests for the Obs telemetry library: metrics round-trips, percentile
+   estimates against a sorted oracle, span nesting, timeline ordering,
+   the Kit.Ring buffer backing the bounded logs, and end-to-end
+   determinism of the traced F2 demo scenario.
+
+   Obs state is global and tests run sequentially in one process, so
+   every test brackets its work with [with_obs] (reset + enable +
+   disable) and never leaves the switch on. *)
+
+let checkf = Alcotest.(check (float 1e-6))
+
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:(fun () -> Obs.disable ()) f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_roundtrip () =
+  with_obs (fun () ->
+      let c = Obs.Metrics.counter "test.counter" in
+      Alcotest.(check int) "starts at zero" 0 (Obs.Metrics.counter_value c);
+      Obs.Metrics.incr c;
+      Obs.Metrics.add c 41;
+      Alcotest.(check int) "incr + add" 42 (Obs.Metrics.counter_value c);
+      (* Find-or-create returns the same cell. *)
+      let c' = Obs.Metrics.counter "test.counter" in
+      Obs.Metrics.incr c';
+      Alcotest.(check int) "same cell by name" 43 (Obs.Metrics.counter_value c))
+
+let test_gauge_roundtrip () =
+  with_obs (fun () ->
+      let g = Obs.Metrics.gauge "test.gauge" in
+      checkf "starts at zero" 0. (Obs.Metrics.gauge_value g);
+      Obs.Metrics.set g 2.5;
+      Obs.Metrics.set g 1.25;
+      checkf "last write wins" 1.25 (Obs.Metrics.gauge_value g))
+
+let test_histogram_roundtrip () =
+  with_obs (fun () ->
+      let h =
+        Obs.Metrics.histogram ~buckets:[| 1.; 2.; 4. |] "test.histogram"
+      in
+      List.iter (Obs.Metrics.observe h) [ 0.5; 1.5; 3.; 100. ];
+      let s = Obs.Metrics.summary h in
+      Alcotest.(check int) "count" 4 s.count;
+      checkf "sum" 105. s.sum;
+      checkf "min" 0.5 s.min;
+      checkf "max" 100. s.max;
+      (* rank(0.5) = ceil(0.5 * 4) = 2 -> second bucket (1, 2], fully
+         interpolated to its upper bound. *)
+      checkf "p50 lands in its bucket" 2. s.p50)
+
+let test_disabled_ops_are_noops () =
+  Obs.reset ();
+  Obs.disable ();
+  let c = Obs.Metrics.counter "test.disabled.counter" in
+  let g = Obs.Metrics.gauge "test.disabled.gauge" in
+  let h = Obs.Metrics.histogram "test.disabled.histogram" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 7;
+  Obs.Metrics.set g 3.;
+  Obs.Metrics.observe h 1.;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value c);
+  checkf "gauge untouched" 0. (Obs.Metrics.gauge_value g);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Metrics.summary h).count
+
+let test_kind_mismatch_rejected () =
+  ignore (Obs.Metrics.counter "test.kind");
+  Alcotest.(check bool) "gauge under a counter name" true
+    (try
+       ignore (Obs.Metrics.gauge "test.kind");
+       false
+     with Invalid_argument _ -> true)
+
+let test_reset_keeps_handles () =
+  with_obs (fun () ->
+      let c = Obs.Metrics.counter "test.reset.counter" in
+      Obs.Metrics.add c 5;
+      Obs.Metrics.reset ();
+      Alcotest.(check int) "zeroed" 0 (Obs.Metrics.counter_value c);
+      Obs.Metrics.incr c;
+      Alcotest.(check int) "handle still live" 1 (Obs.Metrics.counter_value c);
+      Alcotest.(check bool) "registration survives in dump" true
+        (List.mem_assoc "test.reset.counter" (Obs.Metrics.dump ())))
+
+let test_metrics_json_deterministic () =
+  with_obs (fun () ->
+      let c = Obs.Metrics.counter "test.json.counter" in
+      Obs.Metrics.add c 3;
+      let j1 = Obs.Metrics.to_json_lines () in
+      let j2 = Obs.Metrics.to_json_lines () in
+      Alcotest.(check string) "stable output" j1 j2;
+      Alcotest.(check bool) "contains the counter" true
+        (let rec contains i =
+           i + 17 <= String.length j1
+           && (String.sub j1 i 17 = "test.json.counter" || contains (i + 1))
+         in
+         contains 0))
+
+(* Percentile estimates vs. a sorted-sample oracle. The histogram's
+   default buckets are log-spaced at ratio 1.25, and the estimate is
+   interpolated within the bucket holding the nearest-rank sample, so
+   estimate/oracle must stay within one bucket ratio. *)
+let pct_gen =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+    QCheck.Gen.(pair (int_range 1 80) (int_range 0 1_000_000))
+
+let prop_percentile_oracle =
+  QCheck.Test.make ~name:"quantile tracks the nearest-rank oracle" ~count:200
+    pct_gen (fun (n, seed) ->
+      let prng = Kit.Prng.create ~seed in
+      let values = List.init n (fun _ -> 0.01 +. Kit.Prng.float prng 50.) in
+      Obs.reset ();
+      Obs.enable ();
+      let h = Obs.Metrics.histogram "test.pct" in
+      List.iter (Obs.Metrics.observe h) values;
+      let sorted = Array.of_list (List.sort compare values) in
+      let ok =
+        List.for_all
+          (fun q ->
+            let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+            let oracle = sorted.(rank - 1) in
+            let est = Obs.Metrics.quantile h q in
+            est >= (oracle /. 1.2501) -. 1e-9
+            && est <= (oracle *. 1.2501) +. 1e-9)
+          [ 0.5; 0.9; 0.95; 0.99; 1.0 ]
+      in
+      Obs.disable ();
+      ok)
+
+(* ------------------------------------------------------------------ *)
+(* Trace spans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      let result =
+        Obs.Trace.with_span "outer" (fun () ->
+            Obs.Trace.with_span "inner" (fun () -> 7))
+      in
+      Alcotest.(check int) "value passes through" 7 result;
+      match Obs.Trace.spans () with
+      | [ inner; outer ] ->
+        (* Completion order: inner closes first. *)
+        Alcotest.(check string) "inner name" "inner" inner.Obs.Trace.name;
+        Alcotest.(check string) "outer name" "outer" outer.Obs.Trace.name;
+        Alcotest.(check int) "outer is a root" 0 outer.depth;
+        Alcotest.(check bool) "outer has no parent" true (outer.parent = None);
+        Alcotest.(check int) "inner nested once" 1 inner.depth;
+        Alcotest.(check bool) "inner's parent is outer" true
+          (inner.parent = Some outer.seq);
+        Alcotest.(check bool) "begin order: outer first" true
+          (outer.seq < inner.seq)
+      | spans ->
+        Alcotest.failf "expected 2 spans, got %d" (List.length spans))
+
+let test_span_exception_safety () =
+  with_obs (fun () ->
+      (try Obs.Trace.with_span "boom" (fun () -> raise Exit)
+       with Exit -> ());
+      Alcotest.(check int) "raising span still recorded" 1
+        (List.length (Obs.Trace.spans ()));
+      (* The span stack was popped: the next span is a root again. *)
+      Obs.Trace.with_span "after" ignore;
+      let after =
+        List.find
+          (fun (s : Obs.Trace.span) -> s.name = "after")
+          (Obs.Trace.spans ())
+      in
+      Alcotest.(check int) "stack unwound" 0 after.depth;
+      Alcotest.(check bool) "no stale parent" true (after.parent = None))
+
+let test_span_disabled_is_identity () =
+  Obs.reset ();
+  Obs.disable ();
+  Alcotest.(check int) "runs the function" 9
+    (Obs.Trace.with_span "ghost" (fun () -> 9));
+  Alcotest.(check int) "records nothing" 0 (List.length (Obs.Trace.spans ()))
+
+(* ------------------------------------------------------------------ *)
+(* Timeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeline_merges_spans_causally () =
+  with_obs (fun () ->
+      Obs.Timeline.record ~time:1. ~source:"a" ~kind:"one" [];
+      ignore
+        (Obs.Trace.with_span "work" (fun () ->
+             Obs.Timeline.record ~time:2. ~source:"a" ~kind:"two" [];
+             ()));
+      Obs.Timeline.record ~time:3. ~source:"a" ~kind:"three" [];
+      let ev = Obs.Timeline.events () in
+      Alcotest.(check (list string)) "span merges at its begin position"
+        [ "one"; "work"; "two"; "three" ]
+        (List.map (fun e -> e.Obs.Timeline.kind) ev);
+      let w = List.find (fun e -> e.Obs.Timeline.kind = "work") ev in
+      Alcotest.(check string) "span events come from trace" "trace" w.source;
+      Alcotest.(check bool) "span event carries duration" true
+        (List.mem_assoc "duration_ms" w.attrs);
+      let seqs = List.map (fun e -> e.Obs.Timeline.seq) ev in
+      Alcotest.(check bool) "seqs strictly increasing" true
+        (List.sort_uniq compare seqs = seqs);
+      (* Excluding spans drops only the trace-sourced event. *)
+      Alcotest.(check int) "include_spans:false" 3
+        (List.length (Obs.Timeline.events ~include_spans:false ())))
+
+let test_timeline_disabled_records_nothing () =
+  Obs.reset ();
+  Obs.disable ();
+  Obs.Timeline.record ~time:1. ~source:"a" ~kind:"ghost" [];
+  Alcotest.(check int) "no events" 0 (List.length (Obs.Timeline.events ()))
+
+(* ------------------------------------------------------------------ *)
+(* Kit.Ring (bounded buffer behind event logs and trace rings)         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_eviction () =
+  let r = Kit.Ring.create ~capacity:3 in
+  List.iter (Kit.Ring.push r) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "keeps newest, oldest first" [ 3; 4; 5 ]
+    (Kit.Ring.to_list r);
+  Alcotest.(check int) "dropped count" 2 (Kit.Ring.dropped r);
+  Alcotest.(check int) "length capped" 3 (Kit.Ring.length r);
+  Alcotest.(check int) "capacity" 3 (Kit.Ring.capacity r);
+  Alcotest.(check int) "fold oldest first" 345
+    (Kit.Ring.fold (fun acc x -> (acc * 10) + x) 0 r);
+  Kit.Ring.clear r;
+  Alcotest.(check int) "clear empties" 0 (Kit.Ring.length r);
+  Alcotest.(check int) "clear resets dropped" 0 (Kit.Ring.dropped r)
+
+let test_ring_validates_capacity () =
+  Alcotest.(check bool) "capacity must be positive" true
+    (try
+       ignore (Kit.Ring.create ~capacity:0 : int Kit.Ring.t);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Controller log bounding (satellite: event log in a ring)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_controller_log_capacity_validated () =
+  let d = Scenarios.Demo.make ~fibbing:false () in
+  Alcotest.(check bool) "log_capacity 0 rejected" true
+    (try
+       ignore
+         (Fibbing.Controller.create
+            ~config:
+              { Fibbing.Controller.default_config with log_capacity = 0 }
+            d.Scenarios.Demo.net);
+       false
+     with Invalid_argument _ -> true)
+
+let test_controller_log_bounded () =
+  (* A capacity-1 log retains only the newest action across the F2 run,
+     which triggers two reactions. *)
+  let config =
+    { Fibbing.Controller.default_config with log_capacity = 1 }
+  in
+  let d = Scenarios.Demo.make ~fibbing:true ~controller_config:config () in
+  ignore (Scenarios.Demo.load_fig2_workload d);
+  Scenarios.Demo.run d ~until:45.;
+  match d.Scenarios.Demo.controller with
+  | None -> Alcotest.fail "controller expected"
+  | Some c ->
+    let actions = Fibbing.Controller.actions c in
+    Alcotest.(check int) "only the newest action retained" 1
+      (List.length actions)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: traced F2 demo is deterministic and causally ordered    *)
+(* ------------------------------------------------------------------ *)
+
+let traced_f2_run () =
+  let d = Scenarios.Demo.make ~fibbing:true () in
+  Obs.reset ();
+  Obs.enable ();
+  (* Simulation time as the telemetry clock: reruns are byte-identical. *)
+  Obs.Clock.set_source (fun () -> Netsim.Sim.time d.Scenarios.Demo.sim);
+  ignore (Scenarios.Demo.load_fig2_workload d);
+  Scenarios.Demo.run d ~until:25.;
+  Obs.disable ();
+  Obs.Clock.use_cpu_time ();
+  (Obs.Timeline.to_json_lines (), Obs.Timeline.events ())
+
+let test_f2_timeline_deterministic () =
+  let j1, ev = traced_f2_run () in
+  let j2, _ = traced_f2_run () in
+  Alcotest.(check bool) "two runs byte-identical" true (String.equal j1 j2);
+  let find pred = List.find_opt pred ev in
+  let alarm =
+    find (fun e -> e.Obs.Timeline.source = "monitor" && e.kind = "alarm")
+  in
+  let action =
+    find (fun e -> e.Obs.Timeline.source = "controller" && e.kind = "action")
+  in
+  let spf =
+    find (fun e -> e.Obs.Timeline.source = "trace" && e.kind = "spf.recompute")
+  in
+  (match (alarm, action) with
+  | Some a, Some c ->
+    Alcotest.(check bool) "alarm precedes controller reaction" true
+      (a.Obs.Timeline.seq < c.Obs.Timeline.seq)
+  | None, _ -> Alcotest.fail "no monitor alarm in timeline"
+  | _, None -> Alcotest.fail "no controller action in timeline");
+  Alcotest.(check bool) "SPF recompute spans present" true (spf <> None);
+  Alcotest.(check bool) "timeline non-trivial" true (List.length ev > 20)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter round-trip" `Quick test_counter_roundtrip;
+          Alcotest.test_case "gauge round-trip" `Quick test_gauge_roundtrip;
+          Alcotest.test_case "histogram round-trip" `Quick
+            test_histogram_roundtrip;
+          Alcotest.test_case "disabled ops are no-ops" `Quick
+            test_disabled_ops_are_noops;
+          Alcotest.test_case "kind mismatch rejected" `Quick
+            test_kind_mismatch_rejected;
+          Alcotest.test_case "reset keeps handles" `Quick
+            test_reset_keeps_handles;
+          Alcotest.test_case "json deterministic" `Quick
+            test_metrics_json_deterministic;
+        ] );
+      qsuite "metrics-props" [ prop_percentile_oracle ];
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "disabled is identity" `Quick
+            test_span_disabled_is_identity;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "merges spans causally" `Quick
+            test_timeline_merges_spans_causally;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_timeline_disabled_records_nothing;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "validates capacity" `Quick
+            test_ring_validates_capacity;
+        ] );
+      ( "controller-log",
+        [
+          Alcotest.test_case "capacity validated" `Quick
+            test_controller_log_capacity_validated;
+          Alcotest.test_case "bounded retention" `Quick
+            test_controller_log_bounded;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "F2 timeline deterministic" `Quick
+            test_f2_timeline_deterministic;
+        ] );
+    ]
