@@ -20,6 +20,8 @@ type config = {
   escalation_depth : int;
   strategy : strategy;
   log_capacity : int;
+  lie_ttl : float;
+  max_backoff : float;
 }
 
 let default_config =
@@ -31,6 +33,8 @@ let default_config =
     escalation_depth = 4;
     strategy = Local_deflection;
     log_capacity = 4096;
+    lie_ttl = 30.;
+    max_backoff = 60.;
   }
 
 type reoptimizer =
@@ -54,26 +58,73 @@ type t = {
   config : config;
   reoptimize : reoptimizer option;
   states : (Igp.Lsa.prefix, prefix_state) Hashtbl.t;
+  (* Lies found in the LSDB at restart and taken over (refreshed,
+     counted, withdrawn on calm) without a reconstructed plan. *)
+  adopted : (Igp.Lsa.prefix, Igp.Lsa.fake list) Hashtbl.t;
   log : action Kit.Ring.t; (* bounded, oldest evicted first *)
   mutable calm_since : float option;
+  mutable alive : bool;
+  (* Exponential backoff for reactions that keep changing nothing. *)
+  mutable failures : int;
+  mutable backoff_until : float;
 }
 
 let create ?(config = default_config) ?reoptimize net =
   if config.log_capacity <= 0 then
     invalid_arg "Controller.create: log_capacity must be positive";
+  if config.lie_ttl <= 0. then
+    invalid_arg "Controller.create: lie_ttl must be positive";
+  if config.max_backoff < config.cooldown then
+    invalid_arg "Controller.create: max_backoff must be >= cooldown";
   {
     net;
     config;
     reoptimize;
     states = Hashtbl.create 4;
+    adopted = Hashtbl.create 4;
     log = Kit.Ring.create ~capacity:config.log_capacity;
     calm_since = None;
+    alive = true;
+    failures = 0;
+    backoff_until = neg_infinity;
   }
 
 let fake_count t =
-  Hashtbl.fold
-    (fun _ s acc -> acc + Augmentation.fake_count s.plan)
-    t.states 0
+  Hashtbl.fold (fun _ s acc -> acc + Augmentation.fake_count s.plan) t.states 0
+  + Hashtbl.fold (fun _ fakes acc -> acc + List.length fakes) t.adopted 0
+
+let alive t = t.alive
+
+let consecutive_failures t = t.failures
+
+(* Every fake this controller is responsible for keeping alive. *)
+let owned_ids t =
+  let ids = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ s ->
+      List.iter
+        (fun (f : Igp.Lsa.fake) -> Hashtbl.replace ids f.fake_id ())
+        s.plan.Augmentation.fakes)
+    t.states;
+  Hashtbl.iter
+    (fun _ fakes ->
+      List.iter
+        (fun (f : Igp.Lsa.fake) -> Hashtbl.replace ids f.fake_id ())
+        fakes)
+    t.adopted;
+  ids
+
+let stamp t ~time (f : Igp.Lsa.fake) =
+  Igp.Lsdb.set_fake_expiry
+    (Igp.Network.lsdb t.net)
+    ~fake_id:f.fake_id ~now:time ~ttl:t.config.lie_ttl
+
+let refresh_lies t ~time =
+  let owned = owned_ids t in
+  Igp.Lsdb.refresh_fakes
+    (Igp.Network.lsdb t.net)
+    ~now:time ~ttl:t.config.lie_ttl
+    ~owned:(fun (f : Igp.Lsa.fake) -> Hashtbl.mem owned f.fake_id)
 
 let record t ~time ~prefix description =
   let fakes_installed =
@@ -98,9 +149,87 @@ let actions t = Kit.Ring.to_list t.log
 let requirements t prefix =
   Option.map (fun s -> s.reqs) (Hashtbl.find_opt t.states prefix)
 
+let retract_if_installed t (f : Igp.Lsa.fake) =
+  if Igp.Lsdb.installed (Igp.Network.lsdb t.net) f.fake_id then
+    Igp.Network.retract_fake t.net ~fake_id:f.fake_id
+
 let withdraw_all t =
   Hashtbl.iter (fun _ s -> Augmentation.revert t.net s.plan) t.states;
-  Hashtbl.reset t.states
+  Hashtbl.iter (fun _ fakes -> List.iter (retract_if_installed t) fakes) t.adopted;
+  Hashtbl.reset t.states;
+  Hashtbl.reset t.adopted
+
+let announcers_of net prefix =
+  List.filter_map
+    (fun (p, origin, _) -> if String.equal p prefix then Some origin else None)
+    (Igp.Lsdb.prefixes (Igp.Network.lsdb net))
+
+let announcer_of net prefix =
+  match announcers_of net prefix with [] -> None | origin :: _ -> Some origin
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    (* Memory is gone; the lies are not. They survive in the LSDB and,
+       no longer refreshed, age out there (Sim expires them) — the
+       paper's fail-safe. The action log is an observer artifact and is
+       deliberately kept for post-mortems. *)
+    Hashtbl.reset t.states;
+    Hashtbl.reset t.adopted;
+    t.calm_since <- None;
+    t.failures <- 0;
+    t.backoff_until <- neg_infinity;
+    if Obs.enabled () then begin
+      Obs.Metrics.set g_fakes_live 0.;
+      Obs.Timeline.record ~time:(Obs.Clock.now ()) ~source:"controller"
+        ~kind:"crash" []
+    end
+  end
+
+let restart t ~time =
+  if not t.alive then begin
+    t.alive <- true;
+    t.calm_since <- None;
+    t.failures <- 0;
+    t.backoff_until <- neg_infinity;
+    (* Resync from the network, not from memory: every surviving fake is
+       either adopted (still meaningful: its prefix is announced and its
+       forwarding link exists) and refreshed from now on, or withdrawn.
+       Never blindly reinstall — the pre-crash steering may be stale. *)
+    let g = Igp.Network.graph t.net in
+    let adopted = ref 0 and withdrawn = ref 0 in
+    List.iter
+      (fun (f : Igp.Lsa.fake) ->
+        let valid =
+          announcers_of t.net f.prefix <> []
+          && Graph.has_edge g f.attachment f.forwarding
+        in
+        if valid then begin
+          Hashtbl.replace t.adopted f.prefix
+            (f :: Option.value ~default:[] (Hashtbl.find_opt t.adopted f.prefix));
+          stamp t ~time f;
+          incr adopted
+        end
+        else begin
+          Igp.Network.retract_fake t.net ~fake_id:f.fake_id;
+          incr withdrawn
+        end)
+      (Igp.Network.fakes t.net);
+    Kit.Ring.push t.log
+      {
+        time;
+        description =
+          Printf.sprintf "restart: %d lies adopted, %d withdrawn" !adopted
+            !withdrawn;
+        fakes_installed = fake_count t;
+      };
+    Obs.Metrics.incr m_reactions;
+    if Obs.enabled () then begin
+      Obs.Metrics.set g_fakes_live (float_of_int (fake_count t));
+      Obs.Timeline.record ~time ~source:"controller" ~kind:"restart"
+        [ ("adopted", Int !adopted); ("withdrawn", Int !withdrawn) ]
+    end
+  end
 
 (* Demand-based directed link loads, split into the part caused by flows
    (of the given prefix) passing through [via] and everything else. *)
@@ -126,14 +255,6 @@ let demand_loads sim ~prefix ~via =
         walk path)
     (Sim.active_flows sim);
   (own, other)
-
-let announcers_of net prefix =
-  List.filter_map
-    (fun (p, origin, _) -> if String.equal p prefix then Some origin else None)
-    (Igp.Lsdb.prefixes (Igp.Network.lsdb net))
-
-let announcer_of net prefix =
-  match announcers_of net prefix with [] -> None | origin :: _ -> Some origin
 
 (* Capacity available to [v]'s traffic through candidate next hop [n]:
    the residual max-flow from n to the prefix's egress(es) once all
@@ -218,17 +339,41 @@ let install_requirements t ~time ~prefix ~description routers =
   if unchanged then false
   else begin
     let reqs = { Requirements.prefix; routers } in
+    (* Lies adopted at restart for this prefix are superseded by any
+       freshly computed steering; pull them first (and put them back on
+       rollback) so their ids cannot collide with the new plan's. *)
+    let adopted_here =
+      Option.value ~default:[] (Hashtbl.find_opt t.adopted prefix)
+    in
     let rollback message =
+      (* The previous steering may no longer be installable — a link it
+         forwards over can have failed since. Reinstall what still fits
+         the topology and drop the rest; never die mid-reaction. *)
       Option.iter
         (fun s ->
-          Augmentation.apply t.net s.plan;
+          (match Augmentation.apply t.net s.plan with
+          | () -> List.iter (stamp t ~time) s.plan.Augmentation.fakes
+          | exception Invalid_argument _ ->
+            Augmentation.revert t.net s.plan;
+            Hashtbl.remove t.states prefix);
           s.last_action <- time)
         previous;
+      let readopted =
+        List.filter
+          (fun (f : Igp.Lsa.fake) ->
+            match Igp.Network.inject_fake t.net f with
+            | () -> stamp t ~time f; true
+            | exception Invalid_argument _ -> false)
+          adopted_here
+      in
+      if readopted <> [] then Hashtbl.replace t.adopted prefix readopted;
       record t ~time ~prefix message;
       false
     in
     (* Recompile from a clean slate: retract our previous lies first. *)
     Option.iter (fun s -> Augmentation.revert t.net s.plan) previous;
+    List.iter (retract_if_installed t) adopted_here;
+    Hashtbl.remove t.adopted prefix;
     match Augmentation.compile ~max_entries:t.config.max_entries t.net reqs with
     | Ok plan ->
       (* Safety gate: requirements merged across reactions were each
@@ -249,6 +394,10 @@ let install_requirements t ~time ~prefix ~description routers =
         | Ok () -> ()
         | Error _ -> Augmentation.apply t.net plan);
         Hashtbl.replace t.states prefix { reqs; plan; last_action = time };
+        (* Lies are born mortal: without this first stamp, a controller
+           crash right after installing would leave them orphaned
+           forever. *)
+        List.iter (stamp t ~time) plan.Augmentation.fakes;
         record t ~time ~prefix description;
         true)
     | Error message -> rollback (Printf.sprintf "compile failed: %s" message)
@@ -468,8 +617,12 @@ let handle_link t sim ~time (x, y) =
 let react t sim _alarms =
   match Sim.monitor sim with
   | None -> ()
+  | _ when not t.alive -> ()
   | Some monitor ->
     let time = Sim.time sim in
+    (* Keep-alive: every owned lie's age is reset each control iteration.
+       Stop calling react (crash the controller) and they expire. *)
+    refresh_lies t ~time;
     let utilizations = Monitor.utilizations monitor in
     (* Withdrawal: sustained calm retracts all lies. *)
     let calm =
@@ -509,7 +662,34 @@ let react t sim _alarms =
         None hot
     in
     (match worst with
-    | Some (link, _) -> handle_link t sim ~time link
-    | None -> ())
+    | Some (link, _) when time >= t.backoff_until ->
+      let lsdb = Igp.Network.lsdb t.net in
+      let version_before = Igp.Lsdb.version lsdb in
+      handle_link t sim ~time link;
+      (* Backoff bookkeeping. A reaction that was merely suppressed by a
+         per-prefix cooldown is neutral; a reaction that was free to act
+         and still changed nothing (no candidates, compile failure,
+         rejected steering) is a failure, and repeated failures double
+         the pause up to [max_backoff] — a flapping input must not make
+         the controller churn at poll rate forever. *)
+      let in_cooldown =
+        Hashtbl.fold
+          (fun _ s acc -> acc || time -. s.last_action < t.config.cooldown)
+          t.states false
+      in
+      if Igp.Lsdb.version lsdb <> version_before then t.failures <- 0
+      else if not in_cooldown then begin
+        t.failures <- t.failures + 1;
+        let delay =
+          Float.min t.config.max_backoff
+            (t.config.cooldown *. (2. ** float_of_int (t.failures - 1)))
+        in
+        t.backoff_until <- time +. delay;
+        if Obs.enabled () then
+          Obs.Timeline.record ~time ~source:"controller" ~kind:"backoff"
+            [ ("failures", Int t.failures); ("delay", Float delay) ]
+      end
+    | Some _ -> () (* backing off *)
+    | None -> t.failures <- 0)
 
 let attach t sim = Sim.on_poll sim (fun sim alarms -> react t sim alarms)

@@ -54,6 +54,15 @@ type config = {
       (** Capacity of the bounded action log (default 4096). Once full,
           the oldest actions are evicted; the controller never grows
           without bound over long scenarios. Must be positive. *)
+  lie_ttl : float;
+      (** Age (seconds, default 30.) stamped on every installed fake and
+          refreshed on each control iteration. A dead controller stops
+          refreshing, so its lies expire and routing falls back to the
+          pure IGP — the paper's graceful-degradation argument. Must be
+          positive; clamped to {!Igp.Lsa.max_age}. *)
+  max_backoff : float;
+      (** Cap (seconds, default 60.) on the exponential pause after
+          consecutive ineffective reactions. Must be >= [cooldown]. *)
 }
 
 type reoptimizer =
@@ -93,7 +102,28 @@ val react : t -> Netsim.Sim.t -> Netsim.Monitor.alarm list -> unit
     tests). *)
 
 val withdraw_all : t -> unit
-(** Retract every fake installed by this controller. *)
+(** Retract every fake installed (or adopted) by this controller. *)
+
+val crash : t -> unit
+(** Fault injection: the controller process dies. All in-memory state
+    (requirements, plans, adoption records, backoff) is lost; the lies
+    it installed survive in the LSDB but are no longer refreshed, so
+    they age out and the network falls back to pure-IGP routing.
+    [react] is a no-op while crashed. Idempotent. *)
+
+val restart : t -> time:float -> unit
+(** Fault injection: the controller comes back with empty memory and
+    resyncs from the network itself — every surviving fake LSA is either
+    {e adopted} (its prefix is still announced and its forwarding link
+    still exists: the controller takes over refreshing it, counts it,
+    and withdraws it on calm) or {e withdrawn} on the spot. It never
+    blindly reinstalls pre-crash state. No-op if alive. *)
+
+val alive : t -> bool
+
+val consecutive_failures : t -> int
+(** Consecutive reactions that were free to act but changed nothing;
+    drives the exponential backoff. *)
 
 val requirements : t -> Igp.Lsa.prefix -> Requirements.t option
 (** The requirements currently enforced for a prefix, if any. *)

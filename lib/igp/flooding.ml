@@ -12,7 +12,90 @@ let zero = { messages = 0; rounds = 0 }
 
 let add a b = { messages = a.messages + b.messages; rounds = max a.rounds b.rounds }
 
-let flood g ~origin =
+type loss = {
+  prng : Kit.Prng.t;
+  drop : float;
+  max_backoff : int;
+  max_retries : int;
+}
+
+let loss ?(drop = 0.1) ?(max_backoff = 8) ?(max_retries = 16) ~seed () =
+  if drop < 0. || drop >= 1. then invalid_arg "Flooding.loss: drop must be in [0, 1)";
+  if max_backoff < 1 then invalid_arg "Flooding.loss: max_backoff must be >= 1";
+  if max_retries < 1 then invalid_arg "Flooding.loss: max_retries must be >= 1";
+  { prng = Kit.Prng.create ~seed; drop; max_backoff; max_retries }
+
+(* One reliable transmission over a lossy adjacency: attempts are lost
+   independently with probability [drop]; after the k-th loss the sender
+   waits min(2^k, max_backoff) rounds before retransmitting (OSPF's
+   RxmtInterval, exponentiated). Returns how many copies were sent and
+   how many rounds after the first transmission the LSA lands. The
+   attempt budget is capped — the last retransmission always delivers,
+   modelling retransmit-until-acked without unbounded tails. *)
+let transmit l =
+  let attempts = ref 1 and delay = ref 0 and backoff = ref 1 in
+  while
+    !attempts < l.max_retries && Kit.Prng.float l.prng 1.0 < l.drop
+  do
+    incr attempts;
+    delay := !delay + !backoff;
+    backoff := min (2 * !backoff) l.max_backoff
+  done;
+  (!attempts, 1 + !delay)
+
+(* Lossy flooding: per-edge delivery latencies are sampled as above and
+   the LSA's arrival time at each router is the shortest-path closure of
+   those latencies (a router re-floods the instant the first copy
+   arrives). Deterministic: edges are relaxed in increasing (arrival,
+   node, neighbor insertion) order, so one seed = one outcome. *)
+let flood_lossy l g ~origin =
+  let n = Graph.node_count g in
+  let arrival = Array.make n infinity in
+  let settled = Array.make n false in
+  arrival.(origin) <- 0.;
+  let rec settle () =
+    (* O(n^2) extract-min: flooding graphs are small and this keeps the
+       relaxation order (and hence the PRNG stream) deterministic. *)
+    let next = ref (-1) in
+    for v = n - 1 downto 0 do
+      if (not settled.(v)) && arrival.(v) < infinity
+         && (!next < 0 || arrival.(v) <= arrival.(!next))
+      then next := v
+    done;
+    if !next >= 0 then begin
+      let u = !next in
+      settled.(u) <- true;
+      Graph.iter_succ g u (fun v _ ->
+          if not settled.(v) then begin
+            let _, latency = transmit l in
+            let at = arrival.(u) +. float_of_int latency in
+            if at < arrival.(v) then arrival.(v) <- at
+          end);
+      settle ()
+    end
+  in
+  settle ();
+  let reached = ref 0 and rounds = ref 0 in
+  Array.iter
+    (fun a ->
+      if a < infinity then begin
+        incr reached;
+        rounds := max !rounds (int_of_float (Float.round a))
+      end)
+    arrival;
+  (* As in the lossless model, every directed edge between informed
+     routers carries the update (the loser is suppressed as a
+     duplicate) — but here each copy is retried until acked, so an edge
+     costs its sampled attempt count rather than exactly one message. *)
+  let messages =
+    Graph.fold_edges g ~init:0 ~f:(fun acc u v _ ->
+        if settled.(u) && settled.(v) then acc + fst (transmit l) else acc)
+  in
+  Obs.Metrics.add m_messages messages;
+  Obs.Metrics.add m_suppressed (max 0 (messages - (!reached - 1)));
+  { messages; rounds = !rounds }
+
+let flood_lossless g ~origin =
   let n = Graph.node_count g in
   let depth = Array.make n (-1) in
   depth.(origin) <- 0;
@@ -36,3 +119,8 @@ let flood g ~origin =
   Obs.Metrics.add m_messages messages;
   Obs.Metrics.add m_suppressed (max 0 (messages - (reached - 1)));
   { messages; rounds = !rounds }
+
+let flood ?loss g ~origin =
+  match loss with
+  | Some l when l.drop > 0. -> flood_lossy l g ~origin
+  | Some _ | None -> flood_lossless g ~origin

@@ -12,10 +12,32 @@ type cost = {
   rounds : int;  (** Propagation depth from the origin (BFS hops). *)
 }
 
-val flood : Netgraph.Graph.t -> origin:Netgraph.Graph.node -> cost
+type loss = {
+  prng : Kit.Prng.t;  (** Drives drop and retry sampling; seeded. *)
+  drop : float;  (** Per-transmission loss probability, in [\[0, 1)]. *)
+  max_backoff : int;
+      (** Cap on the retransmission backoff, in rounds. Attempt [k+1]
+          is sent [min (2^k, max_backoff)] rounds after attempt [k]. *)
+  max_retries : int;
+      (** Attempt budget per adjacency; the last attempt always
+          delivers (retransmit-until-acked, without unbounded tails). *)
+}
+
+val loss : ?drop:float -> ?max_backoff:int -> ?max_retries:int -> seed:int -> unit -> loss
+(** Defaults: 10% drop, backoff capped at 8 rounds, 16 attempts.
+    Deterministic per seed. *)
+
+val flood : ?loss:loss -> Netgraph.Graph.t -> origin:Netgraph.Graph.node -> cost
 (** Cost of flooding one LSA originated at [origin] over the physical
     topology. Only links between routers reachable from the origin
-    count. *)
+    count.
+
+    With [loss], each adjacency drops copies independently and senders
+    retransmit with capped exponential backoff until acked: [messages]
+    includes every retry, and [rounds] is the time until the last router
+    is informed (a router refloods as soon as the first copy arrives, so
+    the arrival times are the shortest-path closure of the per-edge retry
+    latencies). [loss] with [drop = 0.] is exactly the lossless model. *)
 
 val zero : cost
 

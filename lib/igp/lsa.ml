@@ -16,6 +16,12 @@ type t =
 
 let total_cost f = f.attachment_cost + f.announced_cost
 
+(* OSPF's MaxAge: no LSA outlives this many seconds without a refresh.
+   The LSDB clamps every fake's remaining lifetime to it, so even a
+   buggy controller cannot install a lie that never expires once it
+   stops refreshing. *)
+let max_age = 3600.
+
 let key = function
   | Router { origin; _ } -> Printf.sprintf "router:%d" origin
   | Prefix { origin; prefix; _ } -> Printf.sprintf "prefix:%d:%s" origin prefix

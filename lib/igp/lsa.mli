@@ -36,6 +36,13 @@ val total_cost : fake -> int
 (** [attachment_cost + announced_cost]: the cost at which the attachment
     router reaches the prefix through this fake. *)
 
+val max_age : float
+(** OSPF's MaxAge (3600 s): the longest any LSA may live without being
+    refreshed by its originator. [Lsdb] clamps fake-LSA lifetimes to it,
+    so an orphaned lie always ages out — the safety net behind Fibbing's
+    graceful-degradation argument (controller dies, lies expire, routers
+    fall back to pure IGP shortest paths). *)
+
 val key : t -> string
 (** Stable identity used by the LSDB for supersession: router LSAs are
     keyed by origin, prefix LSAs by (origin, prefix), fake LSAs by

@@ -38,6 +38,8 @@ type t = {
   base : Graph.t;
   mutable announcements : (Lsa.prefix * Graph.node * int) list; (* newest last *)
   mutable fake_list : Lsa.fake list; (* newest last *)
+  expiries : (string, float) Hashtbl.t;
+      (* fake_id -> absolute expiry time; absent = never expires. *)
   sequences : (string, int) Hashtbl.t;
   mutable version : int;
   mutable last_origin : Graph.node option;
@@ -53,6 +55,7 @@ let create base =
     base;
     announcements = [];
     fake_list = [];
+    expiries = Hashtbl.create 16;
     sequences = Hashtbl.create 32;
     version = 0;
     last_origin = None;
@@ -161,6 +164,7 @@ let retract_fake t ~fake_id =
       List.filter
         (fun (f : Lsa.fake) -> not (String.equal f.fake_id fake_id))
         t.fake_list;
+    Hashtbl.remove t.expiries fake_id;
     t.last_origin <- Some fake.attachment;
     bump t (Printf.sprintf "fake:%s" fake_id);
     record t [ fake_delta fake ]
@@ -172,6 +176,38 @@ let retract_all_fakes t =
 let fakes t = t.fake_list
 
 let fake_count t = List.length t.fake_list
+
+(* ---------- fake-LSA aging ---------- *)
+
+let installed t fake_id =
+  List.exists (fun (f : Lsa.fake) -> String.equal f.fake_id fake_id) t.fake_list
+
+let set_fake_expiry t ~fake_id ~now ~ttl =
+  if ttl <= 0. then invalid_arg "Lsdb.set_fake_expiry: ttl must be positive";
+  if installed t fake_id then
+    Hashtbl.replace t.expiries fake_id (now +. Float.min ttl Lsa.max_age)
+
+let clear_fake_expiry t ~fake_id = Hashtbl.remove t.expiries fake_id
+
+let fake_expiry t ~fake_id = Hashtbl.find_opt t.expiries fake_id
+
+let refresh_fakes t ~now ~ttl ~owned =
+  List.iter
+    (fun (f : Lsa.fake) ->
+      if owned f then set_fake_expiry t ~fake_id:f.fake_id ~now ~ttl)
+    t.fake_list
+
+let expire_fakes t ~now =
+  let expired =
+    List.filter
+      (fun (f : Lsa.fake) ->
+        match Hashtbl.find_opt t.expiries f.fake_id with
+        | Some at -> at <= now +. 1e-9
+        | None -> false)
+      t.fake_list
+  in
+  List.iter (fun (f : Lsa.fake) -> retract_fake t ~fake_id:f.fake_id) expired;
+  expired
 
 let prefixes t = t.announcements
 
@@ -187,6 +223,15 @@ let last_origin t = t.last_origin
 let touch ?origin t =
   (match origin with Some _ -> t.last_origin <- origin | None -> ());
   t.version <- t.version + 1;
+  record t [ Generic_delta ]
+
+let reoriginate t ~origin =
+  (* A router (re)floods its own LSA with a higher sequence number:
+     crash (MaxAge flush) and recovery both look like this to the rest
+     of the domain. The adjacency changes themselves live in the graph;
+     here we advance the LSA identity and invalidate cached views. *)
+  t.last_origin <- Some origin;
+  bump t (Lsa.key (Router { origin; links = [] }));
   record t [ Generic_delta ]
 
 let weight_changed t u v ~old_weight ~new_weight =

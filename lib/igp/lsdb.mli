@@ -82,6 +82,41 @@ val fakes : t -> Lsa.fake list
 
 val fake_count : t -> int
 
+val installed : t -> string -> bool
+(** Whether a fake with this [fake_id] is currently installed. *)
+
+(** {2 Fake-LSA aging}
+
+    Real Fibbing degrades gracefully because fake LSAs age out: a live
+    controller refreshes its lies periodically; if it dies, the lies hit
+    MaxAge and the routers purge them, falling back to the pure-IGP
+    shortest paths. We model age as an absolute expiry time per fake,
+    set/refreshed by the controller and enforced by whoever advances
+    simulated time ([Netsim.Sim] calls [expire_fakes] every step). A
+    fake with no expiry set never ages (manual steers); TTLs are clamped
+    to {!Lsa.max_age}. *)
+
+val set_fake_expiry : t -> fake_id:string -> now:float -> ttl:float -> unit
+(** Stamp (or refresh) one fake's expiry to [now + min ttl Lsa.max_age].
+    No-op if the fake is not installed. Raises [Invalid_argument] on a
+    non-positive [ttl]. *)
+
+val clear_fake_expiry : t -> fake_id:string -> unit
+(** Make the fake immortal again (remove its expiry). *)
+
+val fake_expiry : t -> fake_id:string -> float option
+(** Absolute expiry time, [None] if the fake never expires. *)
+
+val refresh_fakes :
+  t -> now:float -> ttl:float -> owned:(Lsa.fake -> bool) -> unit
+(** Re-stamp the expiry of every installed fake selected by [owned] —
+    the periodic keep-alive a live controller sends. *)
+
+val expire_fakes : t -> now:float -> Lsa.fake list
+(** Retract every fake whose expiry has passed and return them (oldest
+    installation first). Each retraction bumps the version like an
+    explicit [retract_fake]. *)
+
 val prefixes : t -> (Lsa.prefix * Netgraph.Graph.node * int) list
 (** Real prefix announcements [(prefix, origin, cost)]. *)
 
@@ -106,6 +141,12 @@ val touch : ?origin:Netgraph.Graph.node -> t -> unit
 (** Signal that the physical graph was mutated externally (e.g. a link
     removal at [origin]), invalidating cached views. Logged as
     [Generic_delta]. *)
+
+val reoriginate : t -> origin:Netgraph.Graph.node -> unit
+(** Flush-and-reflood the router LSA of [origin]: bumps its sequence
+    number and the version (logged as [Generic_delta]). Used when a
+    router crashes (its LSA is purged domain-wide) and again when it
+    recovers (it floods a fresh LSA for its restored adjacencies). *)
 
 val weight_changed :
   t ->

@@ -9,11 +9,20 @@ type t = {
          past 4096 entries. The engine keeps one table per router and
          drops only tables invalidated by LSDB deltas. *)
   mutable control : Flooding.cost;
+  mutable flooding_loss : Flooding.loss option;
+      (* Chaos knob: when set, every accounted flood pays lossy
+         retransmission costs. [None] (the default) is lossless. *)
 }
 
 let create graph =
   let lsdb = Lsdb.create graph in
-  { graph; lsdb; engine = Spf_engine.create lsdb; control = Flooding.zero }
+  {
+    graph;
+    lsdb;
+    engine = Spf_engine.create lsdb;
+    control = Flooding.zero;
+    flooding_loss = None;
+  }
 
 let clone t =
   let graph = Graph.copy t.graph in
@@ -22,7 +31,13 @@ let clone t =
     (fun (prefix, origin, cost) -> Lsdb.announce_prefix lsdb prefix ~origin ~cost)
     (Lsdb.prefixes t.lsdb);
   List.iter (fun fake -> Lsdb.install_fake lsdb fake) (Lsdb.fakes t.lsdb);
-  { graph; lsdb; engine = Spf_engine.create lsdb; control = Flooding.zero }
+  {
+    graph;
+    lsdb;
+    engine = Spf_engine.create lsdb;
+    control = Flooding.zero;
+    flooding_loss = None;
+  }
 
 let graph t = t.graph
 
@@ -32,7 +47,13 @@ let announce_prefix t prefix ~origin ~cost =
   Lsdb.announce_prefix t.lsdb prefix ~origin ~cost
 
 let account t ~origin =
-  t.control <- Flooding.add t.control (Flooding.flood t.graph ~origin)
+  t.control <-
+    Flooding.add t.control
+      (Flooding.flood ?loss:t.flooding_loss t.graph ~origin)
+
+let set_flooding_loss t loss = t.flooding_loss <- loss
+
+let flooding_loss t = t.flooding_loss
 
 let inject_fake t fake =
   Lsdb.install_fake t.lsdb fake;

@@ -72,6 +72,13 @@ val control_cost : t -> Flooding.cost
 (** Cumulative control-plane cost of all fake/weight operations since
     creation or the last [reset_control_cost]. *)
 
+val set_flooding_loss : t -> Flooding.loss option -> unit
+(** Make every subsequently accounted flood pay lossy retransmission
+    costs (chaos experiments); [None] restores the lossless default.
+    Clones start lossless. *)
+
+val flooding_loss : t -> Flooding.loss option
+
 val refresh_cost : t -> period:float -> duration:float -> Flooding.cost
 (** Steady-state cost of keeping the currently installed fakes alive for
     [duration] seconds: OSPF re-originates every LSA each [period]

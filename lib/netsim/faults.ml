@@ -1,0 +1,244 @@
+module Graph = Netgraph.Graph
+
+type kind =
+  | Link_down of Link.t
+  | Link_up of Link.t
+  | Router_crash of Graph.node
+  | Router_recover of Graph.node
+  | Monitor_blackout of float
+  | Monitor_sample_loss of { probability : float; duration : float }
+  | Flooding_loss of { drop : float; duration : float }
+  | Controller_crash
+  | Controller_restart
+
+type event = { time : float; kind : kind }
+
+type plan = { seed : int; until : float; events : event list }
+
+let norm (u, v) = if u <= v then (u, v) else (v, u)
+
+let kind_to_string g = function
+  | Link_down l -> "link_down " ^ Link.name g l
+  | Link_up l -> "link_up " ^ Link.name g l
+  | Router_crash r -> "router_crash " ^ Graph.name g r
+  | Router_recover r -> "router_recover " ^ Graph.name g r
+  | Monitor_blackout d -> Printf.sprintf "monitor_blackout %.1fs" d
+  | Monitor_sample_loss { probability; duration } ->
+    Printf.sprintf "sample_loss p=%.2f %.1fs" probability duration
+  | Flooding_loss { drop; duration } ->
+    Printf.sprintf "flooding_loss p=%.2f %.1fs" drop duration
+  | Controller_crash -> "controller_crash"
+  | Controller_restart -> "controller_restart"
+
+let to_string g plan =
+  String.concat "\n"
+    (List.map
+       (fun e -> Printf.sprintf "%6.2f  %s" e.time (kind_to_string g e.kind))
+       plan.events)
+
+(* Replay the plan through a small state machine; any transition a real
+   run could not perform (restoring a link that is up, crashing a router
+   that holds a failed link, ...) is a malformed plan. *)
+let validate plan =
+  let down = Hashtbl.create 8 and crashed = Hashtbl.create 4 in
+  let dead = ref false in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let incident r l = fst l = r || snd l = r in
+  let rec go last = function
+    | [] ->
+      if Hashtbl.length down > 0 then err "a link is never restored"
+      else if Hashtbl.length crashed > 0 then err "a router never recovers"
+      else Ok ()
+    | e :: rest ->
+      if e.time < last -. 1e-9 then err "events not sorted by time"
+      else if e.time < 0. || e.time > plan.until then
+        err "event at %.2f outside [0, %.2f]" e.time plan.until
+      else
+        (* Lazy: the recursion must see this event's state changes. *)
+        let continue () = go e.time rest in
+        (match e.kind with
+        | Link_down l ->
+          let l = norm l in
+          if Hashtbl.mem down l then err "link failed twice"
+          else if Hashtbl.mem crashed (fst l) || Hashtbl.mem crashed (snd l)
+          then err "link fault on a crashed router"
+          else (Hashtbl.replace down l (); continue ())
+        | Link_up l ->
+          let l = norm l in
+          if not (Hashtbl.mem down l) then err "restoring a link that is up"
+          else (Hashtbl.remove down l; continue ())
+        | Router_crash r ->
+          if Hashtbl.mem crashed r then err "router crashed twice"
+          else if Hashtbl.fold (fun l () acc -> acc || incident r l) down false
+          then err "crashing a router holding a failed link"
+          else (Hashtbl.replace crashed r (); continue ())
+        | Router_recover r ->
+          if not (Hashtbl.mem crashed r) then
+            err "recovering a router that is up"
+          else (Hashtbl.remove crashed r; continue ())
+        | Monitor_blackout d when d <= 0. -> err "blackout duration <= 0"
+        | Monitor_sample_loss { probability = p; duration }
+          when p < 0. || p >= 1. || duration <= 0. ->
+          err "bad sample-loss parameters"
+        | Flooding_loss { drop; duration }
+          when drop <= 0. || drop >= 1. || duration <= 0. ->
+          err "bad flooding-loss parameters"
+        | Controller_crash ->
+          if !dead then err "controller crashed twice"
+          else (dead := true; continue ())
+        | Controller_restart ->
+          if not !dead then err "restarting a live controller"
+          else (dead := false; continue ())
+        | Monitor_blackout _ | Monitor_sample_loss _ | Flooding_loss _ ->
+          continue ())
+  in
+  go 0. plan.events
+
+let random_plan ?(faults = 4) ?(margin = 4.) ?(allow_controller_death = true)
+    ~seed ~until g =
+  if faults < 0 then invalid_arg "Faults.random_plan: faults";
+  let span = until -. margin -. 1. in
+  if span <= 0. then
+    invalid_arg "Faults.random_plan: until must exceed margin + 1";
+  let horizon = until -. margin in
+  let prng = Kit.Prng.create ~seed in
+  let links =
+    Graph.fold_edges g ~init:[] ~f:(fun acc u v _ ->
+        if u < v then (u, v) :: acc else acc)
+    |> List.rev |> Array.of_list
+  in
+  let routers = Array.of_list (Graph.nodes g) in
+  (* Each element (link or router) suffers at most one fault per plan,
+     and a crashed router never overlaps a failed incident link — the
+     recovery paths stay independent, so the generator can guarantee the
+     topology is whole at [until -. margin]. *)
+  let busy_links = Hashtbl.create 8 and busy_routers = Hashtbl.create 4 in
+  let controller_done = ref false in
+  let events = ref [] in
+  let emit time kind = events := { time; kind } :: !events in
+  let pick_free arr free =
+    let candidates = Array.of_list (List.filter free (Array.to_list arr)) in
+    if Array.length candidates = 0 then None
+    else Some (Kit.Prng.pick prng candidates)
+  in
+  for _ = 1 to faults do
+    let start = 0.5 +. Kit.Prng.float prng span in
+    let dur =
+      0.5 +. Kit.Prng.float prng (max 1e-6 (horizon -. start -. 0.5))
+    in
+    match Kit.Prng.int prng 6 with
+    | 0 | 1 -> (
+      (* Link flap: down, then back up before the horizon. *)
+      let free (u, v) =
+        (not (Hashtbl.mem busy_links (u, v)))
+        && (not (Hashtbl.mem busy_routers u))
+        && not (Hashtbl.mem busy_routers v)
+      in
+      match pick_free links free with
+      | Some l ->
+        Hashtbl.replace busy_links l ();
+        emit start (Link_down l);
+        emit (start +. dur) (Link_up l)
+      | None -> emit start (Monitor_blackout dur))
+    | 2 -> (
+      (* Router crash/recovery. *)
+      let free r =
+        (not (Hashtbl.mem busy_routers r))
+        && not
+             (Hashtbl.fold
+                (fun (u, v) () acc -> acc || u = r || v = r)
+                busy_links false)
+      in
+      match pick_free routers free with
+      | Some r ->
+        Hashtbl.replace busy_routers r ();
+        Array.iter
+          (fun (u, v) -> if u = r || v = r then Hashtbl.replace busy_links (u, v) ())
+          links;
+        emit start (Router_crash r);
+        emit (start +. dur) (Router_recover r)
+      | None -> emit start (Monitor_blackout dur))
+    | 3 -> emit start (Monitor_blackout dur)
+    | 4 ->
+      if Kit.Prng.bool prng then
+        emit start
+          (Monitor_sample_loss
+             { probability = 0.1 +. Kit.Prng.float prng 0.5; duration = dur })
+      else
+        emit start
+          (Flooding_loss
+             { drop = 0.05 +. Kit.Prng.float prng 0.35; duration = dur })
+    | _ ->
+      if !controller_done then emit start (Monitor_blackout dur)
+      else begin
+        controller_done := true;
+        emit start Controller_crash;
+        (* Sometimes the controller never comes back: its lies must then
+           age out on their own (the graceful-degradation property). *)
+        if (not allow_controller_death) || Kit.Prng.float prng 1.0 >= 0.3
+        then emit (start +. dur) Controller_restart
+      end
+  done;
+  let events =
+    List.stable_sort (fun a b -> compare a.time b.time) (List.rev !events)
+  in
+  { seed; until; events }
+
+let record_event sim kind attrs =
+  ignore sim;
+  if Obs.enabled () then
+    Obs.Timeline.record ~time:(Sim.time sim) ~source:"faults" ~kind attrs
+
+let inject ?on_controller_crash ?on_controller_restart sim plan =
+  let sub_seed i = plan.seed lxor ((i + 1) * 0x9E3779B9) in
+  List.iteri
+    (fun i { time; kind } ->
+      match kind with
+      | Link_down l -> Sim.fail_link sim ~time l
+      | Link_up l -> Sim.restore_link sim ~time l
+      | Router_crash r -> Sim.crash_router sim ~time r
+      | Router_recover r -> Sim.recover_router sim ~time r
+      | Monitor_blackout duration ->
+        Sim.schedule sim ~time (fun sim ->
+            match Sim.monitor sim with
+            | None -> ()
+            | Some m ->
+              Monitor.mute m ~until:(Sim.time sim +. duration);
+              record_event sim "monitor_blackout"
+                [ ("duration", Float duration) ])
+      | Monitor_sample_loss { probability; duration } ->
+        Sim.schedule sim ~time (fun sim ->
+            match Sim.monitor sim with
+            | None -> ()
+            | Some m ->
+              Monitor.set_sample_loss m
+                (Some (Kit.Prng.create ~seed:(sub_seed i), probability));
+              record_event sim "sample_loss_on"
+                [ ("probability", Float probability) ]);
+        Sim.schedule sim ~time:(time +. duration) (fun sim ->
+            match Sim.monitor sim with
+            | None -> ()
+            | Some m ->
+              Monitor.set_sample_loss m None;
+              record_event sim "sample_loss_off" [])
+      | Flooding_loss { drop; duration } ->
+        Sim.schedule sim ~time (fun sim ->
+            Igp.Network.set_flooding_loss (Sim.network sim)
+              (Some (Igp.Flooding.loss ~drop ~seed:(sub_seed i) ()));
+            record_event sim "flooding_loss_on" [ ("drop", Float drop) ]);
+        Sim.schedule sim ~time:(time +. duration) (fun sim ->
+            Igp.Network.set_flooding_loss (Sim.network sim) None;
+            record_event sim "flooding_loss_off" [])
+      | Controller_crash ->
+        Sim.schedule sim ~time (fun sim ->
+            record_event sim "controller_crash" [];
+            match on_controller_crash with
+            | Some f -> f sim
+            | None -> ())
+      | Controller_restart ->
+        Sim.schedule sim ~time (fun sim ->
+            record_event sim "controller_restart" [];
+            match on_controller_restart with
+            | Some f -> f sim
+            | None -> ()))
+    plan.events

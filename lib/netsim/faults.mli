@@ -1,0 +1,65 @@
+(** Deterministic, seeded fault injection.
+
+    A {!plan} is a time-ordered schedule of faults drawn from a seed;
+    {!inject} arms it against a running simulation. Everything the plan
+    breaks it also heals (except, optionally, the controller — whose
+    lies must then age out on their own), so chaos properties can demand
+    full reconvergence to the fault-free routing after the plan runs
+    out. The controller is not a [Netsim] concept, so its crash/restart
+    faults are delivered through callbacks. *)
+
+type kind =
+  | Link_down of Link.t
+  | Link_up of Link.t
+  | Router_crash of Netgraph.Graph.node
+  | Router_recover of Netgraph.Graph.node
+  | Monitor_blackout of float
+      (** Lose every monitor sample for this many seconds. *)
+  | Monitor_sample_loss of { probability : float; duration : float }
+      (** Drop each per-link sample independently. *)
+  | Flooding_loss of { drop : float; duration : float }
+      (** Per-hop LSA drop probability; floods pay retransmissions
+          ({!Igp.Flooding.loss}) while active. *)
+  | Controller_crash
+  | Controller_restart
+
+type event = { time : float; kind : kind }
+
+type plan = { seed : int; until : float; events : event list }
+
+val random_plan :
+  ?faults:int ->
+  ?margin:float ->
+  ?allow_controller_death:bool ->
+  seed:int ->
+  until:float ->
+  Netgraph.Graph.t ->
+  plan
+(** Draw [faults] fault episodes (default 4) over [\[0.5, until - margin]]
+    (default margin 4 s). Same seed, same graph: same plan. Guarantees:
+    every link failure and router crash is healed by [until - margin];
+    no element suffers two overlapping faults; a crashed router never
+    overlaps a failed incident link. The controller crashes at most once
+    and, when [allow_controller_death] (the default), stays dead to the
+    end with probability ~0.3. Raises [Invalid_argument] when
+    [until <= margin + 1]. *)
+
+val validate : plan -> (unit, string) result
+(** Replay the plan through a state machine and reject any schedule a
+    real run could not perform (double failure, restore of a live link,
+    crash overlapping a failed link, unhealed element at the end, ...).
+    [random_plan] output always validates. *)
+
+val inject :
+  ?on_controller_crash:(Sim.t -> unit) ->
+  ?on_controller_restart:(Sim.t -> unit) ->
+  Sim.t ->
+  plan ->
+  unit
+(** Schedule every event of the plan against the simulation. Monitor
+    faults silently no-op when the sim has no monitor; controller faults
+    call the given callbacks. Timed sub-PRNGs (sample loss, flooding
+    loss) are derived from [plan.seed], so a replay is bit-identical. *)
+
+val to_string : Netgraph.Graph.t -> plan -> string
+(** Human-readable schedule, one event per line. *)

@@ -15,7 +15,16 @@ type t = {
   alarmed : (Link.t, unit) Hashtbl.t;
   histories : (Link.t, Kit.Timeseries.t) Hashtbl.t;
   mutable last_poll : float;
+  mutable mute_until : float;
+      (* Fault injection: samples arriving before this time are lost. *)
+  mutable sample_loss : (Kit.Prng.t * float) option;
+      (* Fault injection: drop each per-link sample with probability p. *)
 }
+
+(* A repeat poll inside this window is a no-op: the byte counters have
+   not advanced, and dividing by a ~zero-length window would turn any
+   residual bytes into an absurd utilization spike. *)
+let min_window = 1e-6
 
 let create ?(poll_interval = 2.0) ?(threshold = 0.9) ?(clear_threshold = 0.7)
     ?(alpha = 0.5) capacities =
@@ -33,18 +42,54 @@ let create ?(poll_interval = 2.0) ?(threshold = 0.9) ?(clear_threshold = 0.7)
     alarmed = Hashtbl.create 8;
     histories = Hashtbl.create 8;
     last_poll = 0.;
+    mute_until = neg_infinity;
+    sample_loss = None;
   }
 
-let observe t ~time:_ ~dt rates =
-  List.iter
-    (fun (link, rate) ->
-      let bytes = Option.value ~default:0. (Hashtbl.find_opt t.window_bytes link) in
-      Hashtbl.replace t.window_bytes link (bytes +. (rate *. dt)))
-    rates
+let mute t ~until = t.mute_until <- max t.mute_until until
+
+let set_sample_loss t loss =
+  (match loss with
+  | Some (_, p) when p < 0. || p >= 1. ->
+    invalid_arg "Monitor.set_sample_loss: probability must be in [0, 1)"
+  | Some _ | None -> ());
+  t.sample_loss <- loss
+
+let observe t ~time ~dt rates =
+  if time > t.mute_until then
+    List.iter
+      (fun (link, rate) ->
+        let lost =
+          match t.sample_loss with
+          | Some (prng, p) -> Kit.Prng.float prng 1.0 < p
+          | None -> false
+        in
+        if not lost then begin
+          let bytes =
+            Option.value ~default:0. (Hashtbl.find_opt t.window_bytes link)
+          in
+          Hashtbl.replace t.window_bytes link (bytes +. (rate *. dt))
+        end)
+      rates
 
 let poll_due t ~time = time -. t.last_poll >= t.poll_interval -. 1e-9
 
+let forget t link =
+  Hashtbl.remove t.window_bytes link;
+  Hashtbl.remove t.smoothed link;
+  Hashtbl.remove t.alarmed link
+
+let prune t ~alive =
+  let dead table =
+    Hashtbl.fold (fun link _ acc -> if alive link then acc else link :: acc) table []
+  in
+  List.iter (forget t) (dead t.smoothed);
+  List.iter (forget t) (dead t.window_bytes);
+  List.iter (forget t) (dead t.alarmed)
+
 let poll t ~time =
+  if time -. t.last_poll < min_window then []
+  else begin
   let window = max 1e-9 (time -. t.last_poll) in
   t.last_poll <- time;
   (* Update the EWMA for every link ever observed; links silent this
@@ -96,6 +141,7 @@ let poll t ~time =
       end)
     t.smoothed;
   List.sort (fun a b -> Link.compare a.link b.link) !alarms
+  end
 
 let utilization t link =
   Option.value ~default:0. (Hashtbl.find_opt t.smoothed link)

@@ -34,7 +34,29 @@ val poll_due : t -> time:float -> bool
 val poll : t -> time:float -> alarm list
 (** Complete a polling cycle: returns newly raised and newly cleared
     alarms (state transitions only, not repeats). Resets the window
-    counters. *)
+    counters.
+
+    A poll at (or within a microsecond of) the previous poll's time is a
+    no-op returning [[]]: the counters have not advanced, and dividing
+    the window bytes by a ~zero-length window would fabricate absurd
+    utilization spikes and spurious alarms. *)
+
+val forget : t -> Link.t -> unit
+(** Drop all monitoring state for one link (window bytes, smoothed
+    utilization, alarm). Called when the link leaves the topology so a
+    dead link cannot hold an alarm forever; its history series is kept
+    for reporting. *)
+
+val prune : t -> alive:(Link.t -> bool) -> unit
+(** [forget] every known link for which [alive] is false. *)
+
+val mute : t -> until:float -> unit
+(** Fault injection: lose every sample observed at or before [until]
+    (an SNMP blackout). Muting never rewinds an already-later mute. *)
+
+val set_sample_loss : t -> (Kit.Prng.t * float) option -> unit
+(** Fault injection: drop each per-link sample independently with the
+    given probability (deterministic per PRNG). [None] disables. *)
 
 val utilization : t -> Link.t -> float
 (** Current smoothed utilization estimate (0. if never observed). *)

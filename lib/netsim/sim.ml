@@ -39,6 +39,11 @@ type t = {
   mutable link_rates : (Link.t * float) list;
   flow_histories : (int, Kit.Timeseries.t) Hashtbl.t;
   link_histories : (Link.t, Kit.Timeseries.t) Hashtbl.t;
+  (* Failure state: weights of removed directed edges, keyed per failed
+     link, so a restore reinstates exactly what the failure took out. *)
+  failed_edges : (Netgraph.Graph.node * Netgraph.Graph.node, int) Hashtbl.t;
+  (* Crashed routers with their saved adjacencies (succ, pred). *)
+  crashed : (Netgraph.Graph.node, (Netgraph.Graph.node * int) list * (Netgraph.Graph.node * int) list) Hashtbl.t;
 }
 
 let create ?(dt = 0.5) ?monitor ?(rate_model = Max_min_fair) ?convergence net
@@ -68,6 +73,8 @@ let create ?(dt = 0.5) ?monitor ?(rate_model = Max_min_fair) ?convergence net
     link_rates = [];
     flow_histories = Hashtbl.create 64;
     link_histories = Hashtbl.create 32;
+    failed_edges = Hashtbl.create 8;
+    crashed = Hashtbl.create 4;
   }
 
 let network t = t.net
@@ -95,12 +102,135 @@ let schedule t ~time action =
       (fun (a, _) (b, _) -> compare a b)
       ((time, action) :: t.pending_actions)
 
-let fail_link t ~time (u, v) =
-  schedule t ~time (fun t ->
-      let g = Igp.Network.graph t.net in
-      Netgraph.Graph.remove_edge g u v;
-      Netgraph.Graph.remove_edge g v u;
-      Igp.Lsdb.touch ~origin:u (Igp.Network.lsdb t.net))
+let router_crashed t r = Hashtbl.mem t.crashed r
+
+let fault_event t ~kind attrs =
+  if Obs.enabled () then
+    Obs.Timeline.record ~time:t.time ~source:"faults" ~kind attrs
+
+let link_attrs t (u, v) =
+  [ ("link", Obs.Attr.String (Link.name (Igp.Network.graph t.net) (u, v))) ]
+
+(* Take one directed edge out of the topology, remembering its weight so
+   a restore reinstates it bit-for-bit. Already-failed edges keep their
+   original record (failing twice must not forget the true weight). *)
+let take_edge t a b =
+  let g = Igp.Network.graph t.net in
+  match Netgraph.Graph.weight g a b with
+  | Some w ->
+    if not (Hashtbl.mem t.failed_edges (a, b)) then
+      Hashtbl.replace t.failed_edges (a, b) w;
+    Netgraph.Graph.remove_edge g a b;
+    true
+  | None -> false
+
+let put_edge_back t a b =
+  match Hashtbl.find_opt t.failed_edges (a, b) with
+  | Some w when not (router_crashed t a || router_crashed t b) ->
+    Netgraph.Graph.add_edge (Igp.Network.graph t.net) a b ~weight:w;
+    Hashtbl.remove t.failed_edges (a, b);
+    true
+  | Some _ | None -> false
+
+let forget_monitor_link t (a, b) =
+  match t.monitor with None -> () | Some m -> Monitor.forget m (a, b)
+
+(* A fake LSA whose forwarding adjacency is gone is meaningless: the
+   lied-to router cannot resolve the fake next hop any more. Flush it,
+   as a real router flushes a route whose next hop vanished. *)
+let flush_dangling_fakes t =
+  let g = Igp.Network.graph t.net in
+  let lsdb = Igp.Network.lsdb t.net in
+  List.iter
+    (fun (f : Igp.Lsa.fake) ->
+      if not (Netgraph.Graph.has_edge g f.attachment f.forwarding) then begin
+        Igp.Lsdb.retract_fake lsdb ~fake_id:f.fake_id;
+        fault_event t ~kind:"fake_flushed"
+          [
+            ("fake", String f.fake_id);
+            ("router", String (Netgraph.Graph.name g f.attachment));
+          ]
+      end)
+    (Igp.Lsdb.fakes lsdb)
+
+let fail_link_now t (u, v) =
+  let removed = take_edge t u v in
+  let removed' = take_edge t v u in
+  if removed || removed' then begin
+    forget_monitor_link t (u, v);
+    forget_monitor_link t (v, u);
+    flush_dangling_fakes t;
+    Igp.Lsdb.touch ~origin:u (Igp.Network.lsdb t.net);
+    fault_event t ~kind:"link_down" (link_attrs t (u, v))
+  end
+
+let restore_link_now t (u, v) =
+  let restored = put_edge_back t u v in
+  let restored' = put_edge_back t v u in
+  if restored || restored' then begin
+    Igp.Lsdb.touch ~origin:u (Igp.Network.lsdb t.net);
+    fault_event t ~kind:"link_up" (link_attrs t (u, v))
+  end
+
+let crash_router_now t r =
+  if not (router_crashed t r) then begin
+    let g = Igp.Network.graph t.net in
+    let succ = Netgraph.Graph.succ g r in
+    let pred = Netgraph.Graph.pred g r in
+    List.iter (fun (n, _) -> Netgraph.Graph.remove_edge g r n) succ;
+    List.iter (fun (n, _) -> Netgraph.Graph.remove_edge g n r) pred;
+    Hashtbl.replace t.crashed r (succ, pred);
+    (match t.monitor with
+    | Some m -> Monitor.prune m ~alive:(fun (a, b) -> a <> r && b <> r)
+    | None -> ());
+    (* The crashed router's LSAs are flushed domain-wide: its router LSA
+       ages out (sequence bump below) and any fake attached to — or
+       forwarding through — it dies with its adjacencies. The retraction
+       bypasses flooding-cost accounting: a dead router floods nothing. *)
+    flush_dangling_fakes t;
+    Igp.Lsdb.reoriginate (Igp.Network.lsdb t.net) ~origin:r;
+    fault_event t ~kind:"router_crash"
+      [ ("router", String (Netgraph.Graph.name g r)) ]
+  end
+
+let recover_router_now t r =
+  match Hashtbl.find_opt t.crashed r with
+  | None -> ()
+  | Some (succ, pred) ->
+    Hashtbl.remove t.crashed r;
+    let g = Igp.Network.graph t.net in
+    (* Re-add adjacencies towards live neighbors; edges towards a still
+       crashed neighbor are handed to that neighbor's crash record so
+       its own recovery restores them. *)
+    let defer n edge_succ edge_pred =
+      match Hashtbl.find_opt t.crashed n with
+      | Some (s, p) ->
+        Hashtbl.replace t.crashed n (edge_succ @ s, edge_pred @ p)
+      | None -> ()
+    in
+    List.iter
+      (fun (n, w) ->
+        if router_crashed t n then defer n [] [ (r, w) ]
+        else Netgraph.Graph.add_edge g r n ~weight:w)
+      succ;
+    List.iter
+      (fun (n, w) ->
+        if router_crashed t n then defer n [ (r, w) ] []
+        else Netgraph.Graph.add_edge g n r ~weight:w)
+      pred;
+    Igp.Lsdb.reoriginate (Igp.Network.lsdb t.net) ~origin:r;
+    fault_event t ~kind:"router_recover"
+      [ ("router", String (Netgraph.Graph.name g r)) ]
+
+let fail_link t ~time link = schedule t ~time (fun t -> fail_link_now t link)
+
+let restore_link t ~time link =
+  schedule t ~time (fun t -> restore_link_now t link)
+
+let crash_router t ~time r = schedule t ~time (fun t -> crash_router_now t r)
+
+let recover_router t ~time r =
+  schedule t ~time (fun t -> recover_router_now t r)
 
 let on_poll t hook =
   if t.monitor = None then invalid_arg "Sim.on_poll: no monitor configured";
@@ -240,6 +370,18 @@ let recompute_routes t =
 
 let step t =
   let step_start = t.time in
+  (* Fake-LSA aging: the simulator — i.e. the routers themselves — ages
+     lies out, so an orphaned lie expires even when the controller that
+     installed it is dead. This is the paper's graceful-degradation
+     argument made executable. *)
+  let expired = Igp.Lsdb.expire_fakes (Igp.Network.lsdb t.net) ~now:step_start in
+  if expired <> [] && Obs.enabled () then
+    List.iter
+      (fun (f : Igp.Lsa.fake) ->
+        Obs.Timeline.record ~time:step_start ~source:"faults"
+          ~kind:"lie_expired"
+          [ ("fake", String f.fake_id); ("prefix", String f.prefix) ])
+      expired;
   (* 0. Run scheduled actions due now (failures, manual injections). *)
   let due, later =
     List.partition (fun (time, _) -> time <= step_start +. 1e-9) t.pending_actions

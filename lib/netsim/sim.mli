@@ -61,7 +61,30 @@ val fail_link : t -> time:float -> Link.t -> unit
 (** Schedule a bidirectional link failure: both directions are removed
     from the topology and the IGP reconverges (flows re-hash onto
     surviving paths; flows with no path are starved and reported by
-    [unroutable_flows]). *)
+    [unroutable_flows]). The monitor (if any) forgets the link so a dead
+    link cannot hold an alarm. Failing an already-failed link is a
+    no-op. *)
+
+val restore_link : t -> time:float -> Link.t -> unit
+(** Schedule the counterpart of [fail_link]: both directions come back
+    with the exact weights the failure removed, the IGP reconverges, and
+    flows re-hash (possibly back onto the link). No-op if the link is
+    not failed, and deferred while either endpoint is crashed (the
+    router recovery restores its own adjacencies). *)
+
+val crash_router : t -> time:float -> Netgraph.Graph.node -> unit
+(** Schedule a router crash: all its adjacencies are torn down, its
+    LSAs are flushed (any fake attached to or forwarding through it dies
+    with it), and the monitor forgets its links. Idempotent while
+    crashed. *)
+
+val recover_router : t -> time:float -> Netgraph.Graph.node -> unit
+(** Schedule the crashed router's recovery: adjacencies towards live
+    neighbors are re-established with their original weights (edges to
+    still-crashed neighbors wait for those neighbors) and the router
+    re-originates its LSA. No-op if not crashed. *)
+
+val router_crashed : t -> Netgraph.Graph.node -> bool
 
 val on_poll : t -> (t -> Monitor.alarm list -> unit) -> unit
 (** Register a controller hook called after every monitor poll (requires

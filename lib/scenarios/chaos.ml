@@ -1,0 +1,150 @@
+(* Chaos harness: run the paper's demo network under a random seeded
+   fault schedule and check that, once the faults cease and every lie
+   has been refreshed away or aged out, the system converges back to
+   exactly the fault-free pure-IGP state. *)
+
+module Graph = Netgraph.Graph
+module Sim = Netsim.Sim
+module Faults = Netsim.Faults
+
+type verdict = {
+  seed : int;
+  plan : Faults.plan;
+  edges_restored : bool;
+  fakes_left : int;
+  fibs_match : bool;
+  unroutable_at_until : int list;
+      (** Flows without a path when the faults have healed but lies may
+          still be installed — informative, not part of [ok]. *)
+  unroutable_at_end : int list;
+  controller_alive : bool;
+  reactions : int;
+}
+
+let ok v =
+  v.edges_restored && v.fakes_left = 0 && v.fibs_match
+  && v.unroutable_at_end = []
+
+let prefix = "blue"
+
+(* Controller tuned for short chaos runs: lies age out in [lie_ttl]
+   seconds without refresh, calm withdrawal after [relax_after]. The
+   quiescence tail must outlast both. *)
+let lie_ttl = 12.
+
+let relax_after = 10.
+
+let quiet = 40.
+
+let run ?(faults = 4) ?(allow_controller_death = true) ~seed ~until () =
+  if until < 16. then invalid_arg "Chaos.run: until must be >= 16";
+  let demo = Netgraph.Topologies.demo () in
+  let g = demo.graph in
+  let pristine = Graph.copy g in
+  let net = Igp.Network.create g in
+  Igp.Network.announce_prefix net prefix ~origin:demo.c ~cost:0;
+  let mb = 1024. *. 1024. in
+  let caps = Netsim.Link.capacities ~default:(11. *. mb) in
+  List.iter
+    (fun link -> Netsim.Link.set_link caps link (2.75 *. mb))
+    [ (demo.a, demo.r1); (demo.b, demo.r2); (demo.b, demo.r3) ];
+  let monitor =
+    Netsim.Monitor.create ~poll_interval:2. ~threshold:0.85 ~clear_threshold:0.6
+      ~alpha:0.8 caps
+  in
+  let sim = Sim.create ~dt:0.5 ~monitor net caps in
+  (* When telemetry is on, stamp the shared timeline with simulated time
+     so two identical runs emit byte-identical traces. *)
+  if Obs.enabled () then Obs.Clock.set_source (fun () -> Sim.time sim);
+  let controller =
+    Fibbing.Controller.create
+      ~config:
+        {
+          Fibbing.Controller.default_config with
+          relax_after;
+          lie_ttl;
+          max_backoff = 16.;
+        }
+      net
+  in
+  Fibbing.Controller.attach controller sim;
+  (* Deterministic offered load, shaped like the demo's flash crowds so
+     the controller actually lies: enough demand from both A and B to
+     congest the 2.75 MB/s edge links. *)
+  let rate = 128. *. 1024. in
+  let add_flows ~base ~count ~src ~at ~duration =
+    List.init count (fun i ->
+        Netsim.Flow.make ~id:(base + i) ~src ~prefix ~demand:rate
+          ~start_time:at ~duration ())
+    |> List.iter (Sim.add_flow sim)
+  in
+  add_flows ~base:0 ~count:24 ~src:demo.a ~at:0.5 ~duration:(until +. 1.5);
+  add_flows ~base:100 ~count:20 ~src:demo.b ~at:1. ~duration:(until +. 1.);
+  (* A negligible probe flow outlives everything: its utilization cannot
+     disturb calm detection, but it must stay routable to the very end. *)
+  let probe_id = 999 in
+  Netsim.Flow.make ~id:probe_id ~src:demo.a ~prefix ~demand:1. ~start_time:0.
+    ~duration:(until +. quiet +. 10.) ()
+  |> Sim.add_flow sim;
+  let plan =
+    Faults.random_plan ~faults ~allow_controller_death ~seed ~until g
+  in
+  Faults.inject sim plan
+    ~on_controller_crash:(fun _ -> Fibbing.Controller.crash controller)
+    ~on_controller_restart:(fun sim ->
+      Fibbing.Controller.restart controller ~time:(Sim.time sim));
+  Sim.run_until sim until;
+  let unroutable_at_until = Sim.unroutable_flows sim in
+  (* Quiescence: the heavy flows end, calm sets in, a live controller
+     withdraws its lies, a dead one lets them age out. *)
+  Sim.run_until sim (until +. quiet);
+  let unroutable_at_end = Sim.unroutable_flows sim in
+  let edges_restored =
+    List.sort compare (Graph.edges g) = List.sort compare (Graph.edges pristine)
+  in
+  let fakes_left = Igp.Lsdb.fake_count (Igp.Network.lsdb net) in
+  (* Ground truth: a from-scratch, never-faulted network over the same
+     topology must agree with every surviving FIB. *)
+  let reference = Igp.Network.create (Graph.copy pristine) in
+  Igp.Network.announce_prefix reference prefix ~origin:demo.c ~cost:0;
+  let fibs_match =
+    List.for_all
+      (fun router ->
+        match
+          ( Igp.Network.fib net ~router prefix,
+            Igp.Network.fib reference ~router prefix )
+        with
+        | None, None -> true
+        | Some a, Some b -> Igp.Fib.equal_forwarding a b
+        | Some _, None | None, Some _ -> false)
+      (Igp.Network.routers net)
+  in
+  {
+    seed;
+    plan;
+    edges_restored;
+    fakes_left;
+    fibs_match;
+    unroutable_at_until;
+    unroutable_at_end;
+    controller_alive = Fibbing.Controller.alive controller;
+    reactions = List.length (Fibbing.Controller.actions controller);
+  }
+
+let pp fmt v =
+  let demo = Netgraph.Topologies.demo () in
+  Format.fprintf fmt
+    "@[<v>chaos seed %d: %s@,\
+     schedule:@,%s@,\
+     edges restored: %b@,\
+     fakes left: %d@,\
+     fibs match fault-free reference: %b@,\
+     unroutable at until: %d, at end: %d@,\
+     controller alive: %b, actions logged: %d@]"
+    v.seed
+    (if ok v then "OK" else "FAILED")
+    (Faults.to_string demo.graph v.plan)
+    v.edges_restored v.fakes_left v.fibs_match
+    (List.length v.unroutable_at_until)
+    (List.length v.unroutable_at_end)
+    v.controller_alive v.reactions

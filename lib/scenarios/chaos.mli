@@ -1,0 +1,43 @@
+(** Chaos experiment: the demo network under a random seeded fault
+    schedule ({!Netsim.Faults}), with a live Fibbing controller that can
+    itself crash and restart mid-run.
+
+    The invariant under test is the paper's graceful-degradation
+    argument made executable: after every fault heals and a long calm
+    tail passes — during which a live controller withdraws its lies and
+    a dead controller's lies age out — routing must be {e exactly} the
+    fault-free pure-IGP state: topology bit-identical, zero fakes in the
+    LSDB, every FIB equal to a from-scratch computation, and the probe
+    flow (which has a physical path throughout) routable again. *)
+
+type verdict = {
+  seed : int;
+  plan : Netsim.Faults.plan;
+  edges_restored : bool;
+  fakes_left : int;
+  fibs_match : bool;
+  unroutable_at_until : int list;
+      (** Flows without a path when the faults have healed but lies may
+          still be installed — informative, not part of [ok]. *)
+  unroutable_at_end : int list;
+  controller_alive : bool;
+  reactions : int;
+}
+
+val ok : verdict -> bool
+(** Topology whole, zero fakes, FIBs equal the fault-free reference, and
+    nothing unroutable after quiescence. *)
+
+val run :
+  ?faults:int ->
+  ?allow_controller_death:bool ->
+  seed:int ->
+  until:float ->
+  unit ->
+  verdict
+(** Deterministic: same seed, same verdict. Faults all heal by
+    [until - 4]; the run continues for a fixed quiescence tail past
+    [until]. Requires [until >= 16]. With [Obs] telemetry enabled the
+    whole run is traced on the shared timeline ([fibbingctl chaos]). *)
+
+val pp : Format.formatter -> verdict -> unit

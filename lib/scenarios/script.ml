@@ -32,6 +32,13 @@ type command =
       duration : float;
     }
   | Fail of string * string * float
+  | Restore of string * string * float
+  | Crash_router of string * float
+  | Recover_router of string * float
+  | Controller_crash of float
+  | Controller_restart of float
+  | Blackout of { duration : float; at : float }
+  | Flooding_loss of { drop : float; seed : int; duration : float option; at : float }
   | Steer of { router : string; splits : (string * float) list; at : float }
   | Run of float
   | Report of report
@@ -141,6 +148,39 @@ let parse_command = function
     let* a, b = link_of link in
     let* at = float_of at in
     Ok (Some (Fail (a, b, at)))
+  | [ "restore"; link; "at"; at ] ->
+    let* a, b = link_of link in
+    let* at = float_of at in
+    Ok (Some (Restore (a, b, at)))
+  | [ "crash"; router; "at"; at ] ->
+    let* at = float_of at in
+    Ok (Some (Crash_router (router, at)))
+  | [ "recover"; router; "at"; at ] ->
+    let* at = float_of at in
+    Ok (Some (Recover_router (router, at)))
+  | [ "controller"; "crash"; "at"; at ] ->
+    let* at = float_of at in
+    Ok (Some (Controller_crash at))
+  | [ "controller"; "restart"; "at"; at ] ->
+    let* at = float_of at in
+    Ok (Some (Controller_restart at))
+  | [ "blackout"; duration; "at"; at ] ->
+    let* duration = float_of duration in
+    let* at = float_of at in
+    Ok (Some (Blackout { duration; at }))
+  | "flooding" :: "loss" :: drop :: "at" :: at :: rest ->
+    let* drop = float_of drop in
+    let* at = float_of at in
+    let* pairs = options [] rest in
+    let* seed =
+      match List.assoc_opt "seed" pairs with Some s -> int_of s | None -> Ok 7
+    in
+    let* duration =
+      match List.assoc_opt "duration" pairs with
+      | Some d -> Result.map Option.some (float_of d)
+      | None -> Ok None
+    in
+    Ok (Some (Flooding_loss { drop; seed; duration; at }))
   | [ "steer"; router; "to"; splits; "at"; at ] ->
     let* splits = splits_of splits in
     let* at = float_of at in
@@ -376,6 +416,56 @@ let execute_command state out command =
     let* u = resolve state a in
     let* v = resolve state b in
     Netsim.Sim.fail_link sim ~time:at (u, v);
+    Ok ()
+  | Restore (a, b, at) ->
+    let* sim = ensure_sim state in
+    let* u = resolve state a in
+    let* v = resolve state b in
+    Netsim.Sim.restore_link sim ~time:at (u, v);
+    Ok ()
+  | Crash_router (r, at) ->
+    let* sim = ensure_sim state in
+    let* r = resolve state r in
+    Netsim.Sim.crash_router sim ~time:at r;
+    Ok ()
+  | Recover_router (r, at) ->
+    let* sim = ensure_sim state in
+    let* r = resolve state r in
+    Netsim.Sim.recover_router sim ~time:at r;
+    Ok ()
+  | Controller_crash at ->
+    let* sim = ensure_sim state in
+    Netsim.Sim.schedule sim ~time:at (fun _ ->
+        match state.controller with
+        | Some c -> Fibbing.Controller.crash c
+        | None -> runtime_error state "controller crash: controller is off");
+    Ok ()
+  | Controller_restart at ->
+    let* sim = ensure_sim state in
+    Netsim.Sim.schedule sim ~time:at (fun sim ->
+        match state.controller with
+        | Some c -> Fibbing.Controller.restart c ~time:(Netsim.Sim.time sim)
+        | None -> runtime_error state "controller restart: controller is off");
+    Ok ()
+  | Blackout { duration; at } ->
+    let* sim = ensure_sim state in
+    Netsim.Sim.schedule sim ~time:at (fun sim ->
+        match Netsim.Sim.monitor sim with
+        | Some m -> Netsim.Monitor.mute m ~until:(Netsim.Sim.time sim +. duration)
+        | None -> ());
+    Ok ()
+  | Flooding_loss { drop; seed; duration; at } ->
+    let* sim = ensure_sim state in
+    let* net = require "network" state.net in
+    Netsim.Sim.schedule sim ~time:at (fun _ ->
+        match Igp.Flooding.loss ~drop ~seed () with
+        | loss -> Igp.Network.set_flooding_loss net (Some loss)
+        | exception Invalid_argument e -> runtime_error state e);
+    Option.iter
+      (fun d ->
+        Netsim.Sim.schedule sim ~time:(at +. d) (fun _ ->
+            Igp.Network.set_flooding_loss net None))
+      duration;
     Ok ()
   | Steer { router; splits; at } ->
     let* sim = ensure_sim state in

@@ -32,6 +32,14 @@
     compiled and injected at time T), [report fibs], [report fakes],
     [report loads], [report latency], [report audit].
 
+    Fault injection: [restore X-Y at T] (undo a [fail]),
+    [crash R at T] / [recover R at T] (router crash and recovery),
+    [controller crash at T] / [controller restart at T] (the restarted
+    controller resyncs from surviving fake LSAs), [blackout D at T]
+    (lose all monitor samples for D seconds) and
+    [flooding loss P at T [duration D] [seed S]] (lossy LSA flooding
+    with per-hop drop probability P).
+
     Lines are parsed eagerly (all errors carry their line number);
     execution is deterministic. *)
 

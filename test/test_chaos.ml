@@ -1,0 +1,430 @@
+(* Robustness tests: seeded fault injection, fake-LSA aging, lossy
+   flooding, controller crash/restart, and the chaos property — after
+   every fault heals and every lie is withdrawn or aged out, routing is
+   exactly the fault-free pure-IGP state. *)
+
+module G = Netgraph.Graph
+module T = Netgraph.Topologies
+module Faults = Netsim.Faults
+
+let demo_net () =
+  let d = T.demo () in
+  let net = Igp.Network.create d.graph in
+  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  (d, net)
+
+let fake ~id ~at ~cost ~fwd : Igp.Lsa.fake =
+  {
+    fake_id = id;
+    attachment = at;
+    attachment_cost = 1;
+    prefix = "blue";
+    announced_cost = cost - 1;
+    forwarding = fwd;
+  }
+
+(* ---------- Lsdb fake aging ---------- *)
+
+let test_lsdb_expiry_basic () =
+  let d, net = demo_net () in
+  let lsdb = Igp.Network.lsdb net in
+  Igp.Network.inject_fake net (fake ~id:"f1" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Alcotest.(check (list string)) "nothing expires without a stamp" []
+    (List.map
+       (fun (f : Igp.Lsa.fake) -> f.fake_id)
+       (Igp.Lsdb.expire_fakes lsdb ~now:1e9));
+  Igp.Lsdb.set_fake_expiry lsdb ~fake_id:"f1" ~now:10. ~ttl:5.;
+  Alcotest.(check (option (float 1e-9))) "expiry stamped" (Some 15.)
+    (Igp.Lsdb.fake_expiry lsdb ~fake_id:"f1");
+  Alcotest.(check (list string)) "not yet" []
+    (List.map
+       (fun (f : Igp.Lsa.fake) -> f.fake_id)
+       (Igp.Lsdb.expire_fakes lsdb ~now:14.9));
+  Alcotest.(check (list string)) "expires at its time" [ "f1" ]
+    (List.map
+       (fun (f : Igp.Lsa.fake) -> f.fake_id)
+       (Igp.Lsdb.expire_fakes lsdb ~now:15.));
+  Alcotest.(check int) "gone from the LSDB" 0 (Igp.Lsdb.fake_count lsdb)
+
+let test_lsdb_refresh_extends_life () =
+  let d, net = demo_net () in
+  let lsdb = Igp.Network.lsdb net in
+  Igp.Network.inject_fake net (fake ~id:"f1" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Igp.Lsdb.set_fake_expiry lsdb ~fake_id:"f1" ~now:0. ~ttl:5.;
+  Igp.Lsdb.refresh_fakes lsdb ~now:4. ~ttl:5. ~owned:(fun _ -> true);
+  Alcotest.(check (list string)) "refresh pushed expiry out" []
+    (List.map
+       (fun (f : Igp.Lsa.fake) -> f.fake_id)
+       (Igp.Lsdb.expire_fakes lsdb ~now:6.));
+  (* A selective refresh leaves unowned fakes to die. *)
+  Igp.Network.inject_fake net (fake ~id:"f2" ~at:d.a ~cost:3 ~fwd:d.r1);
+  Igp.Lsdb.set_fake_expiry lsdb ~fake_id:"f2" ~now:4. ~ttl:5.;
+  Igp.Lsdb.refresh_fakes lsdb ~now:8. ~ttl:5.
+    ~owned:(fun f -> f.fake_id = "f1");
+  Alcotest.(check (list string)) "unowned fake expired" [ "f2" ]
+    (List.map
+       (fun (f : Igp.Lsa.fake) -> f.fake_id)
+       (Igp.Lsdb.expire_fakes lsdb ~now:9.5))
+
+let test_lsdb_expiry_clear_and_clamp () =
+  let d, net = demo_net () in
+  let lsdb = Igp.Network.lsdb net in
+  Igp.Network.inject_fake net (fake ~id:"f1" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Igp.Lsdb.set_fake_expiry lsdb ~fake_id:"f1" ~now:0. ~ttl:5.;
+  Igp.Lsdb.clear_fake_expiry lsdb ~fake_id:"f1";
+  Alcotest.(check (list string)) "immortal again" []
+    (List.map
+       (fun (f : Igp.Lsa.fake) -> f.fake_id)
+       (Igp.Lsdb.expire_fakes lsdb ~now:1e9));
+  (* TTLs are clamped to OSPF MaxAge. *)
+  Igp.Lsdb.set_fake_expiry lsdb ~fake_id:"f1" ~now:0. ~ttl:1e9;
+  Alcotest.(check (option (float 1e-9))) "clamped to max_age"
+    (Some Igp.Lsa.max_age)
+    (Igp.Lsdb.fake_expiry lsdb ~fake_id:"f1");
+  Alcotest.(check bool) "non-positive ttl rejected" true
+    (try
+       Igp.Lsdb.set_fake_expiry lsdb ~fake_id:"f1" ~now:0. ~ttl:0.;
+       false
+     with Invalid_argument _ -> true);
+  (* Retraction drops the stamp: a reinstalled fake starts immortal. *)
+  Igp.Lsdb.retract_fake lsdb ~fake_id:"f1";
+  Igp.Lsdb.install_fake lsdb (fake ~id:"f1" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Alcotest.(check (option (float 1e-9))) "stamp gone after retract" None
+    (Igp.Lsdb.fake_expiry lsdb ~fake_id:"f1")
+
+(* ---------- Lossy flooding ---------- *)
+
+let test_flooding_lossless_dispatch () =
+  let d = T.demo () in
+  let reference = Igp.Flooding.flood d.graph ~origin:d.b in
+  (* drop = 0 must be bit-identical to the lossless path. *)
+  let loss = Igp.Flooding.loss ~drop:0. ~seed:1 () in
+  let cost = Igp.Flooding.flood ~loss d.graph ~origin:d.b in
+  Alcotest.(check int) "messages" reference.messages cost.messages;
+  Alcotest.(check int) "rounds" reference.rounds cost.rounds
+
+let test_flooding_lossy_costs_more () =
+  let d = T.demo () in
+  let reference = Igp.Flooding.flood d.graph ~origin:d.b in
+  let loss = Igp.Flooding.loss ~drop:0.4 ~seed:11 () in
+  let cost = Igp.Flooding.flood ~loss d.graph ~origin:d.b in
+  Alcotest.(check bool)
+    (Printf.sprintf "messages %d >= lossless %d" cost.messages reference.messages)
+    true
+    (cost.messages >= reference.messages);
+  Alcotest.(check bool) "rounds at least lossless" true
+    (cost.rounds >= reference.rounds)
+
+let test_flooding_lossy_deterministic () =
+  let d = T.demo () in
+  let run seed =
+    let loss = Igp.Flooding.loss ~drop:0.3 ~seed () in
+    Igp.Flooding.flood ~loss d.graph ~origin:d.a
+  in
+  Alcotest.(check bool) "same seed, same cost" true (run 7 = run 7)
+
+let test_flooding_loss_validation () =
+  Alcotest.(check bool) "drop out of range" true
+    (try ignore (Igp.Flooding.loss ~drop:1. ~seed:1 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative drop" true
+    (try ignore (Igp.Flooding.loss ~drop:(-0.1) ~seed:1 ()); false
+     with Invalid_argument _ -> true)
+
+(* ---------- Fault plans ---------- *)
+
+let prop_random_plans_validate =
+  QCheck.Test.make ~name:"random fault plans validate" ~count:300
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 8))
+    (fun (seed, faults) ->
+      let g = (T.demo ()).graph in
+      let plan = Faults.random_plan ~faults ~seed ~until:30. g in
+      match Faults.validate plan with
+      | Ok () -> true
+      | Error e ->
+        QCheck.Test.fail_reportf "seed %d: %s@.%s" seed e
+          (Faults.to_string g plan))
+
+let test_plan_deterministic () =
+  let g = (T.demo ()).graph in
+  let a = Faults.random_plan ~seed:42 ~until:30. g in
+  let b = Faults.random_plan ~seed:42 ~until:30. g in
+  Alcotest.(check bool) "same seed, same plan" true (a.events = b.events);
+  let c = Faults.random_plan ~seed:43 ~until:30. g in
+  Alcotest.(check bool) "different seed, different plan" true
+    (a.events <> c.events)
+
+let test_validate_rejects_malformed () =
+  let bad events : Faults.plan = { seed = 0; until = 30.; events } in
+  let rejected plan =
+    match Faults.validate plan with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unhealed link" true
+    (rejected (bad [ { time = 1.; kind = Link_down (0, 1) } ]));
+  Alcotest.(check bool) "restore of a live link" true
+    (rejected (bad [ { time = 1.; kind = Link_up (0, 1) } ]));
+  Alcotest.(check bool) "double crash" true
+    (rejected
+       (bad
+          [
+            { time = 1.; kind = Router_crash 0 };
+            { time = 2.; kind = Router_crash 0 };
+          ]));
+  Alcotest.(check bool) "crash holding a failed link" true
+    (rejected
+       (bad
+          [
+            { time = 1.; kind = Link_down (0, 1) };
+            { time = 2.; kind = Router_crash 0 };
+            { time = 3.; kind = Link_up (0, 1) };
+            { time = 4.; kind = Router_recover 0 };
+          ]));
+  Alcotest.(check bool) "unsorted" true
+    (rejected
+       (bad
+          [
+            { time = 5.; kind = Link_down (0, 1) };
+            { time = 1.; kind = Link_up (0, 1) };
+          ]));
+  Alcotest.(check bool) "restart of live controller" true
+    (rejected (bad [ { time = 1.; kind = Controller_restart } ]))
+
+(* ---------- The chaos property ---------- *)
+
+let prop_chaos_converges =
+  QCheck.Test.make ~name:"chaos: recovers the fault-free state" ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let v = Scenarios.Chaos.run ~faults:(2 + (seed mod 5)) ~seed ~until:30. () in
+      if Scenarios.Chaos.ok v then true
+      else QCheck.Test.fail_reportf "%a" Scenarios.Chaos.pp v)
+
+let test_chaos_deterministic () =
+  let run () = Scenarios.Chaos.run ~seed:5 ~until:30. () in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same verdict" true
+    (a.Scenarios.Chaos.plan.events = b.Scenarios.Chaos.plan.events
+    && a.fakes_left = b.fakes_left
+    && a.controller_alive = b.controller_alive
+    && a.reactions = b.reactions)
+
+(* ---------- Lie aging: the controller-death fallback ---------- *)
+
+let stream = 131072.
+
+let controller_sim ?(config = Fibbing.Controller.default_config) () =
+  let d = T.demo () in
+  let net = Igp.Network.create d.graph in
+  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  let caps = Netsim.Link.capacities ~default:(11. *. 1024. *. 1024.) in
+  List.iter
+    (fun link -> Netsim.Link.set_link caps link (2.75 *. 1024. *. 1024.))
+    [ (d.a, d.r1); (d.b, d.r2); (d.b, d.r3) ];
+  let monitor =
+    Netsim.Monitor.create ~poll_interval:2.0 ~threshold:0.85
+      ~clear_threshold:0.6 ~alpha:0.8 caps
+  in
+  let sim = Netsim.Sim.create ~dt:0.5 ~monitor net caps in
+  let controller = Fibbing.Controller.create ~config net in
+  Fibbing.Controller.attach controller sim;
+  (d, net, sim, controller)
+
+let surge (d : T.demo) sim =
+  for i = 0 to 30 do
+    Netsim.Sim.add_flow sim
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ())
+  done
+
+let test_dead_controller_lies_age_out () =
+  let config =
+    { Fibbing.Controller.default_config with lie_ttl = 5.; relax_after = 1e6 }
+  in
+  let d, net, sim, controller = controller_sim ~config () in
+  surge d sim;
+  Netsim.Sim.run_until sim 10.;
+  let lsdb = Igp.Network.lsdb net in
+  Alcotest.(check bool) "lies installed while alive" true
+    (Igp.Lsdb.fake_count lsdb > 0);
+  Fibbing.Controller.crash controller;
+  Alcotest.(check bool) "dead" false (Fibbing.Controller.alive controller);
+  Alcotest.(check int) "controller memory empty" 0
+    (Fibbing.Controller.fake_count controller);
+  Alcotest.(check bool) "lies still in the LSDB right after the crash" true
+    (Igp.Lsdb.fake_count lsdb > 0);
+  (* No refreshes any more: within lie_ttl the network sheds every lie
+     and the FIBs converge back to the pure IGP, congestion or not. *)
+  Netsim.Sim.run_until sim 20.;
+  Alcotest.(check int) "all lies aged out" 0 (Igp.Lsdb.fake_count lsdb);
+  let reference = Igp.Network.create (G.copy (T.demo ()).graph) in
+  Igp.Network.announce_prefix reference "blue" ~origin:d.c ~cost:0;
+  List.iter
+    (fun router ->
+      match
+        ( Igp.Network.fib net ~router "blue",
+          Igp.Network.fib reference ~router "blue" )
+      with
+      | Some a, Some b ->
+        Alcotest.(check bool) "FIB equals pure IGP" true
+          (Igp.Fib.equal_forwarding a b)
+      | None, None -> ()
+      | _ -> Alcotest.fail "FIB presence mismatch")
+    (Igp.Network.routers net)
+
+let test_live_controller_keeps_lies_alive () =
+  let config =
+    { Fibbing.Controller.default_config with lie_ttl = 5.; relax_after = 1e6 }
+  in
+  let d, net, sim, _controller = controller_sim ~config () in
+  surge d sim;
+  Netsim.Sim.run_until sim 10.;
+  let before = Igp.Lsdb.fake_count (Igp.Network.lsdb net) in
+  Alcotest.(check bool) "lies installed" true (before > 0);
+  (* Many TTLs later, the refresh cycle has kept every lie alive. *)
+  Netsim.Sim.run_until sim 40.;
+  Alcotest.(check bool) "lies survive while refreshed" true
+    (Igp.Lsdb.fake_count (Igp.Network.lsdb net) > 0)
+
+let test_restart_adopts_surviving_lies () =
+  let config =
+    { Fibbing.Controller.default_config with lie_ttl = 6.; relax_after = 1e6 }
+  in
+  let d, net, sim, controller = controller_sim ~config () in
+  surge d sim;
+  Netsim.Sim.run_until sim 10.;
+  let lsdb = Igp.Network.lsdb net in
+  let surviving = Igp.Lsdb.fake_count lsdb in
+  Alcotest.(check bool) "lies installed" true (surviving > 0);
+  Fibbing.Controller.crash controller;
+  Netsim.Sim.run_until sim 12.;
+  Fibbing.Controller.restart controller ~time:(Netsim.Sim.time sim);
+  Alcotest.(check bool) "alive again" true (Fibbing.Controller.alive controller);
+  Alcotest.(check int) "adopted every surviving lie"
+    (Igp.Lsdb.fake_count lsdb)
+    (Fibbing.Controller.fake_count controller);
+  (* Adoption means responsibility: the lies are refreshed again and
+     outlive many TTLs. *)
+  Netsim.Sim.run_until sim 40.;
+  Alcotest.(check bool) "adopted lies kept alive" true
+    (Igp.Lsdb.fake_count lsdb > 0)
+
+let test_restart_withdraws_dangling_lies () =
+  (* A fake whose forwarding adjacency no longer exists must be
+     withdrawn at restart, not adopted. The edge is removed behind the
+     simulator's back to model state the restarted controller cannot
+     trust. *)
+  let d, net = demo_net () in
+  let controller = Fibbing.Controller.create net in
+  Igp.Network.inject_fake net (fake ~id:"stale" ~at:d.b ~cost:2 ~fwd:d.r3);
+  G.remove_edge d.graph d.b d.r3;
+  Fibbing.Controller.crash controller;
+  Fibbing.Controller.restart controller ~time:0.;
+  Alcotest.(check int) "dangling lie withdrawn" 0
+    (Igp.Lsdb.fake_count (Igp.Network.lsdb net));
+  Alcotest.(check int) "nothing adopted" 0
+    (Fibbing.Controller.fake_count controller)
+
+let test_crash_restart_idempotent () =
+  let _, net = demo_net () in
+  let controller = Fibbing.Controller.create net in
+  Fibbing.Controller.crash controller;
+  Fibbing.Controller.crash controller;
+  Fibbing.Controller.restart controller ~time:1.;
+  Fibbing.Controller.restart controller ~time:2.;
+  Alcotest.(check bool) "alive" true (Fibbing.Controller.alive controller)
+
+(* ---------- Scenario DSL fault hooks ---------- *)
+
+let run_script text =
+  let buffer = Buffer.create 256 in
+  let out = Format.formatter_of_buffer buffer in
+  match Scenarios.Script.run_string ~out text with
+  | Ok () -> Buffer.contents buffer
+  | Error message -> Alcotest.failf "script failed: %s" message
+
+let test_script_fault_commands () =
+  let output =
+    run_script
+      {|
+topology demo
+prefix blue at C
+controller on
+flows 5 from A to blue rate 131072 at 0 duration 30
+fail B-R2 at 4
+restore B-R2 at 8
+crash R3 at 10
+recover R3 at 14
+blackout 2 at 16
+flooding loss 0.2 at 18 duration 4 seed 3
+controller crash at 20
+controller restart at 24
+run 30
+report fakes
+|}
+  in
+  Alcotest.(check bool) "script ran and reported" true
+    (String.length output > 0)
+
+let test_script_restore_unknown_link_is_noop () =
+  (* Restoring a link that never failed must not blow up the run. *)
+  let output =
+    run_script
+      {|
+topology demo
+prefix blue at C
+controller off
+flows 1 from A to blue rate 1000 at 0 duration 8
+restore A-B at 2
+run 10
+report loads
+|}
+  in
+  Alcotest.(check bool) "ran" true (String.length output > 0)
+
+let () =
+  let qsuite tests = List.map QCheck_alcotest.to_alcotest tests in
+  Alcotest.run "chaos"
+    [
+      ( "lsdb-aging",
+        [
+          Alcotest.test_case "expiry basics" `Quick test_lsdb_expiry_basic;
+          Alcotest.test_case "refresh extends" `Quick test_lsdb_refresh_extends_life;
+          Alcotest.test_case "clear + clamp" `Quick test_lsdb_expiry_clear_and_clamp;
+        ] );
+      ( "flooding-loss",
+        [
+          Alcotest.test_case "drop=0 dispatches lossless" `Quick
+            test_flooding_lossless_dispatch;
+          Alcotest.test_case "lossy costs more" `Quick test_flooding_lossy_costs_more;
+          Alcotest.test_case "deterministic" `Quick test_flooding_lossy_deterministic;
+          Alcotest.test_case "validation" `Quick test_flooding_loss_validation;
+        ] );
+      ( "fault-plans",
+        [
+          Alcotest.test_case "deterministic" `Quick test_plan_deterministic;
+          Alcotest.test_case "validate rejects malformed" `Quick
+            test_validate_rejects_malformed;
+        ]
+        @ qsuite [ prop_random_plans_validate ] );
+      ( "lie-aging",
+        [
+          Alcotest.test_case "dead controller ages out" `Quick
+            test_dead_controller_lies_age_out;
+          Alcotest.test_case "live controller refreshes" `Quick
+            test_live_controller_keeps_lies_alive;
+          Alcotest.test_case "restart adopts survivors" `Quick
+            test_restart_adopts_surviving_lies;
+          Alcotest.test_case "restart withdraws dangling" `Quick
+            test_restart_withdraws_dangling_lies;
+          Alcotest.test_case "crash/restart idempotent" `Quick
+            test_crash_restart_idempotent;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "deterministic" `Quick test_chaos_deterministic ]
+        @ qsuite [ prop_chaos_converges ] );
+      ( "script-faults",
+        [
+          Alcotest.test_case "fault commands" `Quick test_script_fault_commands;
+          Alcotest.test_case "restore unknown link" `Quick
+            test_script_restore_unknown_link_is_noop;
+        ] );
+    ]

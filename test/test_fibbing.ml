@@ -510,6 +510,88 @@ let test_controller_escalates_upstream () =
   Alcotest.(check bool) "R1 gets more" true
     (List.assoc d.r1 fractions > List.assoc d.b fractions)
 
+let test_controller_withdraw_all_then_fresh_cycle () =
+  (* withdraw_all is a clean slate, not a shutdown: under continued
+     congestion the next poll cycle reacts again from scratch. *)
+  let config = { Fibbing.Controller.default_config with cooldown = 2. } in
+  let d, net, sim, controller = controller_sim ~config () in
+  for i = 0 to 30 do
+    Netsim.Sim.add_flow sim
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ())
+  done;
+  Netsim.Sim.run_until sim 10.;
+  Alcotest.(check bool) "lies installed" true
+    (Fibbing.Controller.fake_count controller > 0);
+  Fibbing.Controller.withdraw_all controller;
+  Alcotest.(check int) "all withdrawn" 0 (Fibbing.Controller.fake_count controller);
+  Alcotest.(check int) "LSDB agrees" 0
+    (Igp.Lsdb.fake_count (Igp.Network.lsdb net));
+  Alcotest.(check bool) "requirements forgotten" true
+    (Fibbing.Controller.requirements controller "blue" = None);
+  (* The congestion has not gone anywhere: the controller must lie again. *)
+  Netsim.Sim.run_until sim 25.;
+  Alcotest.(check bool) "fresh reaction cycle" true
+    (Fibbing.Controller.fake_count controller > 0);
+  Alcotest.(check bool) "fresh requirements" true
+    (Fibbing.Controller.requirements controller "blue" <> None)
+
+let test_controller_withdraws_when_monitor_goes_silent () =
+  (* The calm detector must treat a silent monitor as calm: if every
+     sample disappears (SNMP blackout) right when the surge ends, the
+     lies still come out after relax_after. *)
+  let config =
+    { Fibbing.Controller.default_config with relax_after = 6.; cooldown = 2. }
+  in
+  let d, net, sim, controller = controller_sim ~config () in
+  for i = 0 to 30 do
+    Netsim.Sim.add_flow sim
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ~duration:15. ())
+  done;
+  Netsim.Sim.run_until sim 12.;
+  Alcotest.(check bool) "lies installed during surge" true
+    (Fibbing.Controller.fake_count controller > 0);
+  (match Netsim.Sim.monitor sim with
+  | Some m -> Netsim.Monitor.mute m ~until:1e9
+  | None -> Alcotest.fail "sim has a monitor");
+  Netsim.Sim.run_until sim 40.;
+  Alcotest.(check int) "lies withdrawn despite silence" 0
+    (Fibbing.Controller.fake_count controller);
+  Alcotest.(check int) "LSDB clean" 0 (Igp.Lsdb.fake_count (Igp.Network.lsdb net))
+
+let test_controller_backs_off_when_ineffective () =
+  (* A line topology has no alternate path: every reaction is free to
+     act but can change nothing, so the backoff must kick in and the
+     reaction rate must fall well below the poll rate. *)
+  let g = T.line ~n:3 in
+  let net = Igp.Network.create g in
+  Igp.Network.announce_prefix net "sink" ~origin:2 ~cost:0;
+  let caps = Netsim.Link.capacities ~default:10. in
+  let monitor =
+    Netsim.Monitor.create ~poll_interval:2.0 ~threshold:0.85 ~clear_threshold:0.6
+      ~alpha:1.0 caps
+  in
+  let sim = Netsim.Sim.create ~dt:0.5 ~monitor net caps in
+  let config =
+    { Fibbing.Controller.default_config with cooldown = 2.; max_backoff = 16. }
+  in
+  let controller = Fibbing.Controller.create ~config net in
+  Fibbing.Controller.attach controller sim;
+  (* Permanent unfixable overload on the only path. *)
+  Netsim.Sim.add_flow sim
+    (Netsim.Flow.make ~id:0 ~src:0 ~prefix:"sink" ~demand:20. ());
+  Netsim.Sim.run_until sim 60.;
+  Alcotest.(check bool) "backoff engaged" true
+    (Fibbing.Controller.consecutive_failures controller > 0);
+  let polls = int_of_float (60. /. 2.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reactions (%d) rate-limited well below polls (%d)"
+       (List.length (Fibbing.Controller.actions controller))
+       polls)
+    true
+    (List.length (Fibbing.Controller.actions controller) < polls / 2);
+  Alcotest.(check int) "and no lies were installed" 0
+    (Fibbing.Controller.fake_count controller)
+
 (* ---------- Budget ---------- *)
 
 let split nh fraction = { R.next_hop = nh; fraction }
@@ -1032,5 +1114,11 @@ let () =
           Alcotest.test_case "anycast prefix" `Quick test_controller_handles_anycast_prefix;
           Alcotest.test_case "escalates upstream (2nd surge)" `Quick
             test_controller_escalates_upstream;
+          Alcotest.test_case "withdraw_all then fresh cycle" `Quick
+            test_controller_withdraw_all_then_fresh_cycle;
+          Alcotest.test_case "withdraws when monitor silent" `Quick
+            test_controller_withdraws_when_monitor_goes_silent;
+          Alcotest.test_case "backs off when ineffective" `Quick
+            test_controller_backs_off_when_ineffective;
         ] );
     ]

@@ -763,6 +763,145 @@ let test_sim_failure_then_fake_restores_split () =
   Alcotest.(check bool) "B-R3 loaded" true (rate (d.b, d.r3) > 0.);
   Alcotest.(check bool) "B-A loaded" true (rate (d.b, d.a) > 0.)
 
+let edge_set g =
+  List.sort compare
+    (List.map (fun (u, v, w) -> (u, v, w)) (G.edges g))
+
+let test_sim_restore_link_round_trip () =
+  let d, net = demo_net () in
+  let pristine = edge_set d.graph in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  (* Down: both of A's exits fail, the flow starves. *)
+  Netsim.Sim.fail_link sim ~time:2. (d.a, d.b);
+  Netsim.Sim.fail_link sim ~time:2. (d.a, d.r1);
+  Netsim.Sim.run_until sim 4.;
+  Alcotest.(check (list int)) "starved while down" [ 0 ]
+    (Netsim.Sim.unroutable_flows sim);
+  (* Up: both links come back; the flow re-hashes onto its old path at
+     full rate and the graph is byte-identical to the pristine one —
+     weights included, in both directions. *)
+  Netsim.Sim.restore_link sim ~time:5. (d.a, d.b);
+  Netsim.Sim.restore_link sim ~time:5. (d.a, d.r1);
+  Netsim.Sim.run_until sim 7.;
+  Alcotest.(check (list int)) "routable again" []
+    (Netsim.Sim.unroutable_flows sim);
+  checkf "full rate again" 10. (Netsim.Sim.flow_rate sim 0);
+  (match Netsim.Sim.flow_path sim 0 with
+  | Some path ->
+    Alcotest.(check (list int)) "original path" [ d.a; d.b; d.r2; d.c ] path
+  | None -> Alcotest.fail "routed after restore");
+  Alcotest.(check bool) "graph restored with weights" true
+    (edge_set d.graph = pristine)
+
+let test_sim_restore_unknown_link_is_noop () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  let pristine = edge_set d.graph in
+  Netsim.Sim.restore_link sim ~time:1. (d.a, d.b);
+  Netsim.Sim.run_until sim 2.;
+  Alcotest.(check bool) "restoring a live link changes nothing" true
+    (edge_set d.graph = pristine)
+
+let test_sim_crash_recover_router () =
+  let d, net = demo_net () in
+  let pristine = edge_set d.graph in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.crash_router sim ~time:2. d.r2;
+  Netsim.Sim.run_until sim 4.;
+  Alcotest.(check bool) "crashed" true (Netsim.Sim.router_crashed sim d.r2);
+  (match Netsim.Sim.flow_path sim 0 with
+  | Some path ->
+    Alcotest.(check (list int)) "detours around R2" [ d.a; d.b; d.r3; d.c ] path
+  | None -> Alcotest.fail "routed around the crash");
+  Netsim.Sim.recover_router sim ~time:5. d.r2;
+  Netsim.Sim.run_until sim 7.;
+  Alcotest.(check bool) "recovered" false (Netsim.Sim.router_crashed sim d.r2);
+  (match Netsim.Sim.flow_path sim 0 with
+  | Some path ->
+    Alcotest.(check (list int)) "original path again" [ d.a; d.b; d.r2; d.c ] path
+  | None -> Alcotest.fail "routed after recovery");
+  Alcotest.(check bool) "adjacencies restored with weights" true
+    (edge_set d.graph = pristine)
+
+let test_sim_adjacent_crashes_defer_shared_link () =
+  (* B and R2 crash while adjacent; the B-R2 link must come back only
+     when BOTH endpoints are up, whatever the recovery order. *)
+  let d, net = demo_net () in
+  let pristine = edge_set d.graph in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Netsim.Sim.crash_router sim ~time:1. d.b;
+  Netsim.Sim.crash_router sim ~time:2. d.r2;
+  Netsim.Sim.recover_router sim ~time:3. d.b;
+  Netsim.Sim.run_until sim 4.;
+  Alcotest.(check bool) "B-R2 still down while R2 is crashed" false
+    (G.has_edge d.graph d.b d.r2);
+  Netsim.Sim.recover_router sim ~time:5. d.r2;
+  Netsim.Sim.run_until sim 6.;
+  Alcotest.(check bool) "whole graph back" true (edge_set d.graph = pristine)
+
+let test_sim_crash_flushes_dangling_fakes () =
+  let d, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  Igp.Network.inject_fake net (fake ~id:"via-r2" ~at:d.b ~cost:2 ~fwd:d.r2);
+  Igp.Network.inject_fake net (fake ~id:"via-r3" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Netsim.Sim.crash_router sim ~time:2. d.r2;
+  Netsim.Sim.run_until sim 3.;
+  (* The lie forwarding into the dead router is gone; the other survives. *)
+  let lsdb = Igp.Network.lsdb net in
+  Alcotest.(check bool) "dangling fake flushed" false
+    (Igp.Lsdb.installed lsdb "via-r2");
+  Alcotest.(check bool) "healthy fake kept" true
+    (Igp.Lsdb.installed lsdb "via-r3")
+
+(* ---------- monitor fault hooks ---------- *)
+
+let test_monitor_repeat_poll_is_noop () =
+  let caps = Link.capacities ~default:10. in
+  let m = Netsim.Monitor.create ~poll_interval:2. ~threshold:0.9 caps in
+  Netsim.Monitor.observe m ~time:2. ~dt:2. [ ((0, 1), 9.5) ];
+  let alarms = Netsim.Monitor.poll m ~time:2. in
+  Alcotest.(check int) "first poll raises" 1 (List.length alarms);
+  let u = Netsim.Monitor.utilization m (0, 1) in
+  (* Same instant again: a zero-length window must not fabricate spikes. *)
+  Alcotest.(check int) "repeat poll returns nothing" 0
+    (List.length (Netsim.Monitor.poll m ~time:2.));
+  checkf "utilization untouched" u (Netsim.Monitor.utilization m (0, 1))
+
+let test_monitor_forget_clears_alarm () =
+  let caps = Link.capacities ~default:10. in
+  let m = Netsim.Monitor.create ~poll_interval:2. ~threshold:0.9 ~alpha:1. caps in
+  Netsim.Monitor.observe m ~time:2. ~dt:2. [ ((0, 1), 9.9); ((2, 3), 9.9) ];
+  ignore (Netsim.Monitor.poll m ~time:2.);
+  Alcotest.(check (list (pair int int))) "both alarmed" [ (0, 1); (2, 3) ]
+    (List.sort compare (Netsim.Monitor.overloaded m));
+  (* The link leaves the topology: its alarm and smoothed state go too. *)
+  Netsim.Monitor.forget m (0, 1);
+  Alcotest.(check (list (pair int int))) "forgotten link released" [ (2, 3) ]
+    (Netsim.Monitor.overloaded m);
+  checkf "smoothed state purged" 0. (Netsim.Monitor.utilization m (0, 1));
+  Netsim.Monitor.prune m ~alive:(fun _ -> false);
+  Alcotest.(check (list (pair int int))) "prune drops the rest" []
+    (Netsim.Monitor.overloaded m)
+
+let test_monitor_mute_drops_samples () =
+  let caps = Link.capacities ~default:10. in
+  let m = Netsim.Monitor.create ~poll_interval:2. ~threshold:0.9 ~alpha:1. caps in
+  Netsim.Monitor.mute m ~until:3.;
+  Netsim.Monitor.observe m ~time:2. ~dt:2. [ ((0, 1), 9.9) ];
+  Alcotest.(check int) "blackout: no alarms" 0
+    (List.length (Netsim.Monitor.poll m ~time:2.));
+  (* After the blackout samples count again. *)
+  Netsim.Monitor.observe m ~time:4. ~dt:2. [ ((0, 1), 9.9) ];
+  Alcotest.(check int) "post-blackout alarm" 1
+    (List.length (Netsim.Monitor.poll m ~time:4.))
+
 (* Consistency between the two traffic views: the average of many hashed
    flows' link loads matches the fluid Loadmap fractions. *)
 let test_hashing_matches_loadmap () =
@@ -1067,5 +1206,19 @@ let () =
           Alcotest.test_case "partition starves" `Quick test_sim_partition_starves_flow;
           Alcotest.test_case "scheduled action" `Quick test_sim_scheduled_action_runs_once;
           Alcotest.test_case "failure + fake" `Quick test_sim_failure_then_fake_restores_split;
+          Alcotest.test_case "restore round-trip" `Quick test_sim_restore_link_round_trip;
+          Alcotest.test_case "restore live link no-op" `Quick
+            test_sim_restore_unknown_link_is_noop;
+          Alcotest.test_case "crash/recover router" `Quick test_sim_crash_recover_router;
+          Alcotest.test_case "adjacent crashes defer link" `Quick
+            test_sim_adjacent_crashes_defer_shared_link;
+          Alcotest.test_case "crash flushes dangling fakes" `Quick
+            test_sim_crash_flushes_dangling_fakes;
+        ] );
+      ( "monitor-faults",
+        [
+          Alcotest.test_case "repeat poll no-op" `Quick test_monitor_repeat_poll_is_noop;
+          Alcotest.test_case "forget clears alarm" `Quick test_monitor_forget_clears_alarm;
+          Alcotest.test_case "mute drops samples" `Quick test_monitor_mute_drops_samples;
         ] );
     ]
