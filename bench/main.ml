@@ -4,6 +4,8 @@
 
      dune exec bench/main.exe            — all experiment sections + timings
      dune exec bench/main.exe -- quick   — skip the Bechamel timings
+     dune exec bench/main.exe -- flow-quick — only TFLOW, reduced scale
+     dune exec bench/main.exe -- json    — also write BENCH_*.json
 
    Experiment ids:
      F1A  Fig. 1a  IGP shortest paths
@@ -1026,6 +1028,184 @@ let tspf ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* TFLOW: the flow engine at flash-crowd scale — flow-class aggregation
+   plus the indexed water-filling kernel vs the seed's per-flow list
+   allocator. *)
+
+let tflow ~json ~quick () =
+  section "TFLOW"
+    "Flow engine: class aggregation + indexed max-min fair at crowd scale";
+  let counts =
+    if quick then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000 ]
+  in
+  let wall_samples ?(repeat = 5) f =
+    let samples = ref [] in
+    for _ = 1 to repeat do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      samples := ((Unix.gettimeofday () -. t0) *. 1000.) :: !samples
+    done;
+    List.rev !samples
+  in
+  let rec links_of_path = function
+    | a :: (b :: _ as rest) -> (a, b) :: links_of_path rest
+    | [] | [ _ ] -> []
+  in
+  (* Two arenas: the paper's demo network (two servers surging towards
+     the blue prefix) and the GEANT zoo (several PoPs towards one CDN
+     prefix), so the kernel is exercised on both a 3-bottleneck toy and
+     a real 40-router backbone. *)
+  let demo_case () =
+    let d = T.demo () in
+    let net = Igp.Network.create d.graph in
+    Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+    let caps = Netsim.Link.capacities ~default:Demo.backbone_capacity in
+    List.iter
+      (fun link -> Netsim.Link.set_link caps link Demo.link_capacity)
+      [ (d.a, d.r1); (d.b, d.r2); (d.b, d.r3) ];
+    let spec src =
+      {
+        Video.Workload.src;
+        prefix = "blue";
+        rate = Demo.stream_rate;
+        video_duration = 86_400.;
+      }
+    in
+    ("demo", net, caps, [ spec d.a; spec d.b ])
+  in
+  let geant_case () =
+    let entry = Netgraph.Zoo.geant () in
+    let g = entry.Netgraph.Zoo.graph in
+    let net = Igp.Network.create g in
+    Igp.Network.announce_prefix net "cdn" ~origin:0 ~cost:0;
+    let caps = Netsim.Link.capacities ~default:(64. *. 1024. *. 1024.) in
+    (* Four ingress PoPs spread across the node range, none the origin. *)
+    let nodes = G.nodes g in
+    let n = List.length nodes in
+    let sources =
+      List.filteri (fun i _ -> i > 0 && i mod (n / 4) = 0) nodes
+    in
+    let spec src =
+      {
+        Video.Workload.src;
+        prefix = "cdn";
+        rate = Demo.stream_rate;
+        video_duration = 86_400.;
+      }
+    in
+    (entry.Netgraph.Zoo.name, net, caps, List.map spec sources)
+  in
+  let prng = Kit.Prng.create ~seed:23 in
+  let results = ref [] in
+  List.iter
+    (fun (name, net, caps, specs) ->
+      List.iter
+        (fun count ->
+          let repeat = if count >= 100_000 then 3 else 5 in
+          let flows =
+            Video.Workload.crowd ~jitter:0. prng specs ~first_id:0 ~count
+              ~at:0.
+          in
+          (* New engine: full simulation steps (routing, allocation,
+             link rates, series bookkeeping) over the aggregated
+             classes; per-flow history off, as a crowd run would have
+             it. *)
+          let sim =
+            Netsim.Sim.create ~dt:0.5 ~aggregation:true ~flow_history:false
+              net caps
+          in
+          List.iter (Netsim.Sim.add_flow sim) flows;
+          Netsim.Sim.run_until sim 0.5;
+          let new_samples =
+            wall_samples ~repeat (fun () ->
+                Netsim.Sim.run_until sim (Netsim.Sim.time sim +. 0.5))
+          in
+          let classes = Netsim.Sim.flow_classes sim in
+          (* Seed path: the per-flow list allocator plus the per-route
+             link-throughput scan — the allocation work the old step did
+             every dt (its routing and bookkeeping costs are not even
+             charged, so the speedup below is an underestimate). *)
+          let routes =
+            List.filter_map
+              (fun (f : Netsim.Flow.t) ->
+                match Netsim.Sim.flow_path sim f.id with
+                | Some path ->
+                  Some { Netsim.Fairshare.flow = f; links = links_of_path path }
+                | None -> None)
+              flows
+          in
+          let old_samples =
+            wall_samples ~repeat (fun () ->
+                ignore
+                  (Netsim.Fairshare.link_throughput routes
+                     (Netsim.Fairshare.allocate_reference caps routes)))
+          in
+          results := (name, count, classes, old_samples, new_samples) :: !results)
+        counts)
+    [ demo_case (); geant_case () ];
+  let results = List.rev !results in
+  (* Percentiles via the Obs histograms, enabled only after timing. *)
+  let summarized =
+    Obs.reset ();
+    Obs.enable ();
+    let s =
+      List.map
+        (fun (name, count, classes, old_samples, new_samples) ->
+          let summarize label samples =
+            let h =
+              Obs.Metrics.histogram
+                (Printf.sprintf "bench.flow_%s_%s_%d_ms" label name count)
+            in
+            List.iter (Obs.Metrics.observe h) samples;
+            Obs.Metrics.summary h
+          in
+          ( name,
+            count,
+            classes,
+            summarize "old" old_samples,
+            summarize "new" new_samples ))
+        results
+    in
+    Obs.disable ();
+    s
+  in
+  Format.printf "%-10s %8s %8s %12s %12s %9s@." "topology" "flows" "classes"
+    "seed p50" "engine p50" "speedup";
+  List.iter
+    (fun (name, count, classes, (o : Obs.Metrics.histogram_summary)
+              , (n : Obs.Metrics.histogram_summary)) ->
+      Format.printf "%-10s %8d %8d %9.3f ms %9.3f ms %8.1fx@." name count
+        classes o.p50 n.p50 (o.p50 /. n.p50))
+    summarized;
+  List.iter
+    (fun (name, count, _, (o : Obs.Metrics.histogram_summary)
+              , (n : Obs.Metrics.histogram_summary)) ->
+      if count = 10_000 then
+        Format.printf
+          "acceptance (%s at 10k flows): %.1fx step-time speedup (target 10x)@."
+          name (o.p50 /. n.p50))
+    summarized;
+  if json then begin
+    let oc = open_out "BENCH_flow.json" in
+    Printf.fprintf oc "{\n  \"bench\": \"flow\",\n  \"results\": [\n";
+    let total = List.length summarized in
+    List.iteri
+      (fun i (name, count, classes, (o : Obs.Metrics.histogram_summary)
+                  , (n : Obs.Metrics.histogram_summary)) ->
+        Printf.fprintf oc
+          "    {\"topology\": %S, \"flows\": %d, \"classes\": %d,\n\
+          \     \"old_p50_ms\": %.6f, \"old_p95_ms\": %.6f,\n\
+          \     \"new_p50_ms\": %.6f, \"new_p95_ms\": %.6f,\n\
+          \     \"speedup_p50\": %.2f}%s\n"
+          name count classes o.p50 o.p95 n.p50 n.p95 (o.p50 /. n.p50)
+          (if i = total - 1 then "" else ","))
+      summarized;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Format.printf "wrote BENCH_flow.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per computational stage. *)
 
 let bechamel_timings () =
@@ -1102,6 +1282,13 @@ let bechamel_timings () =
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let json = Array.exists (fun a -> a = "json") Sys.argv in
+  if Array.exists (fun a -> a = "flow-quick") Sys.argv then begin
+    (* Standalone smoke for @flow-quick / @check: just the flow engine
+       section at reduced scale, no JSON. *)
+    tflow ~json:false ~quick:true ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
   f1a ();
   f1b ();
   f1c ();
@@ -1122,5 +1309,6 @@ let () =
   tmicro ();
   tplan ();
   tspf ~json ();
+  tflow ~json ~quick ();
   if not quick then bechamel_timings ();
   Format.printf "@.done.@."

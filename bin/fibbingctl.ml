@@ -6,6 +6,8 @@
                 resulting fakes, FIBs and link loads
      demo     — run the paper's flash-crowd demo (Fig. 2) and print the
                 time series, controller actions and QoE
+     flood    — drive a bulk flash crowd (thousands of streams) through
+                the demo network via the aggregated flow engine
      optimize — compute the optimal min-max TE for a surge and realize
                 it with Fibbing (the TOPT pipeline)
      topo     — print one of the built-in topologies
@@ -484,6 +486,79 @@ let run_cmd =
   let doc = "Execute a scenario script." in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ path)
 
+(* ---------- flood ---------- *)
+
+let flood_cmd =
+  let run flows until no_agg =
+    let d = Scenarios.Demo.make ~fibbing:true ~aggregation:(not no_agg) () in
+    let prng = Kit.Prng.create ~seed:11 in
+    let spec src =
+      {
+        Video.Workload.src;
+        prefix = Scenarios.Demo.prefix;
+        rate = Scenarios.Demo.stream_rate;
+        video_duration = 3600.;
+      }
+    in
+    let crowd =
+      Video.Workload.crowd prng ~jitter:2.
+        [ spec d.topology.a; spec d.topology.b ]
+        ~first_id:0 ~count:flows ~at:0.
+    in
+    List.iter (Netsim.Sim.add_flow d.sim) crowd;
+    let t0 = Sys.time () in
+    Scenarios.Demo.run d ~until;
+    let cpu = Sys.time () -. t0 in
+    let sim = d.sim in
+    let steps = until /. d.dt in
+    Format.printf
+      "flows: %d active of %d scheduled, %d classes, %d unroutable@."
+      (List.length (Netsim.Sim.active_flows sim))
+      flows
+      (Netsim.Sim.flow_classes sim)
+      (List.length (Netsim.Sim.unroutable_flows sim));
+    Format.printf "cpu: %.3f s over %.0f steps (%.3f ms/step)@." cpu steps
+      (1000. *. cpu /. steps);
+    let g = Igp.Network.graph d.net in
+    List.iter
+      (fun (link, rate) ->
+        Format.printf "  %-8s %12.0f B/s  %5.1f%%@."
+          (Netsim.Link.name g link) rate
+          (100. *. rate /. Netsim.Link.capacity d.caps link))
+      (Netsim.Sim.current_link_rates sim);
+    (match d.controller with
+    | Some c ->
+      List.iter
+        (fun (a : Fibbing.Controller.action) ->
+          Format.printf "[%5.1f s] %s (fakes: %d)@." a.time a.description
+            a.fakes_installed)
+        (Fibbing.Controller.actions c)
+    | None -> ());
+    0
+  in
+  let flows =
+    Arg.(value & opt int 2000 & info [ "flows" ] ~docv:"N"
+           ~doc:"Number of concurrent streams to surge (split across the \
+                 demo's two video servers).")
+  in
+  let until =
+    Arg.(value & opt float 12. & info [ "until" ] ~docv:"SECONDS"
+           ~doc:"Simulated horizon.")
+  in
+  let no_agg =
+    Arg.(value & flag & info [ "no-aggregation" ]
+           ~doc:"Allocate per flow instead of per flow class (the \
+                 pre-aggregation engine; slow beyond a few thousand \
+                 streams).")
+  in
+  let doc =
+    "Drive a bulk flash crowd through the demo network: thousands of \
+     identical streams collapse into a handful of weighted flow classes \
+     (src, prefix, demand, hashed path), so a step costs the number of \
+     classes, not the number of streams."
+  in
+  Cmd.v (Cmd.info "flood" ~doc) Term.(const run $ flows $ until $ no_agg)
+
 (* ---------- chaos ---------- *)
 
 let chaos_cmd =
@@ -579,4 +654,5 @@ let () =
             run_cmd;
             plan_cmd;
             chaos_cmd;
+            flood_cmd;
           ]))

@@ -19,6 +19,12 @@ type stats = {
   routers_kept : int;
 }
 
+(* One dirty-log event: the set of routers whose cached tables a sync
+   (or an explicit invalidation) dropped. [Full_dirt] means "assume
+   everything" — the entries array was rebuilt, so even router identity
+   is suspect. *)
+type dirt = Full_dirt | Routers_dirt of Graph.node list
+
 type t = {
   lsdb : Lsdb.t;
   pool : Kit.Pool.t;
@@ -31,6 +37,10 @@ type t = {
   mutable full_invalidations : int;
   mutable routers_dirtied : int;
   mutable routers_kept : int;
+  (* Bounded log of invalidation events for [dirtied_since]: newest
+     first, generations are consecutive. *)
+  mutable dirty_gen : int;
+  mutable dirty_log : (int * dirt) list;
 }
 
 let create ?pool lsdb =
@@ -46,7 +56,21 @@ let create ?pool lsdb =
     full_invalidations = 0;
     routers_dirtied = 0;
     routers_kept = 0;
+    dirty_gen = 0;
+    dirty_log = [];
   }
+
+(* Enough depth that a simulation step's worth of churn never overflows;
+   a cursor older than the tail reports [None] (full fallback). *)
+let dirty_log_limit = 64
+
+let record_dirt t dirt =
+  t.dirty_gen <- t.dirty_gen + 1;
+  let log = (t.dirty_gen, dirt) :: t.dirty_log in
+  t.dirty_log <-
+    (if List.length log > dirty_log_limit then
+       List.filteri (fun i _ -> i < dirty_log_limit) log
+     else log)
 
 let pool t = t.pool
 
@@ -74,6 +98,7 @@ let drop_all t =
 
 let invalidate_all t =
   drop_all t;
+  record_dirt t Full_dirt;
   t.synced <- Lsdb.version t.lsdb
 
 (* Cached view distance from [r] to [prefix]'s sink: FIB distances have
@@ -201,6 +226,7 @@ let sync t =
     if Array.length t.entries <> n then begin
       t.entries <- Array.make n None;
       t.full_invalidations <- t.full_invalidations + 1;
+      record_dirt t Full_dirt;
       Obs.Metrics.incr m_full_invalidations
     end
     else begin
@@ -209,9 +235,16 @@ let sync t =
       in
       let before = valid t.entries in
       if before > 0 then begin
+        let was_valid = Array.map Option.is_some t.entries in
         (match Lsdb.deltas_since t.lsdb ~since:t.synced with
         | None -> drop_all t
         | Some deltas -> apply_deltas t deltas);
+        let dirtied = ref [] in
+        Array.iteri
+          (fun r was ->
+            if was && t.entries.(r) = None then dirtied := r :: !dirtied)
+          was_valid;
+        if !dirtied <> [] then record_dirt t (Routers_dirt !dirtied);
         let after = valid t.entries in
         t.routers_kept <- t.routers_kept + after;
         t.routers_dirtied <- t.routers_dirtied + (before - after);
@@ -225,6 +258,30 @@ let sync t =
       end
     end;
     t.synced <- current
+  end
+
+let dirty_cursor t =
+  sync t;
+  t.dirty_gen
+
+let dirtied_since t ~cursor =
+  sync t;
+  if cursor >= t.dirty_gen then Some []
+  else begin
+    let events = List.filter (fun (g, _) -> g > cursor) t.dirty_log in
+    (* Generations are consecutive and the log is truncated from the
+       tail, so a shortfall means the log no longer reaches the cursor. *)
+    if List.length events <> t.dirty_gen - cursor then None
+    else
+      try
+        Some
+          (List.concat_map
+             (function
+               | _, Full_dirt -> raise Exit
+               | _, Routers_dirt rs -> rs)
+             events
+          |> List.sort_uniq compare)
+      with Exit -> None
   end
 
 let check_router t router =

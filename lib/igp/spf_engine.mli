@@ -66,5 +66,23 @@ val prefix_table : t -> Lsa.prefix -> Fib.t option array
 val invalidate_all : t -> unit
 (** Drop every cached table (e.g. to measure cold-start cost). *)
 
+val dirty_cursor : t -> int
+(** Opaque position in the engine's invalidation log, taken after
+    absorbing pending LSDB changes. Pass it to [dirtied_since] later to
+    learn which routers' tables were dropped in between. *)
+
+val dirtied_since : t -> cursor:int -> Netgraph.Graph.node list option
+(** [dirtied_since t ~cursor] syncs, then returns the sorted union of
+    routers whose cached tables were invalidated by any sync (or
+    explicit invalidation) after [cursor] was taken; [None] when a full
+    invalidation occurred or the bounded log no longer reaches back to
+    the cursor (callers must then assume everything changed).
+
+    Soundness for route caches: a consumer that derived state from [fib]
+    lookups forced those routers' tables valid; any later change to what
+    such a router answers goes through a [Some -> None] invalidation at
+    some sync, and every such drop is logged. Hence a router absent from
+    the returned set answers exactly as it did at cursor time. *)
+
 val stats : t -> stats
 (** Cumulative counters since [create]. *)

@@ -5,11 +5,37 @@ let m_steps = Obs.Metrics.counter "sim.steps"
 type rate_model = Max_min_fair | Aimd of Aimd.t
 
 (* A reconvergence in progress: routers still on [old_fib] until their
-   entry in [applies_at] passes. *)
+   entry in [applies_at] passes. [switch_times] (sorted) and
+   [next_switch] track which installation boundaries have been crossed,
+   so flows are only re-routed on steps where some router actually
+   switched views. *)
 type transition = {
   old_fib : (Netgraph.Graph.node * Igp.Lsa.prefix, Igp.Fib.t option) Hashtbl.t;
-  applies_at : (Netgraph.Graph.node * float) list; (* absolute times *)
+  applies_at : (Netgraph.Graph.node, float) Hashtbl.t; (* absolute times *)
+  switch_times : float array;
+  mutable next_switch : int;
   ends_at : float;
+}
+
+(* Flows sharing (src, prefix, demand, hashed path) are fluid-identical:
+   max-min fairness gives them the same rate, so they collapse into one
+   weighted [Fairshare] group and each member's rate is the group's
+   per-member level. [solo] pins a class to a single flow (AIMD keeps
+   per-flow state; [~aggregation:false] forces it for A/B tests). *)
+type class_key = {
+  ck_src : Netgraph.Graph.node;
+  ck_prefix : Igp.Lsa.prefix;
+  ck_demand : float;
+  ck_path : Netgraph.Graph.node list;
+  ck_solo : int; (* -1 when aggregating, else the member's flow id *)
+}
+
+type flow_class = {
+  key : class_key;
+  c_links : Link.t list; (* distinct directed links of the path *)
+  members : (int, unit) Hashtbl.t;
+  mutable weight : int;
+  mutable rate : float; (* per-member rate of the last completed step *)
 }
 
 type t = {
@@ -18,24 +44,32 @@ type t = {
   dt : float;
   monitor : Monitor.t option;
   rate_model : rate_model;
+  aggregate : bool;
+  flow_history : bool;
   mutable time : float;
   queue : event Events.t;
-  mutable pending_actions : (float * (t -> unit)) list; (* time-sorted *)
-  mutable active : Flow.t list; (* insertion order *)
+  (* Scheduled actions in a heap keyed by time; [seq] breaks equal-time
+     ties in registration order. *)
+  pending_actions : (int * (t -> unit)) Kit.Heap.t;
+  mutable action_seq : int;
+  active : (int, Flow.t) Hashtbl.t;
   known_ids : (int, unit) Hashtbl.t;
-  mutable poll_hooks : (t -> Monitor.alarm list -> unit) list;
-  mutable step_hooks : (t -> unit) list;
-  (* Routing state, recomputed when stale. *)
-  mutable routes : (Fairshare.route * Netgraph.Graph.node list) list;
-  mutable unroutable : int list;
+  poll_hooks : (t -> Monitor.alarm list -> unit) Queue.t;
+  step_hooks : (t -> unit) Queue.t;
+  (* Routing state: per-flow cached hashed path ([None] = unroutable)
+     and the flow classes built over those paths. *)
+  paths : (int, Netgraph.Graph.node list option) Hashtbl.t;
+  classes : (class_key, flow_class) Hashtbl.t;
+  class_of : (int, flow_class) Hashtbl.t;
+  unroutable_set : (int, unit) Hashtbl.t;
+  mutable pending_starts : Flow.t list; (* reversed arrival order *)
   mutable routes_lsdb_version : int;
-  mutable routes_dirty : bool;
+  mutable spf_cursor : int;
   (* Convergence modelling (optional). *)
   convergence : Igp.Convergence.timing option;
   mutable transition : transition option;
   fib_snapshot : (Netgraph.Graph.node * Igp.Lsa.prefix, Igp.Fib.t option) Hashtbl.t;
-  (* Last step's allocation. *)
-  mutable rates : (int * float) list;
+  (* Last step's per-link throughput, sorted by link. *)
   mutable link_rates : (Link.t * float) list;
   flow_histories : (int, Kit.Timeseries.t) Hashtbl.t;
   link_histories : (Link.t, Kit.Timeseries.t) Hashtbl.t;
@@ -46,30 +80,39 @@ type t = {
   crashed : (Netgraph.Graph.node, (Netgraph.Graph.node * int) list * (Netgraph.Graph.node * int) list) Hashtbl.t;
 }
 
-let create ?(dt = 0.5) ?monitor ?(rate_model = Max_min_fair) ?convergence net
-    caps =
+let create ?(dt = 0.5) ?monitor ?(rate_model = Max_min_fair) ?convergence
+    ?(aggregation = true) ?(flow_history = true) net caps =
   if dt <= 0. then invalid_arg "Sim.create: dt must be positive";
+  let aggregate =
+    (* AIMD evolves per-flow state, so its classes stay singletons. *)
+    aggregation && (match rate_model with Max_min_fair -> true | Aimd _ -> false)
+  in
   {
     net;
     caps;
     dt;
     monitor;
     rate_model;
+    aggregate;
+    flow_history;
     convergence;
     transition = None;
     fib_snapshot = Hashtbl.create 64;
     time = 0.;
     queue = Events.create ();
-    pending_actions = [];
-    active = [];
-    known_ids = Hashtbl.create 64;
-    poll_hooks = [];
-    step_hooks = [];
-    routes = [];
-    unroutable = [];
+    pending_actions = Kit.Heap.create ();
+    action_seq = 0;
+    active = Hashtbl.create 256;
+    known_ids = Hashtbl.create 256;
+    poll_hooks = Queue.create ();
+    step_hooks = Queue.create ();
+    paths = Hashtbl.create 256;
+    classes = Hashtbl.create 64;
+    class_of = Hashtbl.create 256;
+    unroutable_set = Hashtbl.create 16;
+    pending_starts = [];
     routes_lsdb_version = -1;
-    routes_dirty = true;
-    rates = [];
+    spf_cursor = 0;
     link_rates = [];
     flow_histories = Hashtbl.create 64;
     link_histories = Hashtbl.create 32;
@@ -97,10 +140,8 @@ let add_flow t flow =
 
 let schedule t ~time action =
   if time < t.time then invalid_arg "Sim.schedule: time in the past";
-  t.pending_actions <-
-    List.sort
-      (fun (a, _) (b, _) -> compare a b)
-      ((time, action) :: t.pending_actions)
+  t.action_seq <- t.action_seq + 1;
+  Kit.Heap.push t.pending_actions ~priority:time (t.action_seq, action)
 
 let router_crashed t r = Hashtbl.mem t.crashed r
 
@@ -234,9 +275,9 @@ let recover_router t ~time r =
 
 let on_poll t hook =
   if t.monitor = None then invalid_arg "Sim.on_poll: no monitor configured";
-  t.poll_hooks <- t.poll_hooks @ [ hook ]
+  Queue.add hook t.poll_hooks
 
-let on_step t hook = t.step_hooks <- t.step_hooks @ [ hook ]
+let on_step t hook = Queue.add hook t.step_hooks
 
 let series table key ~make =
   match Hashtbl.find_opt table key with
@@ -256,22 +297,26 @@ let link_series t link =
 
 let track_link t link = ignore (link_series t link)
 
-let active_flows t = t.active
+let active_flows t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.active []
+  |> List.sort (fun (a : Flow.t) b -> compare a.id b.id)
 
-let flow_rate t id = Option.value ~default:0. (List.assoc_opt id t.rates)
+let flow_rate t id =
+  match Hashtbl.find_opt t.class_of id with Some c -> c.rate | None -> 0.
 
 let current_link_rates t = t.link_rates
 
-let unroutable_flows t = t.unroutable
+let unroutable_flows t =
+  Hashtbl.fold (fun id () acc -> id :: acc) t.unroutable_set []
+  |> List.sort compare
 
-let flow_path t id =
-  List.find_map
-    (fun (route, path) ->
-      if route.Fairshare.flow.Flow.id = id then Some path else None)
-    t.routes
+let flow_path t id = Option.join (Hashtbl.find_opt t.paths id)
+
+let flow_classes t = Hashtbl.length t.classes
 
 let active_prefixes t =
-  List.sort_uniq compare (List.map (fun f -> f.Flow.prefix) t.active)
+  Hashtbl.fold (fun _ f acc -> f.Flow.prefix :: acc) t.active []
+  |> List.sort_uniq compare
 
 (* The FIB a router is currently forwarding with: during a transition,
    routers whose installation time has not passed still use their old
@@ -279,7 +324,7 @@ let active_prefixes t =
 let effective_fib t router prefix =
   match t.transition with
   | Some transition
-    when (match List.assoc_opt router transition.applies_at with
+    when (match Hashtbl.find_opt transition.applies_at router with
          | Some apply_at -> t.time < apply_at -. 1e-9
          | None -> true (* never receives the flood: stays old until the end *))
     -> (
@@ -306,15 +351,27 @@ let begin_transition t timing =
   let origin =
     Option.value ~default:0 (Igp.Lsdb.last_origin (Igp.Network.lsdb t.net))
   in
-  let applies_at =
-    List.map
-      (fun (router, rel) -> (router, t.time +. rel))
-      (Igp.Convergence.installation_schedule timing g ~origin)
+  let schedule = Igp.Convergence.installation_schedule timing g ~origin in
+  let applies_at = Hashtbl.create (max 8 (List.length schedule)) in
+  List.iter
+    (fun (router, rel) -> Hashtbl.replace applies_at router (t.time +. rel))
+    schedule;
+  let switch_times =
+    Array.of_list (List.map (fun (_, rel) -> t.time +. rel) schedule)
   in
-  let ends_at =
-    List.fold_left (fun acc (_, at) -> max acc at) t.time applies_at
-  in
-  t.transition <- Some { old_fib; applies_at; ends_at }
+  Array.sort compare switch_times;
+  let ends_at = Array.fold_left max t.time switch_times in
+  (* Switches at or before the current instant are already effective:
+     the rewalk of this very step sees them. *)
+  let next_switch = ref 0 in
+  while
+    !next_switch < Array.length switch_times
+    && t.time >= switch_times.(!next_switch) -. 1e-9
+  do
+    incr next_switch
+  done;
+  t.transition <-
+    Some { old_fib; applies_at; switch_times; next_switch = !next_switch; ends_at }
 
 let snapshot_fibs t =
   Hashtbl.reset t.fib_snapshot;
@@ -326,47 +383,221 @@ let snapshot_fibs t =
         table)
     (active_prefixes t)
 
-(* Re-derive every active flow's hashed path from the current FIBs. *)
+(* ---- flow classes ---- *)
+
+let links_of_path path =
+  let rec go acc = function
+    | u :: (v :: _ as rest) -> go ((u, v) :: acc) rest
+    | _ -> acc
+  in
+  go [] path
+
+let join_class t (flow : Flow.t) path =
+  let key =
+    {
+      ck_src = flow.src;
+      ck_prefix = flow.prefix;
+      ck_demand = flow.demand;
+      ck_path = path;
+      ck_solo = (if t.aggregate then -1 else flow.id);
+    }
+  in
+  let c =
+    match Hashtbl.find_opt t.classes key with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          key;
+          c_links = List.sort_uniq Link.compare (links_of_path path);
+          members = Hashtbl.create 4;
+          weight = 0;
+          rate = 0.;
+        }
+      in
+      Hashtbl.replace t.classes key c;
+      c
+  in
+  c.weight <- c.weight + 1;
+  Hashtbl.replace c.members flow.id ();
+  Hashtbl.replace t.class_of flow.id c
+
+let leave_class t id =
+  match Hashtbl.find_opt t.class_of id with
+  | None -> ()
+  | Some c ->
+    Hashtbl.remove c.members id;
+    c.weight <- c.weight - 1;
+    Hashtbl.remove t.class_of id;
+    if c.weight = 0 then Hashtbl.remove t.classes c.key
+
+let route_flow t (flow : Flow.t) =
+  let max_hops = Netgraph.Graph.node_count (Igp.Network.graph t.net) in
+  Hashing.route_with
+    ~fib:(fun router -> effective_fib t router flow.prefix)
+    ~max_hops ~flow_id:flow.id ~src:flow.src
+
+(* (Re)derive one flow's hashed path and update its class membership;
+   a flow whose path did not change keeps its class untouched. *)
+let place_flow t (flow : Flow.t) =
+  let id = flow.id in
+  let path = route_flow t flow in
+  let unchanged =
+    match Hashtbl.find_opt t.paths id with Some old -> old = path | None -> false
+  in
+  if not unchanged then begin
+    if Hashtbl.mem t.class_of id then leave_class t id
+    else Hashtbl.remove t.unroutable_set id;
+    Hashtbl.replace t.paths id path;
+    match path with
+    | Some p -> join_class t flow p
+    | None -> Hashtbl.replace t.unroutable_set id ()
+  end
+
+let remove_flow t id =
+  Hashtbl.remove t.active id;
+  Hashtbl.remove t.paths id;
+  if Hashtbl.mem t.class_of id then leave_class t id
+  else Hashtbl.remove t.unroutable_set id
+
+let rewalk_all t = Hashtbl.iter (fun _ flow -> place_flow t flow) t.active
+
+(* Re-walk only flows whose cached path crosses a dirtied router —
+   plus every currently-unroutable flow, which may have regained a
+   path. Flows whose path avoids all dirtied routers kept their exact
+   FIB answers (see [Spf_engine.dirtied_since]), so their hashed walk
+   would reproduce the cached path verbatim. *)
+let rewalk_dirty t dirty_routers =
+  if dirty_routers <> [] || Hashtbl.length t.unroutable_set > 0 then begin
+    let dirty = Hashtbl.create 16 in
+    List.iter (fun r -> Hashtbl.replace dirty r ()) dirty_routers;
+    let todo = ref [] in
+    Hashtbl.iter
+      (fun id path ->
+        let touched =
+          match path with
+          | None -> true
+          | Some p -> List.exists (Hashtbl.mem dirty) p
+        in
+        if touched then todo := id :: !todo)
+      t.paths;
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt t.active id with
+        | Some flow -> place_flow t flow
+        | None -> ())
+      !todo
+  end
+
+(* Bring routing up to date: begin/advance/end convergence transitions,
+   re-walk affected flows (all of them during a transition, where every
+   router's view is time-dependent; only the ones crossing dirtied
+   routers otherwise), then route newly started flows. *)
 let recompute_routes t =
+  let engine = Igp.Network.engine t.net in
   let lsdb_version = Igp.Lsdb.version (Igp.Network.lsdb t.net) in
-  if lsdb_version <> t.routes_lsdb_version then begin
+  let lsdb_changed = lsdb_version <> t.routes_lsdb_version in
+  if lsdb_changed then begin
     (match t.convergence with
     | Some timing when Hashtbl.length t.fib_snapshot > 0 ->
       begin_transition t timing
     | Some _ | None -> ());
-    t.routes_lsdb_version <- lsdb_version;
-    t.routes_dirty <- true
+    t.routes_lsdb_version <- lsdb_version
   end;
-  (match t.transition with
-  | Some transition when t.time >= transition.ends_at -. 1e-9 ->
-    t.transition <- None;
-    t.routes_dirty <- true
-  | Some _ | None -> ());
-  let in_transition = t.transition <> None in
-  if t.routes_dirty || in_transition then begin
-    let max_hops = Netgraph.Graph.node_count (Igp.Network.graph t.net) in
-    let routes = ref [] and unroutable = ref [] in
-    List.iter
-      (fun flow ->
-        match
-          Hashing.route_with
-            ~fib:(fun router -> effective_fib t router flow.Flow.prefix)
-            ~max_hops ~flow_id:flow.Flow.id ~src:flow.Flow.src
-        with
-        | None -> unroutable := flow.Flow.id :: !unroutable
-        | Some path ->
-          let rec links acc = function
-            | u :: (v :: _ as rest) -> links ((u, v) :: acc) rest
-            | _ -> List.rev acc
-          in
-          routes :=
-            ({ Fairshare.flow; links = links [] path }, path) :: !routes)
-      t.active;
-    t.routes <- List.rev !routes;
-    t.unroutable <- List.rev !unroutable;
-    t.routes_dirty <- false
+  let transition_ended =
+    match t.transition with
+    | Some transition when t.time >= transition.ends_at -. 1e-9 ->
+      t.transition <- None;
+      true
+    | Some _ | None -> false
+  in
+  let boundary_crossed =
+    match t.transition with
+    | None -> false
+    | Some tr ->
+      let crossed = ref false in
+      while
+        tr.next_switch < Array.length tr.switch_times
+        && t.time >= tr.switch_times.(tr.next_switch) -. 1e-9
+      do
+        tr.next_switch <- tr.next_switch + 1;
+        crossed := true
+      done;
+      !crossed
+  in
+  if lsdb_changed || transition_ended || boundary_crossed then begin
+    if t.transition <> None || transition_ended then rewalk_all t
+    else begin
+      match Igp.Spf_engine.dirtied_since engine ~cursor:t.spf_cursor with
+      | None -> rewalk_all t
+      | Some dirty -> rewalk_dirty t dirty
+    end;
+    t.spf_cursor <- Igp.Spf_engine.dirty_cursor engine
   end;
+  (match t.pending_starts with
+  | [] -> ()
+  | starts ->
+    List.iter (place_flow t) (List.rev starts);
+    t.pending_starts <- [];
+    t.spf_cursor <- Igp.Spf_engine.dirty_cursor engine);
   if t.transition = None then snapshot_fibs t
+
+(* ---- allocation ---- *)
+
+let allocate_max_min t =
+  let classes = Hashtbl.fold (fun _ c acc -> c :: acc) t.classes [] in
+  let arr = Array.of_list classes in
+  let demands = Array.map (fun c -> c.key.ck_demand) arr in
+  let links = Array.map (fun c -> c.c_links) arr in
+  let weights = Array.map (fun c -> c.weight) arr in
+  let rates = Fairshare.water_fill t.caps ~demands ~links ~weights in
+  Array.iteri (fun i c -> c.rate <- rates.(i)) arr
+
+let allocate_aimd t aimd =
+  (* Classes are singletons here ([create] disables aggregation for
+     AIMD), so each class maps 1:1 to a flow and its route. *)
+  let routes =
+    Hashtbl.fold
+      (fun id c acc ->
+        let flow = Hashtbl.find t.active id in
+        ({ Fairshare.flow; links = c.c_links }, c) :: acc)
+      t.class_of []
+  in
+  let fair_routes = List.map fst routes in
+  let offered = Aimd.update aimd ~dt:t.dt ~capacities:t.caps fair_routes in
+  let offered_tbl : (int, float) Hashtbl.t =
+    Hashtbl.create (max 16 (2 * List.length offered))
+  in
+  List.iter (fun (id, rate) -> Hashtbl.replace offered_tbl id rate) offered;
+  (* Offered load per link at the AIMD rates; delivery is capped at the
+     bottleneck share of each flow (excess is queue drop). *)
+  let loads : (Link.t, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ((route : Fairshare.route), _) ->
+      let rate =
+        Option.value ~default:0. (Hashtbl.find_opt offered_tbl route.flow.Flow.id)
+      in
+      List.iter
+        (fun link ->
+          Hashtbl.replace loads link
+            (rate +. Option.value ~default:0. (Hashtbl.find_opt loads link)))
+        route.links)
+    routes;
+  List.iter
+    (fun ((route : Fairshare.route), c) ->
+      let rate =
+        Option.value ~default:0. (Hashtbl.find_opt offered_tbl route.flow.Flow.id)
+      in
+      let factor =
+        List.fold_left
+          (fun acc link ->
+            let load = Option.value ~default:0. (Hashtbl.find_opt loads link) in
+            if load > 0. then min acc (Link.capacity t.caps link /. load)
+            else acc)
+          1. route.links
+      in
+      c.rate <- rate *. min 1. factor)
+    routes
 
 let step t =
   let step_start = t.time in
@@ -382,73 +613,79 @@ let step t =
           ~kind:"lie_expired"
           [ ("fake", String f.fake_id); ("prefix", String f.prefix) ])
       expired;
-  (* 0. Run scheduled actions due now (failures, manual injections). *)
-  let due, later =
-    List.partition (fun (time, _) -> time <= step_start +. 1e-9) t.pending_actions
+  (* 0. Run scheduled actions due now (failures, manual injections),
+     ordered by time then registration order for equal timestamps. *)
+  let due = ref [] in
+  let rec drain () =
+    match Kit.Heap.peek t.pending_actions with
+    | Some (time, (seq, action)) when time <= step_start +. 1e-9 ->
+      ignore (Kit.Heap.pop t.pending_actions);
+      due := (time, seq, action) :: !due;
+      drain ()
+    | Some _ | None -> ()
   in
-  t.pending_actions <- later;
-  List.iter (fun (_, action) -> action t) due;
+  drain ();
+  let due =
+    List.sort (fun (ta, sa, _) (tb, sb, _) -> compare (ta, sa) (tb, sb)) !due
+  in
+  List.iter (fun (_, _, action) -> action t) due;
   (* 1. Activate and retire flows due at the start of this step. *)
   List.iter
     (fun (_, event) ->
       match event with
       | Start flow ->
-        t.active <- t.active @ [ flow ];
+        Hashtbl.replace t.active flow.Flow.id flow;
+        t.pending_starts <- flow :: t.pending_starts;
         if Obs.enabled () then
           Obs.Timeline.record ~time:step_start ~source:"sim" ~kind:"flow_start"
             [
               ("flow", Int flow.Flow.id);
               ("prefix", String flow.Flow.prefix);
               ("demand", Float flow.Flow.demand);
-            ];
-        t.routes_dirty <- true
+            ]
       | Stop id ->
-        t.active <- List.filter (fun f -> f.Flow.id <> id) t.active;
+        remove_flow t id;
+        t.pending_starts <-
+          List.filter (fun (f : Flow.t) -> f.id <> id) t.pending_starts;
         if Obs.enabled () then
           Obs.Timeline.record ~time:step_start ~source:"sim" ~kind:"flow_stop"
             [ ("flow", Int id) ];
         (match t.rate_model with
         | Aimd aimd -> Aimd.forget aimd id
-        | Max_min_fair -> ());
-        t.routes_dirty <- true)
+        | Max_min_fair -> ()))
     (Events.pop_until t.queue ~time:step_start);
   (* 2–3. Route and allocate. *)
   recompute_routes t;
-  let fair_routes = List.map fst t.routes in
-  (t.rates <-
-     (match t.rate_model with
-     | Max_min_fair -> Fairshare.allocate t.caps fair_routes
-     | Aimd aimd ->
-       (* AIMD rates are offered load; deliver at most the bottleneck
-          share of each flow (excess is queue drop). *)
-       let offered = Aimd.update aimd ~dt:t.dt ~capacities:t.caps fair_routes in
-       let loads = Fairshare.link_throughput fair_routes offered in
-       List.map
-         (fun (route : Fairshare.route) ->
-           let id = route.flow.Flow.id in
-           let rate = Option.value ~default:0. (List.assoc_opt id offered) in
-           let factor =
-             List.fold_left
-               (fun acc link ->
-                 let load = Option.value ~default:0. (List.assoc_opt link loads) in
-                 if load > 0. then min acc (Link.capacity t.caps link /. load)
-                 else acc)
-               1. route.links
-           in
-           (id, rate *. min 1. factor))
-         fair_routes));
-  t.link_rates <- Fairshare.link_throughput fair_routes t.rates;
+  (match t.rate_model with
+  | Max_min_fair -> allocate_max_min t
+  | Aimd aimd -> allocate_aimd t aimd);
+  let link_tbl : (Link.t, float) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ c ->
+      let total = float_of_int c.weight *. c.rate in
+      List.iter
+        (fun link ->
+          Hashtbl.replace link_tbl link
+            (total +. Option.value ~default:0. (Hashtbl.find_opt link_tbl link)))
+        c.c_links)
+    t.classes;
+  t.link_rates <-
+    Hashtbl.fold (fun link rate acc -> (link, rate) :: acc) link_tbl []
+    |> List.sort (fun (a, _) (b, _) -> Link.compare a b);
   (* 4. Record histories for this interval, stamped at its start. *)
-  List.iter
-    (fun (id, rate) ->
-      Kit.Timeseries.add (flow_series t id) ~time:step_start rate)
-    t.rates;
-  List.iter (fun id -> Kit.Timeseries.add (flow_series t id) ~time:step_start 0.) t.unroutable;
-  let touched = List.map fst t.link_rates in
+  if t.flow_history then begin
+    Hashtbl.iter
+      (fun id c -> Kit.Timeseries.add (flow_series t id) ~time:step_start c.rate)
+      t.class_of;
+    Hashtbl.iter
+      (fun id () -> Kit.Timeseries.add (flow_series t id) ~time:step_start 0.)
+      t.unroutable_set
+  end;
   let tracked = Hashtbl.fold (fun l _ acc -> l :: acc) t.link_histories [] in
+  let touched = List.map fst t.link_rates in
   List.iter
     (fun link ->
-      let rate = Option.value ~default:0. (List.assoc_opt link t.link_rates) in
+      let rate = Option.value ~default:0. (Hashtbl.find_opt link_tbl link) in
       Kit.Timeseries.add (link_series t link) ~time:step_start rate)
     (List.sort_uniq Link.compare (touched @ tracked));
   (* 5. Advance time, then feed the monitor and fire hooks. *)
@@ -477,9 +714,9 @@ let step t =
               ])
           alarms
       end;
-      List.iter (fun hook -> hook t alarms) t.poll_hooks
+      Queue.iter (fun hook -> hook t alarms) t.poll_hooks
     end);
-  List.iter (fun hook -> hook t) t.step_hooks
+  Queue.iter (fun hook -> hook t) t.step_hooks
 
 let run_until t until =
   while t.time < until -. 1e-9 do

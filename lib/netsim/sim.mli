@@ -26,6 +26,8 @@ val create :
   ?monitor:Monitor.t ->
   ?rate_model:rate_model ->
   ?convergence:Igp.Convergence.timing ->
+  ?aggregation:bool ->
+  ?flow_history:bool ->
   Igp.Network.t ->
   Link.capacities ->
   t
@@ -37,7 +39,21 @@ val create :
     originating router), and flows are routed against the mixed view in
     between — a flow caught in a transient micro-loop is unroutable (its
     packets are lost) until the loop resolves. Without it (the default),
-    reconvergence is instantaneous. *)
+    reconvergence is instantaneous.
+
+    [aggregation] (default [true]) collapses flows sharing
+    (src, prefix, demand, hashed path) into one weighted [Fairshare]
+    group; each member's rate is the group's per-member level, which for
+    identical flows equals their individual max-min rate, so the
+    allocation is unchanged while a 100k-stream flash crowd costs a
+    handful of groups per step. Pass [false] to force one group per flow
+    (the pre-aggregation behavior, kept for A/B testing); AIMD always
+    runs per-flow regardless.
+
+    [flow_history] (default [true]) records the per-flow throughput
+    series behind [flow_series]. Disable it for very large populations
+    where per-step O(flows) recording would dominate; link series and
+    the monitor are unaffected ([Video.Client.of_flow] needs it on). *)
 
 val network : t -> Igp.Network.t
 
@@ -55,7 +71,9 @@ val add_flow : t -> Flow.t -> unit
 val schedule : t -> time:float -> (t -> unit) -> unit
 (** Schedule an arbitrary action (e.g. a link failure, a manual fake
     injection) to run at the start of the step covering [time]. Actions
-    touching the LSDB take routing effect within the same step. *)
+    touching the LSDB take routing effect within the same step. Actions
+    run in time order; equal timestamps preserve registration order.
+    Insertion is O(log n) (a heap, not a per-insert re-sort). *)
 
 val fail_link : t -> time:float -> Link.t -> unit
 (** Schedule a bidirectional link failure: both directions are removed
@@ -88,7 +106,8 @@ val router_crashed : t -> Netgraph.Graph.node -> bool
 
 val on_poll : t -> (t -> Monitor.alarm list -> unit) -> unit
 (** Register a controller hook called after every monitor poll (requires
-    a monitor). Multiple hooks run in registration order. *)
+    a monitor). Multiple hooks run in registration order (O(1) per
+    registration). *)
 
 val on_step : t -> (t -> unit) -> unit
 (** Hook called after every simulation step. *)
@@ -118,4 +137,9 @@ val current_link_rates : t -> (Link.t * float) list
 (** Per-link throughput during the last completed step. *)
 
 val unroutable_flows : t -> int list
-(** Ids of active flows that currently have no usable path. *)
+(** Ids of active flows that currently have no usable path, sorted. *)
+
+val flow_classes : t -> int
+(** Number of distinct flow classes currently allocated over — with
+    aggregation, the number of (src, prefix, demand, path) groups;
+    without, the number of routable active flows. *)

@@ -21,7 +21,7 @@ let backbone_capacity = 11. *. 1024. *. 1024. (* 88 Mbps: never the bottleneck *
 let video_duration = 300.
 
 let make ?(fibbing = true) ?(dt = 0.5) ?(rate_model = Sim.Max_min_fair)
-    ?controller_config () =
+    ?(aggregation = true) ?controller_config () =
   let topology = Netgraph.Topologies.demo () in
   let net = Igp.Network.create topology.graph in
   Igp.Network.announce_prefix net prefix ~origin:topology.c ~cost:0;
@@ -43,7 +43,7 @@ let make ?(fibbing = true) ?(dt = 0.5) ?(rate_model = Sim.Max_min_fair)
     Netsim.Monitor.create ~poll_interval:2.0 ~threshold:0.85
       ~clear_threshold:0.6 ~alpha:0.8 caps
   in
-  let sim = Sim.create ~dt ~monitor ~rate_model net caps in
+  let sim = Sim.create ~dt ~monitor ~rate_model ~aggregation net caps in
   let controller =
     if fibbing then begin
       let c = Fibbing.Controller.create ?config:controller_config net in

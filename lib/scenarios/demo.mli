@@ -38,6 +38,7 @@ val make :
   ?fibbing:bool ->
   ?dt:float ->
   ?rate_model:Netsim.Sim.rate_model ->
+  ?aggregation:bool ->
   ?controller_config:Fibbing.Controller.config ->
   unit ->
   t
@@ -45,8 +46,10 @@ val make :
     attaches the controller; with [false] the network is left to plain
     IGP routing — the paper's "controller disabled" comparison run.
     [rate_model] defaults to instantaneous max-min fairness; pass
-    [Aimd] for TCP-like ramps. The three links of Fig. 2 (A–R1, B–R2,
-    B–R3) are pre-tracked so their series include leading zeros. *)
+    [Aimd] for TCP-like ramps. [aggregation] (default true) is forwarded
+    to [Netsim.Sim.create] — pass [false] for a per-flow A/B reference
+    run. The three links of Fig. 2 (A–R1, B–R2, B–R3) are pre-tracked so
+    their series include leading zeros. *)
 
 val load_fig2_workload : t -> Netsim.Flow.t list
 (** Schedule the paper's exact flow arrivals (1 @ 0 s, +30 @ 15 s,

@@ -24,6 +24,15 @@ let poisson prng spec ~first_id ~rate_per_s ~from ~until =
     (fun i start_time -> flow spec ~id:(first_id + i) ~start_time)
     (arrivals from [])
 
+let crowd ?(jitter = 1.0) prng specs ~first_id ~count ~at =
+  if specs = [] then invalid_arg "Workload.crowd: no specs";
+  if count < 0 then invalid_arg "Workload.crowd: negative count";
+  let specs = Array.of_list specs in
+  let k = Array.length specs in
+  List.init count (fun i ->
+      let delay = if jitter > 0. then Kit.Prng.float prng jitter else 0. in
+      flow specs.(i mod k) ~id:(first_id + i) ~start_time:(at +. delay))
+
 let fig2_schedule ~s1 ~s2 ~prefix ~rate ~video_duration =
   let spec_of src = { src; prefix; rate; video_duration } in
   let one = [ flow (spec_of s1) ~id:0 ~start_time:0. ] in

@@ -34,6 +34,22 @@ val poisson :
   Netsim.Flow.t list
 (** Poisson arrivals between [from] and [until]. *)
 
+val crowd :
+  ?jitter:float ->
+  Kit.Prng.t ->
+  spec list ->
+  first_id:int ->
+  count:int ->
+  at:float ->
+  Netsim.Flow.t list
+(** Bulk flash-crowd generation at simulation scale: [count] streams
+    dealt round-robin across [specs] (several ingress points surging at
+    once), each delayed by a uniform jitter in [\[0, jitter\]] (default
+    1 s) after [at]. Ids are [first_id ...]. Flows drawn from the same
+    spec share (src, prefix, demand), so the simulator's flow-class
+    aggregation collapses them into a handful of weighted groups no
+    matter how large [count] is. *)
+
 val fig2_schedule :
   s1:Netgraph.Graph.node ->
   s2:Netgraph.Graph.node ->

@@ -336,6 +336,152 @@ let prop_fairshare_work_conserving =
           demand_limited || bottlenecked || r.Netsim.Fairshare.links = [])
         routes)
 
+(* Regression for the freeze tie-break: a flow whose demand lands
+   exactly on the fair-share level must freeze at its demand, in both
+   kernels. The seed compared the saturation level with [=], so such a
+   flow could be frozen at the link level a round early (or late)
+   depending on float luck. *)
+let test_fairshare_demand_equals_level () =
+  let caps = Link.capacities ~default:10. in
+  let exact =
+    Netsim.Fairshare.
+      [
+        { flow = mkflow 1 5.; links = [ (0, 1) ] };
+        { flow = mkflow 2 100.; links = [ (0, 1) ] };
+      ]
+  in
+  (* Level of the 10-cap link with two flows is 5: flow 1's demand sits
+     exactly on it. Both must end at exactly 5. *)
+  List.iter
+    (fun (label, alloc) ->
+      checkf (label ^ ": capped flow at demand") 5. (List.assoc 1 alloc);
+      checkf (label ^ ": elastic flow takes rest") 5. (List.assoc 2 alloc))
+    [
+      ("kernel", Netsim.Fairshare.allocate caps exact);
+      ("reference", Netsim.Fairshare.allocate_reference caps exact);
+    ];
+  (* A demand a hair under the level must not leave the elastic flow
+     short: epsilon-tolerant freezing gives 5 - 1e-10 and ~5, not a
+     stuck round. *)
+  let near =
+    Netsim.Fairshare.
+      [
+        { flow = mkflow 1 (5. -. 1e-10); links = [ (0, 1) ] };
+        { flow = mkflow 2 100.; links = [ (0, 1) ] };
+      ]
+  in
+  List.iter
+    (fun (label, alloc) ->
+      Alcotest.(check bool)
+        (label ^ ": near-exact demand") true
+        (abs_float (List.assoc 1 alloc -. 5.) < 1e-6
+        && abs_float (List.assoc 2 alloc -. 5.) < 1e-6))
+    [
+      ("kernel", Netsim.Fairshare.allocate caps near);
+      ("reference", Netsim.Fairshare.allocate_reference caps near);
+    ]
+
+(* The indexed kernel against the list oracle, rate for rate. *)
+let prop_fairshare_matches_reference =
+  QCheck.Test.make ~name:"indexed kernel matches list reference" ~count:300
+    fairshare_gen (fun input ->
+      let routes = random_routes input in
+      let caps = Link.capacities ~default:6. in
+      let fast = Netsim.Fairshare.allocate caps routes in
+      let slow = Netsim.Fairshare.allocate_reference caps routes in
+      List.length fast = List.length slow
+      && List.for_all2
+           (fun (id_f, r_f) (id_s, r_s) ->
+             id_f = id_s && abs_float (r_f -. r_s) < 1e-6)
+           fast slow)
+
+(* Max-min optimality, not just feasibility: a flow below demand must be
+   bottlenecked on a saturated link where no other flow does better —
+   raising it would require lowering someone no better off. *)
+let prop_fairshare_max_min_optimal =
+  QCheck.Test.make ~name:"below-demand flows are max-min bottlenecked"
+    ~count:300 fairshare_gen (fun input ->
+      let routes = random_routes input in
+      let caps = Link.capacities ~default:6. in
+      let alloc = Netsim.Fairshare.allocate caps routes in
+      let tp = Netsim.Fairshare.link_throughput routes alloc in
+      let rate (r : Netsim.Fairshare.route) = List.assoc r.flow.Flow.id alloc in
+      List.for_all
+        (fun (r : Netsim.Fairshare.route) ->
+          rate r >= r.flow.Flow.demand -. 1e-6
+          || List.exists
+               (fun link ->
+                 Option.value ~default:0. (List.assoc_opt link tp)
+                 >= 6. -. 1e-6
+                 && List.for_all
+                      (fun (r' : Netsim.Fairshare.route) ->
+                        (not (List.mem link r'.links))
+                        || rate r' <= rate r +. 1e-6)
+                      routes)
+               r.links)
+        routes)
+
+(* Weighted groups: water_fill must agree with allocate on the expanded
+   singleton population, and conserve capacity under the weights. *)
+let water_fill_gen =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "groups=%d seed=%d" n seed)
+    QCheck.Gen.(pair (int_range 1 8) (int_range 0 100000))
+
+let prop_water_fill_groups =
+  QCheck.Test.make ~name:"water_fill = allocate on expanded singletons"
+    ~count:300 water_fill_gen (fun (n, seed) ->
+      let prng = Kit.Prng.create ~seed in
+      let groups =
+        List.init n (fun _ ->
+            let hops = 1 + Kit.Prng.int prng 4 in
+            let start = Kit.Prng.int prng 5 in
+            let links = List.init hops (fun h -> (start + h, start + h + 1)) in
+            let demand = 0.5 +. Kit.Prng.float prng 4.5 in
+            let weight = 1 + Kit.Prng.int prng 5 in
+            (demand, links, weight))
+      in
+      let caps = Link.capacities ~default:20. in
+      let rates =
+        Netsim.Fairshare.water_fill caps
+          ~demands:(Array.of_list (List.map (fun (d, _, _) -> d) groups))
+          ~links:(Array.of_list (List.map (fun (_, l, _) -> l) groups))
+          ~weights:(Array.of_list (List.map (fun (_, _, w) -> w) groups))
+      in
+      (* Conservation: per-link sum of weight * member-rate <= capacity. *)
+      let load = Hashtbl.create 16 in
+      List.iteri
+        (fun g (_, links, weight) ->
+          List.iter
+            (fun link ->
+              let prev = Option.value ~default:0. (Hashtbl.find_opt load link) in
+              Hashtbl.replace load link
+                (prev +. (float_of_int weight *. rates.(g))))
+            (List.sort_uniq Link.compare links))
+        groups;
+      let conserved =
+        Hashtbl.fold (fun _ l acc -> acc && l <= 20. +. 1e-6) load true
+      in
+      (* Equivalence: expand each group into [weight] singleton flows. *)
+      let expanded =
+        List.concat
+          (List.mapi
+             (fun g (demand, links, weight) ->
+               List.init weight (fun m ->
+                   { Netsim.Fairshare.flow = mkflow ((g * 100) + m) demand; links }))
+             groups)
+      in
+      let alloc = Netsim.Fairshare.allocate caps expanded in
+      let agrees =
+        List.for_all
+          (fun (r : Netsim.Fairshare.route) ->
+            abs_float
+              (List.assoc r.flow.Flow.id alloc -. rates.(r.flow.Flow.id / 100))
+            < 1e-6)
+          expanded
+      in
+      conserved && agrees)
+
 (* ---------- Events ---------- *)
 
 let test_events_ordering () =
@@ -714,6 +860,61 @@ let test_sim_scheduled_action_runs_once () =
   Alcotest.(check bool) "past time rejected" true
     (try Netsim.Sim.schedule sim ~time:1. (fun _ -> ()); false
      with Invalid_argument _ -> true)
+
+let test_sim_schedule_equal_times_fifo () =
+  (* Actions sharing a timestamp run in registration order, and later
+     times run after earlier ones regardless of insertion order — the
+     seed's prepend-and-sort queue was LIFO within a timestamp. *)
+  let _, net = demo_net () in
+  let caps = Link.capacities ~default:100. in
+  let sim = Netsim.Sim.create ~dt:1. net caps in
+  let trace = ref [] in
+  let mark label = fun _ -> trace := label :: !trace in
+  Netsim.Sim.schedule sim ~time:3.5 (mark "late");
+  Netsim.Sim.schedule sim ~time:1.5 (mark "a");
+  Netsim.Sim.schedule sim ~time:1.5 (mark "b");
+  Netsim.Sim.schedule sim ~time:1.5 (mark "c");
+  Netsim.Sim.schedule sim ~time:0.5 (mark "early");
+  Netsim.Sim.run_until sim 5.;
+  Alcotest.(check (list string))
+    "time order, FIFO at ties"
+    [ "early"; "a"; "b"; "c"; "late" ]
+    (List.rev !trace)
+
+let test_sim_aggregation_invariant () =
+  (* The aggregated engine must hand every flow the same rate and every
+     link the same load as the per-flow engine, while using one class
+     per (src, prefix, demand, path) instead of one per flow. *)
+  let make_sim aggregation =
+    let d, net = demo_net () in
+    let caps = Link.capacities ~default:15. in
+    let sim = Netsim.Sim.create ~dt:0.5 ~aggregation net caps in
+    for i = 0 to 9 do
+      Netsim.Sim.add_flow sim
+        (Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:10. ())
+    done;
+    for i = 10 to 14 do
+      Netsim.Sim.add_flow sim
+        (Flow.make ~id:i ~src:d.b ~prefix:"blue" ~demand:2. ())
+    done;
+    Netsim.Sim.run_until sim 2.;
+    sim
+  in
+  let agg = make_sim true and solo = make_sim false in
+  Alcotest.(check bool) "few classes" true (Netsim.Sim.flow_classes agg <= 3);
+  Alcotest.(check int) "one class per flow" 15 (Netsim.Sim.flow_classes solo);
+  for i = 0 to 14 do
+    checkf
+      (Printf.sprintf "flow %d same rate" i)
+      (Netsim.Sim.flow_rate solo i)
+      (Netsim.Sim.flow_rate agg i)
+  done;
+  List.iter2
+    (fun (link_a, rate_a) (link_s, rate_s) ->
+      Alcotest.(check bool) "same link" true (link_a = link_s);
+      checkf "same link rate" rate_s rate_a)
+    (Netsim.Sim.current_link_rates agg)
+    (Netsim.Sim.current_link_rates solo)
 
 let test_sim_failure_then_fake_restores_split () =
   (* Failure + Fibbing together: after B-R2 dies, inject an equal-cost
@@ -1143,9 +1344,17 @@ let () =
           Alcotest.test_case "empty path" `Quick test_fairshare_empty_path;
           Alcotest.test_case "duplicate ids" `Quick test_fairshare_duplicate_ids_rejected;
           Alcotest.test_case "link throughput" `Quick test_fairshare_link_throughput;
+          Alcotest.test_case "demand equals level" `Quick
+            test_fairshare_demand_equals_level;
         ] );
       qsuite "fairshare-props"
-        [ prop_fairshare_feasible; prop_fairshare_work_conserving ];
+        [
+          prop_fairshare_feasible;
+          prop_fairshare_work_conserving;
+          prop_fairshare_matches_reference;
+          prop_fairshare_max_min_optimal;
+          prop_water_fill_groups;
+        ];
       ( "events",
         [
           Alcotest.test_case "ordering" `Quick test_events_ordering;
@@ -1181,6 +1390,10 @@ let () =
           Alcotest.test_case "monitor hook" `Quick test_sim_monitor_hook_fires;
           Alcotest.test_case "duplicate flow" `Quick test_sim_rejects_duplicate_flow;
           Alcotest.test_case "unroutable flow" `Quick test_sim_unroutable_flow_reported;
+          Alcotest.test_case "equal-time schedule FIFO" `Quick
+            test_sim_schedule_equal_times_fifo;
+          Alcotest.test_case "aggregation invariant" `Quick
+            test_sim_aggregation_invariant;
         ] );
       ( "convergence-sim",
         [
