@@ -5,7 +5,11 @@
      dune exec bench/main.exe            — all experiment sections + timings
      dune exec bench/main.exe -- quick   — skip the Bechamel timings
      dune exec bench/main.exe -- flow-quick — only TFLOW, reduced scale
+     dune exec bench/main.exe -- par-quick  — only TPAR, reduced scale
+     dune exec bench/main.exe -- par     — only TPAR, full scale
+     dune exec bench/main.exe -- spf     — only TSPF
      dune exec bench/main.exe -- json    — also write BENCH_*.json
+     dune exec bench/main.exe -- domains=N  — pin the worker-pool width
 
    Experiment ids:
      F1A  Fig. 1a  IGP shortest paths
@@ -980,8 +984,10 @@ let tspf ~json () =
   let speedup_cold = seed_full_ms /. engine_cold_ms in
   let speedup_churn = seed_full_ms /. engine_churn_ms in
   let domains = Kit.Pool.domain_count (Igp.Spf_engine.pool engine) in
-  Format.printf "topology: %s (%d routers, %d links, %d prefixes)@."
-    entry.Netgraph.Zoo.name n links (List.length prefixes);
+  let cores = Domain.recommended_domain_count () in
+  Format.printf
+    "topology: %s (%d routers, %d links, %d prefixes); %d domains on %d cores@."
+    entry.Netgraph.Zoo.name n links (List.length prefixes) domains cores;
   Format.printf "%-44s %10.3f ms@."
     "seed full recompute (router x prefix Dijkstras)" seed_full_ms;
   Format.printf "%-44s %10.3f ms  (%.1fx)@."
@@ -1005,6 +1011,7 @@ let tspf ~json () =
       \  \"routers\": %d,\n\
       \  \"links\": %d,\n\
       \  \"prefixes\": %d,\n\
+      \  \"cores\": %d,\n\
       \  \"domains\": %d,\n\
       \  \"seed_full_ms\": %.6f,\n\
       \  \"engine_cold_ms\": %.6f,\n\
@@ -1019,7 +1026,7 @@ let tspf ~json () =
       \  \"speedup_churn\": %.2f,\n\
       \  \"avg_dirty_routers\": %.2f\n\
        }\n"
-      entry.Netgraph.Zoo.name n links (List.length prefixes) domains
+      entry.Netgraph.Zoo.name n links (List.length prefixes) cores domains
       seed_full_ms engine_cold_ms engine_churn_ms cold_summary.p50
       cold_summary.p95 cold_summary.p99 churn_summary.p50 churn_summary.p95
       churn_summary.p99 speedup_cold speedup_churn avg_dirty;
@@ -1206,6 +1213,204 @@ let tflow ~json ~quick () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* TPAR: multicore scale-out — the same three workloads at 1/2/4/8
+   domains, with the sequential run as the equivalence oracle. Speedups
+   are whatever the machine gives (the JSON records its core count); the
+   determinism check is unconditional and fails the bench — parallel
+   runs must produce byte-identical FIBs, water-fill rates, chaos
+   verdicts and per-run timelines. *)
+
+let tpar ~json ~quick () =
+  section "TPAR"
+    "Multicore scale-out: SPF churn, water-fill setup, chaos sweeps vs domains";
+  let cores = Domain.recommended_domain_count () in
+  let widths = [ 1; 2; 4; 8 ] in
+  Format.printf "machine cores (recommended domains): %d@." cores;
+  let best = List.fold_left min infinity in
+  let wall_samples ?(repeat = 5) ?(prepare = ignore) f =
+    let samples = ref [] in
+    for _ = 1 to repeat do
+      prepare ();
+      let t0 = Unix.gettimeofday () in
+      f ();
+      samples := ((Unix.gettimeofday () -. t0) *. 1000.) :: !samples
+    done;
+    List.rev !samples
+  in
+  (* -- Track A: GEANT churn reconvergence, SPF batches sharded. -- *)
+  let spf_track d =
+    let entry = Netgraph.Zoo.geant () in
+    let g = entry.Netgraph.Zoo.graph in
+    let net = Igp.Network.create ~domains:d g in
+    List.iter
+      (fun r ->
+        Igp.Network.announce_prefix net (Printf.sprintf "p%02d" r) ~origin:r
+          ~cost:0)
+      (G.nodes g);
+    let prefixes = Igp.Lsdb.prefix_list (Igp.Network.lsdb net) in
+    let flip = ref false in
+    let churn () =
+      flip := not !flip;
+      if !flip then
+        Igp.Network.inject_fake net
+          {
+            fake_id = "bench";
+            attachment = 0;
+            attachment_cost = 1;
+            prefix = "p20";
+            announced_cost = 0;
+            forwarding = fst (List.hd (G.succ g 0));
+          }
+      else Igp.Network.retract_fake net ~fake_id:"bench"
+    in
+    Igp.Network.warm net;
+    let samples =
+      wall_samples ~repeat:(if quick then 10 else 30) ~prepare:churn (fun () ->
+          Igp.Network.warm net)
+    in
+    (* Serialize every FIB after the last (fake-retracted) reconvergence:
+       the dump must be byte-identical at every width. *)
+    Igp.Network.warm net;
+    let buf = Buffer.create 65536 in
+    List.iter
+      (fun prefix ->
+        Array.iteri
+          (fun router fib ->
+            match fib with
+            | None -> Buffer.add_string buf (Printf.sprintf "%d/%s -@." router prefix)
+            | Some fib ->
+              Buffer.add_string buf
+                (Format.asprintf "%d/%s %a@." router prefix
+                   (Igp.Fib.pp ~names:(G.name g))
+                   fib))
+          (Igp.Network.fib_table net prefix))
+      prefixes;
+    (best samples, Buffer.contents buf)
+  in
+  (* -- Track B: flash-crowd water-fill, setup phases sharded. -- *)
+  let wf_flows = if quick then 20_000 else 100_000 in
+  let nlinks = 400 in
+  let wf_caps = Netsim.Link.capacities ~default:(24. *. 1024. *. 1024.) in
+  let wf_demands, wf_links, wf_weights =
+    let prng = Kit.Prng.create ~seed:42 in
+    let demands =
+      Array.init wf_flows (fun _ ->
+          64. *. 1024. *. float_of_int (1 + Kit.Prng.int prng 8))
+    in
+    let links =
+      Array.init wf_flows (fun _ ->
+          let s = Kit.Prng.int prng (nlinks - 3) in
+          [ (s, s + 1); (s + 1, s + 2); (s + 2, s + 3) ])
+    in
+    (demands, links, Array.make wf_flows 1)
+  in
+  let wf_track d =
+    let pool = Kit.Pool.create ~domains:d () in
+    let out = ref [||] in
+    let samples =
+      wall_samples ~repeat:(if quick then 3 else 5) (fun () ->
+          out :=
+            Netsim.Fairshare.water_fill ~pool wf_caps ~demands:wf_demands
+              ~links:wf_links ~weights:wf_weights)
+    in
+    (best samples, !out)
+  in
+  (* -- Track C: chaos seed sweep, one scenario per domain. -- *)
+  let chaos_seeds = List.init (if quick then 8 else 64) (fun i -> i + 1) in
+  let chaos_track d =
+    let pool = Kit.Pool.create ~domains:d () in
+    let t0 = Unix.gettimeofday () in
+    let results = Scenarios.Chaos.sweep ~pool ~seeds:chaos_seeds ~until:20. () in
+    ((Unix.gettimeofday () -. t0) *. 1000., List.map fst results)
+  in
+  let spf = List.map spf_track widths in
+  let wf = List.map wf_track widths in
+  let chaos = List.map chaos_track widths in
+  let base f l = f (List.hd l) in
+  let spf_ref = base snd spf and wf_ref = base snd wf and chaos_ref = base snd chaos in
+  let spf_ok = List.for_all (fun (_, dump) -> dump = spf_ref) spf in
+  let wf_ok = List.for_all (fun (_, rates) -> rates = wf_ref) wf in
+  let chaos_ok = List.for_all (fun (_, vs) -> vs = chaos_ref) chaos in
+  (* Determinism of captured timelines: a telemetry-on sweep must emit
+     byte-identical per-run timelines at widths 1, 2 and 4. *)
+  let timeline_sweep d =
+    Obs.reset ();
+    Obs.enable ();
+    let seeds = List.filteri (fun i _ -> i < 4) chaos_seeds in
+    let results =
+      Scenarios.Chaos.sweep
+        ~pool:(Kit.Pool.create ~domains:d ())
+        ~seeds ~until:20. ()
+    in
+    Obs.disable ();
+    List.map (fun (v, tl) -> (v, Option.value ~default:"" tl)) results
+  in
+  let tl1 = timeline_sweep 1 in
+  let tl_ok = List.for_all (fun d -> timeline_sweep d = tl1) [ 2; 4 ] in
+  Format.printf "@.%-8s %14s %14s %14s@." "domains" "spf churn" "water-fill"
+    "chaos sweep";
+  List.iteri
+    (fun i d ->
+      Format.printf "%-8d %11.3f ms %11.3f ms %11.3f ms@." d
+        (fst (List.nth spf i))
+        (fst (List.nth wf i))
+        (fst (List.nth chaos i)))
+    widths;
+  let speedups track = List.map (fun (ms, _) -> base fst track /. ms) track in
+  let spf_speedups = speedups spf in
+  let wf_speedups = speedups wf in
+  let chaos_speedups = speedups chaos in
+  let pp_speedups label l =
+    Format.printf "%-20s" label;
+    List.iter (fun s -> Format.printf " %6.2fx" s) l;
+    Format.printf "@."
+  in
+  pp_speedups "spf speedup" spf_speedups;
+  pp_speedups "water-fill speedup" wf_speedups;
+  pp_speedups "chaos speedup" chaos_speedups;
+  Format.printf
+    "determinism: fibs %s, water-fill rates %s, chaos verdicts %s, timelines %s@."
+    (if spf_ok then "identical" else "DIVERGED")
+    (if wf_ok then "identical" else "DIVERGED")
+    (if chaos_ok then "identical" else "DIVERGED")
+    (if tl_ok then "identical" else "DIVERGED");
+  if json then begin
+    let oc = open_out "BENCH_parallel.json" in
+    let floats l = String.concat ", " (List.map (Printf.sprintf "%.6f") l) in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"parallel\",\n\
+      \  \"cores\": %d,\n\
+      \  \"domains\": [%s],\n\
+      \  \"spf_churn_ms\": [%s],\n\
+      \  \"spf_speedup\": [%s],\n\
+      \  \"waterfill_flows\": %d,\n\
+      \  \"waterfill_ms\": [%s],\n\
+      \  \"waterfill_speedup\": [%s],\n\
+      \  \"chaos_seeds\": %d,\n\
+      \  \"chaos_sweep_ms\": [%s],\n\
+      \  \"chaos_speedup\": [%s],\n\
+      \  \"determinism\": {\"spf_fibs\": %b, \"waterfill_rates\": %b,\n\
+      \                  \"chaos_verdicts\": %b, \"chaos_timelines\": %b}\n\
+       }\n"
+      cores
+      (String.concat ", " (List.map string_of_int widths))
+      (floats (List.map fst spf))
+      (floats spf_speedups) wf_flows
+      (floats (List.map fst wf))
+      (floats wf_speedups)
+      (List.length chaos_seeds)
+      (floats (List.map fst chaos))
+      (floats chaos_speedups) spf_ok wf_ok chaos_ok tl_ok;
+    close_out oc;
+    Format.printf "wrote BENCH_parallel.json@."
+  end;
+  if not (spf_ok && wf_ok && chaos_ok && tl_ok) then begin
+    Format.printf "TPAR FAILED: parallel execution diverged from sequential@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per computational stage. *)
 
 let bechamel_timings () =
@@ -1282,10 +1487,38 @@ let bechamel_timings () =
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let json = Array.exists (fun a -> a = "json") Sys.argv in
+  (* domains=N pins the process-default pool width (same knob as
+     fibbingctl --domains); otherwise FIBBING_DOMAINS / the machine
+     default apply. *)
+  Array.iter
+    (fun a ->
+      match String.split_on_char '=' a with
+      | [ "domains"; d ] -> Kit.Pool.set_default_domains (int_of_string_opt d)
+      | _ -> ())
+    Sys.argv;
   if Array.exists (fun a -> a = "flow-quick") Sys.argv then begin
     (* Standalone smoke for @flow-quick / @check: just the flow engine
        section at reduced scale, no JSON. *)
     tflow ~json:false ~quick:true ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
+  if Array.exists (fun a -> a = "par-quick") Sys.argv then begin
+    (* Parallel-equivalence smoke for @par-quick / @check: TPAR at
+       reduced scale, exits 1 if parallel ≢ sequential. *)
+    tpar ~json:false ~quick:true ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
+  if Array.exists (fun a -> a = "par") Sys.argv then begin
+    (* Full-scale TPAR only (with json: regenerates BENCH_parallel.json). *)
+    tpar ~json ~quick:false ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
+  if Array.exists (fun a -> a = "spf") Sys.argv then begin
+    (* TSPF only (with json: regenerates BENCH_spf.json). *)
+    tspf ~json ();
     Format.printf "@.done.@.";
     exit 0
   end;
@@ -1310,5 +1543,6 @@ let () =
   tplan ();
   tspf ~json ();
   tflow ~json ~quick ();
+  tpar ~json ~quick ();
   if not quick then bechamel_timings ();
   Format.printf "@.done.@."

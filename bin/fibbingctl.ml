@@ -58,6 +58,18 @@ let topology_arg =
   in
   Arg.(value & opt string "demo" & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
 
+(* --domains N: process-wide worker-pool width. Every pool created after
+   this point (SPF engines, sweep pools) defaults to N. *)
+let domains_arg =
+  let doc =
+    "Worker domains for parallel sections (SPF sharding, water-fill setup, \
+     scenario sweeps). Defaults to the FIBBING_DOMAINS environment variable, \
+     else the machine's recommended domain count."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let apply_domains d = Kit.Pool.set_default_domains d
+
 let prefix_arg =
   Arg.(value & opt string "blue" & info [ "p"; "prefix" ] ~docv:"PREFIX" ~doc:"Prefix name.")
 
@@ -489,7 +501,8 @@ let run_cmd =
 (* ---------- flood ---------- *)
 
 let flood_cmd =
-  let run flows until no_agg =
+  let run flows until no_agg domains =
+    apply_domains domains;
     let d = Scenarios.Demo.make ~fibbing:true ~aggregation:(not no_agg) () in
     let prng = Kit.Prng.create ~seed:11 in
     let spec src =
@@ -557,30 +570,67 @@ let flood_cmd =
      (src, prefix, demand, hashed path), so a step costs the number of \
      classes, not the number of streams."
   in
-  Cmd.v (Cmd.info "flood" ~doc) Term.(const run $ flows $ until $ no_agg)
+  Cmd.v (Cmd.info "flood" ~doc)
+    Term.(const run $ flows $ until $ no_agg $ domains_arg)
 
 (* ---------- chaos ---------- *)
 
 let chaos_cmd =
-  let run seed until faults trace json =
-    Obs.reset ();
-    if trace || json then Obs.enable ();
-    let v = Scenarios.Chaos.run ~faults ~seed ~until () in
-    Obs.disable ();
-    Obs.Clock.use_cpu_time ();
-    if json then begin
-      print_string (Obs.Timeline.to_json_lines ());
-      Format.eprintf "%a@." Scenarios.Chaos.pp v
+  let run seed until faults trace json seeds domains =
+    apply_domains domains;
+    if seeds <= 1 then begin
+      Obs.reset ();
+      if trace || json then Obs.enable ();
+      let v = Scenarios.Chaos.run ~faults ~seed ~until () in
+      Obs.disable ();
+      Obs.Clock.use_cpu_time ();
+      if json then begin
+        print_string (Obs.Timeline.to_json_lines ());
+        Format.eprintf "%a@." Scenarios.Chaos.pp v
+      end
+      else begin
+        if trace then Format.printf "%a@." (Obs.Timeline.pp_table ?include_spans:None) ();
+        Format.printf "%a@." Scenarios.Chaos.pp v
+      end;
+      if Scenarios.Chaos.ok v then 0 else 1
     end
     else begin
-      if trace then Format.printf "%a@." (Obs.Timeline.pp_table ?include_spans:None) ();
-      Format.printf "%a@." Scenarios.Chaos.pp v
-    end;
-    if Scenarios.Chaos.ok v then 0 else 1
+      (* Sweep mode: seeds [seed, seed + seeds), one scenario per
+         domain. Timelines (--json) are per-run captures, so output is
+         identical at any --domains. *)
+      Obs.reset ();
+      if json then Obs.enable ();
+      let seed_list = List.init seeds (fun i -> seed + i) in
+      let results = Scenarios.Chaos.sweep ~faults ~seeds:seed_list ~until () in
+      Obs.disable ();
+      let failures = ref 0 in
+      List.iter
+        (fun ((v : Scenarios.Chaos.verdict), timeline) ->
+          (match timeline with Some s when json -> print_string s | _ -> ());
+          let okay = Scenarios.Chaos.ok v in
+          if not okay then incr failures;
+          let line = if json then Format.eprintf else Format.printf in
+          line "seed %d: %s (reactions %d, fakes left %d, unroutable %d)@."
+            v.seed
+            (if okay then "OK" else "FAILED")
+            v.reactions v.fakes_left
+            (List.length v.unroutable_at_end))
+        results;
+      let line = if json then Format.eprintf else Format.printf in
+      line "%d/%d seeds OK@." (seeds - !failures) seeds;
+      if !failures = 0 then 0 else 1
+    end
   in
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
            ~doc:"Fault-schedule seed; the whole run is deterministic in it.")
+  in
+  let seeds =
+    Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"COUNT"
+           ~doc:"Sweep COUNT consecutive seeds starting at --seed, one \
+                 scenario per worker domain. Exit status 1 if any seed \
+                 fails. With --json, each run's captured timeline is \
+                 printed in seed order (verdict lines go to stderr).")
   in
   let until =
     Arg.(value & opt float 30. & info [ "until" ] ~docv:"SECONDS"
@@ -610,7 +660,7 @@ let chaos_cmd =
      Exit status 1 when the invariant fails."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ seed $ until $ faults $ trace $ json)
+    Term.(const run $ seed $ until $ faults $ trace $ json $ seeds $ domains_arg)
 
 (* ---------- topo ---------- *)
 

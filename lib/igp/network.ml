@@ -14,12 +14,13 @@ type t = {
          retransmission costs. [None] (the default) is lossless. *)
 }
 
-let create graph =
+let create ?domains graph =
   let lsdb = Lsdb.create graph in
+  let pool = Kit.Pool.create ?domains () in
   {
     graph;
     lsdb;
-    engine = Spf_engine.create lsdb;
+    engine = Spf_engine.create ~pool lsdb;
     control = Flooding.zero;
     flooding_loss = None;
   }
@@ -31,10 +32,13 @@ let clone t =
     (fun (prefix, origin, cost) -> Lsdb.announce_prefix lsdb prefix ~origin ~cost)
     (Lsdb.prefixes t.lsdb);
   List.iter (fun fake -> Lsdb.install_fake lsdb fake) (Lsdb.fakes t.lsdb);
+  let pool =
+    Kit.Pool.create ~domains:(Kit.Pool.domain_count (Spf_engine.pool t.engine)) ()
+  in
   {
     graph;
     lsdb;
-    engine = Spf_engine.create lsdb;
+    engine = Spf_engine.create ~pool lsdb;
     control = Flooding.zero;
     flooding_loss = None;
   }

@@ -5,12 +5,17 @@
 
 type t
 
-val create : Netgraph.Graph.t -> t
+val create : ?domains:int -> Netgraph.Graph.t -> t
+(** [domains] sizes the SPF engine's worker pool (default
+    [Kit.Pool.default_domain_count ()]). Scenario sweeps that already
+    run one network per domain pass [~domains:1] so the inner engine
+    stays sequential instead of nesting fan-outs. *)
 
 val clone : t -> t
 (** Independent deep copy (graph, announcements, fakes); used to test a
     candidate augmentation before touching the live network. Control-cost
-    counters start at zero in the clone. *)
+    counters start at zero in the clone; the SPF pool keeps the
+    original's width. *)
 
 val graph : t -> Netgraph.Graph.t
 

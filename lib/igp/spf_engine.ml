@@ -342,12 +342,10 @@ let compute_all t =
     Obs.Metrics.add m_spf_runs (Array.length missing);
     if Obs.enabled () then begin
       let t0 = Obs.Clock.now () in
+      (* No pool-width attribute here: the timeline must be a pure
+         function of the logical run, byte-identical at any width. *)
       Obs.Trace.with_span "spf.recompute"
-        ~attrs:
-          [
-            ("dirty", Int (Array.length missing));
-            ("fanout", Int (Kit.Pool.domain_count t.pool));
-          ]
+        ~attrs:[ ("dirty", Int (Array.length missing)) ]
         work;
       Obs.Metrics.observe m_recompute_ms ((Obs.Clock.now () -. t0) *. 1000.)
     end

@@ -26,7 +26,11 @@ let epsilon = 1e-9
    Per-round work is O(degree of what froze * log), not O(flows *
    links). *)
 
-let water_fill capacities ~demands ~links ~weights =
+(* Below this many groups, domain spawn/join costs more than the whole
+   setup; the pool only engages on batches worth sharding. *)
+let par_threshold = 512
+
+let water_fill ?pool capacities ~demands ~links ~weights =
   let n = Array.length demands in
   if Array.length links <> n || Array.length weights <> n then
     invalid_arg "Fairshare.water_fill: array length mismatch";
@@ -36,23 +40,37 @@ let water_fill capacities ~demands ~links ~weights =
   let rates = Array.make n 0. in
   if n = 0 then rates
   else begin
-    (* Intern links; build per-group incidence over dense link ids. *)
+    let par =
+      match pool with
+      | Some p when Kit.Pool.domain_count p > 1 && n >= par_threshold -> Some p
+      | Some _ | None -> None
+    in
+    (* Setup phase 1 — normalize each group's link list. Per-group and
+       pure, so it fans out across domains. *)
+    let normalized =
+      match par with
+      | Some p -> Kit.Pool.map p ~n (fun g -> List.sort_uniq Link.compare links.(g))
+      | None -> Array.map (List.sort_uniq Link.compare) links
+    in
+    (* Setup phase 2 — intern links to dense ids, sequentially in group
+       order so ids (and hence heap tie-breaking) are identical at any
+       pool width. *)
     let ids : (Link.t, int) Hashtbl.t = Hashtbl.create (4 * n) in
     let nl = ref 0 in
-    let intern l =
-      match Hashtbl.find_opt ids l with
-      | Some i -> i
-      | None ->
-        let i = !nl in
-        incr nl;
-        Hashtbl.add ids l i;
-        i
-    in
+    Array.iter
+      (List.iter (fun l ->
+           if not (Hashtbl.mem ids l) then begin
+             Hashtbl.add ids l !nl;
+             incr nl
+           end))
+      normalized;
+    (* Setup phase 3 — per-group incidence over dense ids: read-only
+       hashtable lookups, fanned out. *)
+    let to_ids ls = Array.of_list (List.map (Hashtbl.find ids) ls) in
     let incidence =
-      Array.map
-        (fun ls ->
-          Array.of_list (List.map intern (List.sort_uniq Link.compare ls)))
-        links
+      match par with
+      | Some p -> Kit.Pool.map p ~n (fun g -> to_ids normalized.(g))
+      | None -> Array.map to_ids normalized
     in
     let nl = !nl in
     let cap = Array.make nl 0. in

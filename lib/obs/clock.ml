@@ -1,7 +1,18 @@
-let source : (unit -> float) ref = ref Sys.time
+(* The source override is domain-local (Domain.DLS): a scenario running
+   inside a worker domain binds the clock to its own simulated time
+   without disturbing the other workers or the main domain. In a
+   single-domain process this behaves exactly like a global ref. *)
 
-let set_source f = source := f
+let override : (unit -> float) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let use_cpu_time () = source := Sys.time
+let set_source f = Domain.DLS.get override := Some f
 
-let now () = !source ()
+let use_cpu_time () = Domain.DLS.get override := None
+
+let now () =
+  match !(Domain.DLS.get override) with Some f -> f () | None -> Sys.time ()
+
+let save () = !(Domain.DLS.get override)
+
+let restore v = Domain.DLS.get override := v

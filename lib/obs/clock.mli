@@ -4,12 +4,25 @@
     Harnesses replace it: [bench/main] installs a wall clock for real
     durations, and [fibbingctl trace] points it at the simulator's
     virtual time so two identical runs stamp identical (and therefore
-    byte-identical, see {!Attr}) timelines. *)
+    byte-identical, see {!Attr}) timelines.
+
+    The override is domain-local: a scenario running inside a worker
+    domain (a parallel chaos sweep, say) binds the clock to its own
+    simulated time without disturbing other domains. *)
 
 val set_source : (unit -> float) -> unit
-(** The source must be non-decreasing between calls. *)
+(** The source must be non-decreasing between calls. Affects the
+    calling domain only. *)
 
 val use_cpu_time : unit -> unit
-(** Restore the default [Sys.time] source. *)
+(** Restore the default [Sys.time] source (in the calling domain). *)
 
 val now : unit -> float
+
+(**/**)
+
+val save : unit -> (unit -> float) option
+(** Internal, used by [Obs.capture] to save/restore the calling
+    domain's override around a captured scenario. *)
+
+val restore : (unit -> float) option -> unit

@@ -1,9 +1,19 @@
-type counter = { c_name : string; mutable n : int }
+(* Domain safety: counters and gauges are single atomic cells, updated
+   lock-free from any domain. Histograms update several fields that
+   must stay mutually consistent (bucket counts vs count/sum/min/max),
+   so each histogram carries its own mutex; summaries snapshot under
+   that lock and compute percentiles outside it. The registry hashtable
+   is guarded by one mutex around find-or-create/dump/reset — handles
+   are looked up once at module init, so the lock is off every hot
+   path. *)
 
-type gauge = { g_name : string; mutable v : float }
+type counter = { c_name : string; n : int Atomic.t }
+
+type gauge = { g_name : string; v : float Atomic.t }
 
 type histogram = {
   h_name : string;
+  h_mu : Mutex.t;
   bounds : float array; (* strictly increasing upper bounds *)
   counts : int array; (* length bounds + 1, last = overflow *)
   mutable count : int;
@@ -16,25 +26,39 @@ type metric = C of counter | G of gauge | H of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+let registry_mu = Mutex.create ()
+
+let locked mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
+
 let kind_error name = invalid_arg (Printf.sprintf "Metrics: %s registered as another kind" name)
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (C c) -> c
-  | Some _ -> kind_error name
-  | None ->
-    let c = { c_name = name; n = 0 } in
-    Hashtbl.replace registry name (C c);
-    c
+  locked registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C c) -> c
+      | Some _ -> kind_error name
+      | None ->
+        let c = { c_name = name; n = Atomic.make 0 } in
+        Hashtbl.replace registry name (C c);
+        c)
 
 let gauge name =
-  match Hashtbl.find_opt registry name with
-  | Some (G g) -> g
-  | Some _ -> kind_error name
-  | None ->
-    let g = { g_name = name; v = 0. } in
-    Hashtbl.replace registry name (G g);
-    g
+  locked registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (G g) -> g
+      | Some _ -> kind_error name
+      | None ->
+        let g = { g_name = name; v = Atomic.make 0. } in
+        Hashtbl.replace registry name (G g);
+        g)
 
 (* Log-spaced at ratio 1.25 over [1e-3, 1e4]: 10% worst-case relative
    error on percentile estimates, fine enough for millisecond timings. *)
@@ -43,35 +67,37 @@ let default_buckets =
   Array.of_list (go [] 1e-3)
 
 let histogram ?(buckets = default_buckets) name =
-  match Hashtbl.find_opt registry name with
-  | Some (H h) -> h
-  | Some _ -> kind_error name
-  | None ->
-    if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
-    Array.iteri
-      (fun i b ->
-        if i > 0 && buckets.(i - 1) >= b then
-          invalid_arg "Metrics.histogram: buckets must be strictly increasing")
-      buckets;
-    let h =
-      {
-        h_name = name;
-        bounds = Array.copy buckets;
-        counts = Array.make (Array.length buckets + 1) 0;
-        count = 0;
-        sum = 0.;
-        minv = infinity;
-        maxv = neg_infinity;
-      }
-    in
-    Hashtbl.replace registry name (H h);
-    h
+  locked registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (H h) -> h
+      | Some _ -> kind_error name
+      | None ->
+        if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
+        Array.iteri
+          (fun i b ->
+            if i > 0 && buckets.(i - 1) >= b then
+              invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+          buckets;
+        let h =
+          {
+            h_name = name;
+            h_mu = Mutex.create ();
+            bounds = Array.copy buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            count = 0;
+            sum = 0.;
+            minv = infinity;
+            maxv = neg_infinity;
+          }
+        in
+        Hashtbl.replace registry name (H h);
+        h)
 
-let incr c = if !State.enabled then c.n <- c.n + 1
+let incr c = if Atomic.get State.enabled then ignore (Atomic.fetch_and_add c.n 1)
 
-let add c k = if !State.enabled then c.n <- c.n + k
+let add c k = if Atomic.get State.enabled then ignore (Atomic.fetch_and_add c.n k)
 
-let set g v = if !State.enabled then g.v <- v
+let set g v = if Atomic.get State.enabled then Atomic.set g.v v
 
 (* Index of the bucket holding [v]: smallest [i] with [v <= bounds.(i)],
    or the overflow bucket. *)
@@ -85,38 +111,62 @@ let bucket_index bounds v =
   !lo
 
 let observe h v =
-  if !State.enabled then begin
-    let i = bucket_index h.bounds v in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. v;
-    if v < h.minv then h.minv <- v;
-    if v > h.maxv then h.maxv <- v
-  end
+  if Atomic.get State.enabled then
+    locked h.h_mu (fun () ->
+        let i = bucket_index h.bounds v in
+        h.counts.(i) <- h.counts.(i) + 1;
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        if v < h.minv then h.minv <- v;
+        if v > h.maxv then h.maxv <- v)
 
-let counter_value c = c.n
+let counter_value c = Atomic.get c.n
 
-let gauge_value g = g.v
+let gauge_value g = Atomic.get g.v
 
-let quantile h q =
+(* A coherent copy of a histogram's mutable state, taken under its
+   lock; percentile arithmetic then runs lock-free on the copy. *)
+type hist_snap = {
+  s_bounds : float array;
+  s_counts : int array;
+  s_count : int;
+  s_sum : float;
+  s_minv : float;
+  s_maxv : float;
+}
+
+let snap h =
+  locked h.h_mu (fun () ->
+      {
+        s_bounds = h.bounds;
+        s_counts = Array.copy h.counts;
+        s_count = h.count;
+        s_sum = h.sum;
+        s_minv = h.minv;
+        s_maxv = h.maxv;
+      })
+
+let snap_quantile s q =
   if q < 0. || q > 1. then invalid_arg "Metrics.quantile: q outside [0, 1]";
-  if h.count = 0 then 0.
+  if s.s_count = 0 then 0.
   else begin
-    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
-    let n = Array.length h.bounds in
-    let i = ref 0 and cum = ref h.counts.(0) in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int s.s_count))) in
+    let n = Array.length s.s_bounds in
+    let i = ref 0 and cum = ref s.s_counts.(0) in
     while !cum < rank do
       i := !i + 1;
-      cum := !cum + h.counts.(!i)
+      cum := !cum + s.s_counts.(!i)
     done;
     let i = !i in
-    let lo = if i = 0 then 0. else h.bounds.(i - 1) in
-    let hi = if i < n then h.bounds.(i) else h.maxv in
-    let before = !cum - h.counts.(i) in
-    let frac = float_of_int (rank - before) /. float_of_int h.counts.(i) in
+    let lo = if i = 0 then 0. else s.s_bounds.(i - 1) in
+    let hi = if i < n then s.s_bounds.(i) else s.s_maxv in
+    let before = !cum - s.s_counts.(i) in
+    let frac = float_of_int (rank - before) /. float_of_int s.s_counts.(i) in
     let estimate = lo +. (frac *. (hi -. lo)) in
-    Float.min h.maxv (Float.max h.minv estimate)
+    Float.min s.s_maxv (Float.max s.s_minv estimate)
   end
+
+let quantile h q = snap_quantile (snap h) q
 
 type histogram_summary = {
   count : int;
@@ -128,16 +178,18 @@ type histogram_summary = {
   p99 : float;
 }
 
-let summary (h : histogram) =
+let summary_of_snap s =
   {
-    count = h.count;
-    sum = h.sum;
-    min = (if h.count = 0 then 0. else h.minv);
-    max = (if h.count = 0 then 0. else h.maxv);
-    p50 = quantile h 0.5;
-    p95 = quantile h 0.95;
-    p99 = quantile h 0.99;
+    count = s.s_count;
+    sum = s.s_sum;
+    min = (if s.s_count = 0 then 0. else s.s_minv);
+    max = (if s.s_count = 0 then 0. else s.s_maxv);
+    p50 = snap_quantile s 0.5;
+    p95 = snap_quantile s 0.95;
+    p99 = snap_quantile s 0.99;
   }
+
+let summary (h : histogram) = summary_of_snap (snap h)
 
 type snapshot =
   | Counter of int
@@ -145,16 +197,20 @@ type snapshot =
   | Histogram of histogram_summary
 
 let dump () =
-  Hashtbl.fold
-    (fun name metric acc ->
+  let metrics =
+    locked registry_mu (fun () ->
+        Hashtbl.fold (fun name metric acc -> (name, metric) :: acc) registry [])
+  in
+  List.map
+    (fun (name, metric) ->
       let snap =
         match metric with
-        | C c -> Counter c.n
-        | G g -> Gauge g.v
+        | C c -> Counter (Atomic.get c.n)
+        | G g -> Gauge (Atomic.get g.v)
         | H h -> Histogram (summary h)
       in
-      (name, snap) :: acc)
-    registry []
+      (name, snap))
+    metrics
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let to_json_lines () =
@@ -189,15 +245,20 @@ let pp_table fmt () =
     (dump ())
 
 let reset () =
-  Hashtbl.iter
-    (fun _ metric ->
+  let metrics =
+    locked registry_mu (fun () ->
+        Hashtbl.fold (fun _ metric acc -> metric :: acc) registry [])
+  in
+  List.iter
+    (fun metric ->
       match metric with
-      | C c -> c.n <- 0
-      | G g -> g.v <- 0.
+      | C c -> Atomic.set c.n 0
+      | G g -> Atomic.set g.v 0.
       | H h ->
-        Array.fill h.counts 0 (Array.length h.counts) 0;
-        h.count <- 0;
-        h.sum <- 0.;
-        h.minv <- infinity;
-        h.maxv <- neg_infinity)
-    registry
+        locked h.h_mu (fun () ->
+            Array.fill h.counts 0 (Array.length h.counts) 0;
+            h.count <- 0;
+            h.sum <- 0.;
+            h.minv <- infinity;
+            h.maxv <- neg_infinity))
+    metrics

@@ -4,14 +4,24 @@
 
     Everything hangs off one global switch, off by default. While off,
     every instrumentation point costs a single flag check — counters
-    and gauges are plain unboxed cells, spans run their function
+    and gauges are plain atomic cells, spans run their function
     directly, timeline recording returns immediately. Hot-path callers
     additionally guard attribute-list construction with {!enabled}.
 
     Instrumented subsystems share one sequence counter, so metrics,
     spans and events from the IGP engine, the controller, the monitor
     and the simulator line up in a single causal order (what
-    [fibbingctl trace] prints). See DESIGN.md, "Observability". *)
+    [fibbingctl trace] prints).
+
+    Domain safety: the switch, the sequence counter and all metric
+    cells are atomic; the span and event rings are mutex-guarded; the
+    clock source and span-nesting stack are domain-local. Scenarios
+    running in parallel worker domains should wrap each run in
+    {!capture}, which gives the run a private sequence numbering
+    (restarting at 0) and private span/event buffers — so its timeline
+    is byte-identical to the same run executed sequentially, no matter
+    how many sibling domains are interleaving with it. See DESIGN.md,
+    "Observability" and "Parallel execution model". *)
 
 module Attr = Attr
 module Clock = Clock
@@ -19,11 +29,11 @@ module Metrics = Metrics
 module Trace = Trace
 module Timeline = Timeline
 
-let enable () = State.enabled := true
+let enable () = Atomic.set State.enabled true
 
-let disable () = State.enabled := false
+let disable () = Atomic.set State.enabled false
 
-let enabled () = !State.enabled
+let enabled () = Atomic.get State.enabled
 
 (** Zero all metrics, drop all spans and events, restart the sequence
     counter. Metric registrations survive. *)
@@ -32,3 +42,41 @@ let reset () =
   Trace.reset ();
   Timeline.reset ();
   State.reset_seq ()
+
+(** The telemetry of one captured scenario run: its events in recording
+    order and its completed spans in completion order, both sequenced
+    from 0. *)
+type capture = { events : Timeline.event list; spans : Trace.span list }
+
+(** [capture f] runs [f ()] with a private telemetry scope on the
+    calling domain: sequence numbers restart at 0, spans and events go
+    to private buffers instead of the shared rings, and any {!Clock}
+    source [f] installs is reverted on exit. Returns [f]'s result and
+    the captured telemetry. Scopes nest, and runs captured in different
+    domains never touch shared state, so a sweep that captures one
+    scenario per domain gets per-run timelines identical to sequential
+    execution. If [f] raises, the scope is torn down and the exception
+    re-raised (the captured telemetry is discarded). *)
+let capture f =
+  let saved_clock = Clock.save () in
+  State.begin_scope ();
+  Trace.begin_scope ();
+  Timeline.begin_scope ();
+  let finish () =
+    let events = Timeline.end_scope () in
+    let spans = Trace.end_scope () in
+    State.end_scope ();
+    Clock.restore saved_clock;
+    { events; spans }
+  in
+  match f () with
+  | v -> (v, finish ())
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+(** The captured run rendered exactly as [Timeline.to_json_lines]
+    renders the live rings: spans merged in at their begin position,
+    sorted by sequence number. *)
+let capture_json c =
+  Timeline.render_json_lines (Timeline.merge ~events:c.events ~spans:c.spans)

@@ -1,14 +1,41 @@
-(* Shared internal state of the Obs library: the global on/off switch
-   and the sequence counter that gives every trace span and timeline
-   event a position in one total causal order. Not exported. *)
+(* Shared internal state of the Obs library: the global on/off switch,
+   the sequence counter that gives every trace span and timeline event a
+   position in one total causal order, and the capture-scope stack that
+   [Obs.capture] uses to give a scenario running inside a worker domain
+   its own private sequence numbering. Not exported outside the
+   library.
 
-let enabled = ref false
+   Domain safety: the switch and the global counter are atomics, so any
+   domain may record telemetry concurrently. Scopes are domain-local
+   (Domain.DLS): a scope installed by one domain is invisible to every
+   other, which is exactly what per-domain scenario sweeps need — each
+   worker's events are sequenced 0, 1, 2, ... independently of how many
+   other workers are running. *)
 
-let next_seq = ref 0
+let enabled = Atomic.make false
+
+let next_seq = Atomic.make 0
+
+type scope = { mutable s_seq : int }
+
+(* Innermost capture scope first; empty = global numbering. *)
+let scopes : scope list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let begin_scope () =
+  let s = Domain.DLS.get scopes in
+  s := { s_seq = 0 } :: !s
+
+let end_scope () =
+  let s = Domain.DLS.get scopes in
+  match !s with [] -> () | _ :: rest -> s := rest
 
 let fresh_seq () =
-  let s = !next_seq in
-  incr next_seq;
-  s
+  match !(Domain.DLS.get scopes) with
+  | scope :: _ ->
+    let v = scope.s_seq in
+    scope.s_seq <- v + 1;
+    v
+  | [] -> Atomic.fetch_and_add next_seq 1
 
-let reset_seq () = next_seq := 0
+let reset_seq () = Atomic.set next_seq 0

@@ -37,3 +37,27 @@ val set_capacity : int -> unit
 (** Resize the ring (default 65536). Drops all retained events. *)
 
 val reset : unit -> unit
+
+val span_event : Trace.span -> event
+(** The event a completed span merges in as: positioned at the span's
+    begin ([seq], [start_time]), [source = "trace"], kind = span name,
+    with a ["duration_ms"] attribute appended. *)
+
+val merge : events:event list -> spans:Trace.span list -> event list
+(** Convert the spans via {!span_event}, append, sort by [seq] — the
+    same merge [events] performs on the live rings, applied to explicit
+    lists (e.g. an [Obs.capture] result). *)
+
+val render_json_lines : event list -> string
+(** The [to_json_lines] format applied to an explicit event list. *)
+
+(**/**)
+
+val begin_scope : unit -> unit
+(** Internal, used by [Obs.capture]: until the matching [end_scope] in
+    the same domain, events recorded by this domain accumulate in a
+    private buffer instead of the shared ring. *)
+
+val end_scope : unit -> event list
+(** Pop the innermost scope of the calling domain and return its events
+    in recording order ([[]] if no scope is open). *)

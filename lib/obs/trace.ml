@@ -20,13 +20,53 @@ type active = {
 
 let default_capacity = 16384
 
+(* The global ring is shared across domains and Kit.Ring is not
+   thread-safe, so every access goes through [mu]. Span nesting is a
+   property of one domain's call stack, so [stack] is domain-local;
+   likewise the capture-scope buffers, which are only ever touched by
+   the domain that opened them (lock-free by confinement). *)
+let mu = Mutex.create ()
+
 let ring : span Kit.Ring.t ref = ref (Kit.Ring.create ~capacity:default_capacity)
 
-let stack : active list ref = ref []
+let locked f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
+
+let stack : active list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+(* Capture scopes, innermost first: completed spans go to the top
+   scope's buffer (newest first) instead of the global ring. *)
+let scopes : span list ref list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let begin_scope () =
+  let s = Domain.DLS.get scopes in
+  s := ref [] :: !s
+
+let end_scope () =
+  let s = Domain.DLS.get scopes in
+  match !s with
+  | [] -> []
+  | buf :: rest ->
+    s := rest;
+    List.rev !buf
+
+let emit span =
+  match !(Domain.DLS.get scopes) with
+  | buf :: _ -> buf := span :: !buf
+  | [] -> locked (fun () -> Kit.Ring.push !ring span)
 
 let with_span ?(attrs = []) name f =
-  if not !State.enabled then f ()
+  if not (Atomic.get State.enabled) then f ()
   else begin
+    let stack = Domain.DLS.get stack in
     let parent, depth =
       match !stack with
       | [] -> (None, 0)
@@ -45,7 +85,7 @@ let with_span ?(attrs = []) name f =
     stack := a :: !stack;
     let finish () =
       (match !stack with _ :: rest -> stack := rest | [] -> ());
-      Kit.Ring.push !ring
+      emit
         {
           seq = a.a_seq;
           parent = a.a_parent;
@@ -65,13 +105,13 @@ let with_span ?(attrs = []) name f =
       raise e
   end
 
-let spans () = Kit.Ring.to_list !ring
+let spans () = locked (fun () -> Kit.Ring.to_list !ring)
 
-let dropped () = Kit.Ring.dropped !ring
+let dropped () = locked (fun () -> Kit.Ring.dropped !ring)
 
-let to_json_lines () =
+let render_json_lines spans =
   let buf = Buffer.create 1024 in
-  Kit.Ring.iter
+  List.iter
     (fun s ->
       Buffer.add_string buf
         (Printf.sprintf
@@ -80,8 +120,10 @@ let to_json_lines () =
            (match s.parent with Some p -> string_of_int p | None -> "null")
            (Attr.escape s.name) s.start_time s.end_time
            (Attr.list_to_json s.attrs)))
-    !ring;
+    spans;
   Buffer.contents buf
+
+let to_json_lines () = render_json_lines (spans ())
 
 let pp_tree fmt () =
   let all = spans () in
@@ -108,8 +150,8 @@ let pp_tree fmt () =
   in
   List.iter (pp "") (by_seq !roots)
 
-let set_capacity capacity = ring := Kit.Ring.create ~capacity
+let set_capacity capacity = locked (fun () -> ring := Kit.Ring.create ~capacity)
 
 let reset () =
-  Kit.Ring.clear !ring;
-  stack := []
+  locked (fun () -> Kit.Ring.clear !ring);
+  Domain.DLS.get stack := []

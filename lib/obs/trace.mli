@@ -39,3 +39,18 @@ val set_capacity : int -> unit
 (** Resize the ring (default 16384). Drops all retained spans. *)
 
 val reset : unit -> unit
+
+val render_json_lines : span list -> string
+(** The [to_json_lines] format applied to an explicit span list, e.g.
+    one returned by [Obs.capture]. *)
+
+(**/**)
+
+val begin_scope : unit -> unit
+(** Internal, used by [Obs.capture]: until the matching [end_scope] in
+    the same domain, spans completed by this domain accumulate in a
+    private buffer instead of the shared ring. *)
+
+val end_scope : unit -> span list
+(** Pop the innermost scope of the calling domain and return its spans
+    in completion order ([[]] if no scope is open). *)

@@ -29,6 +29,7 @@ val ok : verdict -> bool
     nothing unroutable after quiescence. *)
 
 val run :
+  ?domains:int ->
   ?faults:int ->
   ?allow_controller_death:bool ->
   seed:int ->
@@ -38,6 +39,24 @@ val run :
 (** Deterministic: same seed, same verdict. Faults all heal by
     [until - 4]; the run continues for a fixed quiescence tail past
     [until]. Requires [until >= 16]. With [Obs] telemetry enabled the
-    whole run is traced on the shared timeline ([fibbingctl chaos]). *)
+    whole run is traced on the shared timeline ([fibbingctl chaos]).
+    [domains] sizes the run's inner SPF pool (see
+    {!Igp.Network.create}); the verdict does not depend on it. *)
+
+val sweep :
+  ?pool:Kit.Pool.t ->
+  ?faults:int ->
+  ?allow_controller_death:bool ->
+  seeds:int list ->
+  until:float ->
+  unit ->
+  (verdict * string option) list
+(** [run] over every seed, one scenario per domain of [pool] (default: a
+    fresh pool at the process default width), results in [seeds] order.
+    When telemetry is enabled each run executes inside [Obs.capture] and
+    pairs its verdict with its private timeline rendered as JSON lines
+    ([None] while disabled) — sequence numbers restart at 0 per run, so
+    both verdicts and timelines are byte-identical to a sequential sweep
+    at any pool width. Runs never touch the shared Obs rings. *)
 
 val pp : Format.formatter -> verdict -> unit

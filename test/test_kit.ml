@@ -206,6 +206,32 @@ let test_pool_propagates_exception () =
   Alcotest.check_raises "first failure re-raised" (Failure "boom") (fun () ->
       Kit.Pool.iter pool ~n:64 (fun i -> if i = 13 then failwith "boom"))
 
+let test_pool_uneven_chunks () =
+  (* n smaller than, equal to, and not divisible by the claim
+     granularity: chunked claiming must still cover every index once. *)
+  let pool = Kit.Pool.create ~domains:4 () in
+  List.iter
+    (fun n ->
+      let hits = Array.make (max n 1) 0 in
+      Kit.Pool.iter pool ~n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d covered exactly once" n)
+        n
+        (Array.fold_left ( + ) 0 hits))
+    [ 1; 3; 7; 32; 33; 1001 ]
+
+let test_pool_default_domains_override () =
+  let initial = Kit.Pool.default_domain_count () in
+  Alcotest.(check bool) "default is positive" true (initial >= 1);
+  Kit.Pool.set_default_domains (Some 3);
+  Alcotest.(check int) "override wins" 3 (Kit.Pool.default_domain_count ());
+  let pool = Kit.Pool.create () in
+  Alcotest.(check int) "create picks up override" 3
+    (Kit.Pool.domain_count pool);
+  Kit.Pool.set_default_domains None;
+  Alcotest.(check int) "override cleared" initial
+    (Kit.Pool.default_domain_count ())
+
 (* ---------- Stats ---------- *)
 
 let test_stats_mean () =
@@ -377,6 +403,10 @@ let () =
             test_pool_sequential_degenerate;
           Alcotest.test_case "exception propagation" `Quick
             test_pool_propagates_exception;
+          Alcotest.test_case "uneven chunk coverage" `Quick
+            test_pool_uneven_chunks;
+          Alcotest.test_case "default domains override" `Quick
+            test_pool_default_domains_override;
         ] );
       qsuite "heap-props" [ prop_heap_sorts; prop_int_heap_sorts ];
       ( "stats",

@@ -311,6 +311,62 @@ let test_f2_timeline_deterministic () =
   Alcotest.(check bool) "timeline non-trivial" true (List.length ev > 20)
 
 (* ------------------------------------------------------------------ *)
+(* Capture scopes and domain safety                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_capture_isolates_run () =
+  with_obs (fun () ->
+      Obs.Timeline.record ~time:1. ~source:"outer" ~kind:"before" [];
+      let v, cap =
+        Obs.capture (fun () ->
+            Obs.Timeline.record ~time:2. ~source:"inner" ~kind:"a" [];
+            Obs.Trace.with_span "work" (fun () ->
+                Obs.Timeline.record ~time:3. ~source:"inner" ~kind:"b" []);
+            7)
+      in
+      Alcotest.(check int) "result threaded through" 7 v;
+      Alcotest.(check int) "captured both events" 2 (List.length cap.Obs.events);
+      Alcotest.(check int) "captured the span" 1 (List.length cap.Obs.spans);
+      (* Private sequence numbering restarts at zero for each capture. *)
+      Alcotest.(check int) "first captured seq is 0" 0
+        (List.hd cap.Obs.events).Obs.Timeline.seq;
+      Alcotest.(check bool) "capture renders to json" true
+        (String.length (Obs.capture_json cap) > 0);
+      (* Nothing from the capture leaked onto the shared rings. *)
+      let shared = Obs.Timeline.events () in
+      Alcotest.(check int) "shared ring has only the outer event" 1
+        (List.length shared);
+      (* Recording after the capture goes back to the shared ring. *)
+      Obs.Timeline.record ~time:4. ~source:"outer" ~kind:"after" [];
+      Alcotest.(check int) "shared recording resumes" 2
+        (List.length (Obs.Timeline.events ())))
+
+let test_capture_identical_across_runs () =
+  (* Two captures of the same work render byte-identically even with
+     shared-ring traffic interleaved between them — the per-capture
+     sequence restart makes the timeline a pure function of the run. *)
+  with_obs (fun () ->
+      let run () =
+        Obs.capture (fun () ->
+            Obs.Clock.set_source (fun () -> 0.);
+            Obs.Timeline.record ~source:"sim" ~kind:"step" [];
+            Obs.Trace.with_span "tick" (fun () -> ()))
+      in
+      let _, c1 = run () in
+      Obs.Timeline.record ~time:9. ~source:"noise" ~kind:"between" [];
+      let _, c2 = run () in
+      Alcotest.(check string) "byte-identical timelines"
+        (Obs.capture_json c1) (Obs.capture_json c2))
+
+let test_parallel_counter_increments () =
+  with_obs (fun () ->
+      let c = Obs.Metrics.counter "test.parallel.counter" in
+      let pool = Kit.Pool.create ~domains:4 () in
+      Kit.Pool.iter pool ~n:1000 (fun _ -> Obs.Metrics.incr c);
+      Alcotest.(check int) "no lost updates across domains" 1000
+        (Obs.Metrics.counter_value c))
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -365,5 +421,14 @@ let () =
         [
           Alcotest.test_case "F2 timeline deterministic" `Quick
             test_f2_timeline_deterministic;
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "capture isolates a run" `Quick
+            test_capture_isolates_run;
+          Alcotest.test_case "captures byte-identical across runs" `Quick
+            test_capture_identical_across_runs;
+          Alcotest.test_case "parallel counter increments" `Quick
+            test_parallel_counter_increments;
         ] );
     ]
