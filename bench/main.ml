@@ -10,6 +10,13 @@
      dune exec bench/main.exe -- spf     — only TSPF
      dune exec bench/main.exe -- json    — also write BENCH_*.json
      dune exec bench/main.exe -- domains=N  — pin the worker-pool width
+     dune exec bench/main.exe -- prof [--history FILE --tag SHA]
+                                         — TPROF allocation tracks, and
+                                           append one history row per track
+     dune exec bench/main.exe -- prof-quick — TPROF only, reduced scale
+     dune exec bench/main.exe -- gate [--history FILE]
+                                         — fail (exit 1) if the newest rows
+                                           regress beyond the noise bands
 
    Experiment ids:
      F1A  Fig. 1a  IGP shortest paths
@@ -1484,6 +1491,211 @@ let bechamel_timings () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* TPROF: allocation/GC profiles of the three hot paths, with optional
+   bench-history rows (prof --history FILE --tag SHA) feeding the
+   regression gate (gate --history FILE). *)
+
+(* One measured block: force a clean heap, run [cycles] repetitions,
+   read the GC deltas directly via [Obs.Prof] snapshots (no telemetry
+   needed — and none enabled, so this measures the true disabled-mode
+   hot path, which is also the deterministic one). *)
+let prof_measure ~cycles f =
+  Gc.full_major ();
+  let before = Obs.Prof.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to cycles do
+    f ()
+  done;
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  (Obs.Prof.delta ~before ~after:(Obs.Prof.snapshot ()), wall_ms)
+
+let tprof ~quick ~history ~tag () =
+  section "TPROF" "Allocation/GC profile of the hot paths (domains pinned to 1)";
+  (* Allocation attribution needs the work on the measuring domain, and
+     history rows must not depend on the CI matrix width — every net
+     and kernel in this section runs single-domain. *)
+  Kit.Pool.set_default_domains (Some 1);
+  let rows = ref [] in
+  let emit ~track ~cycles ~context (d : Obs.Prof.snap) wall_ms =
+    let per = float_of_int cycles in
+    let alloc = Obs.Prof.allocated_words d /. per in
+    Format.printf
+      "%-12s %14.0f w/cycle  %5d minor gc  %3d major gc  %8.3f ms/cycle@."
+      track alloc d.Obs.Prof.minor_collections d.Obs.Prof.major_collections
+      (wall_ms /. per);
+    rows :=
+      {
+        Obs.History.tag;
+        track;
+        values =
+          [
+            ("alloc_words", alloc);
+            ("minor_collections", float_of_int d.Obs.Prof.minor_collections);
+            ("major_collections", float_of_int d.Obs.Prof.major_collections);
+            ("wall_ms", wall_ms /. per);
+            ("cycles", per);
+            ("domains", 1.);
+          ]
+          @ context;
+      }
+      :: !rows
+  in
+  (* Track 1 — SPF churn on GEANT: install/retract one fake, reconverge
+     the full router x prefix table (the TSPF churn loop). *)
+  let () =
+    let entry = Netgraph.Zoo.geant () in
+    let g = entry.Netgraph.Zoo.graph in
+    let net = Igp.Network.create g in
+    List.iter
+      (fun r ->
+        Igp.Network.announce_prefix net (Printf.sprintf "p%02d" r) ~origin:r
+          ~cost:0)
+      (G.nodes g);
+    let routers = G.nodes g in
+    let far =
+      let r = Netgraph.Dijkstra.run g ~source:0 in
+      List.fold_left
+        (fun best v ->
+          match
+            (Netgraph.Dijkstra.distance r v, Netgraph.Dijkstra.distance r best)
+          with
+          | Some dv, Some db when dv > db -> v
+          | _ -> best)
+        0 routers
+    in
+    let flip = ref false in
+    let churn () =
+      flip := not !flip;
+      if !flip then
+        Igp.Network.inject_fake net
+          {
+            fake_id = "bench";
+            attachment = 0;
+            attachment_cost = 1;
+            prefix = Printf.sprintf "p%02d" far;
+            announced_cost = 0;
+            forwarding = fst (List.hd (G.succ g 0));
+          }
+      else Igp.Network.retract_fake net ~fake_id:"bench";
+      Igp.Network.warm net
+    in
+    Igp.Network.warm net;
+    churn ();
+    (* warm both branches of the flip *)
+    churn ();
+    let cycles = if quick then 10 else 30 in
+    let d, wall = prof_measure ~cycles churn in
+    emit ~track:"spf_churn" ~cycles
+      ~context:
+        [
+          ("routers", float_of_int (G.node_count g));
+          ("prefixes", float_of_int (List.length routers));
+        ]
+      d wall
+  in
+  (* Track 2 — the indexed water-filling kernel on a synthetic batch:
+     fixed PRNG, 3-link paths over a 400-link core. *)
+  let () =
+    let groups = if quick then 10_000 else 50_000 in
+    let nlinks = 400 in
+    let prng = Kit.Prng.create ~seed:42 in
+    let caps = Netsim.Link.capacities ~default:1000. in
+    let link i = ((2 * i, (2 * i) + 1) : Netsim.Link.t) in
+    let demands = Array.init groups (fun _ -> 1. +. Kit.Prng.float prng 9.) in
+    let links =
+      Array.init groups (fun _ ->
+          List.init 3 (fun _ -> link (Kit.Prng.int prng nlinks)))
+    in
+    let weights = Array.init groups (fun _ -> 1 + Kit.Prng.int prng 3) in
+    let run () =
+      ignore (Netsim.Fairshare.water_fill caps ~demands ~links ~weights)
+    in
+    run ();
+    (* warm *)
+    let cycles = if quick then 3 else 5 in
+    let d, wall = prof_measure ~cycles run in
+    emit ~track:"water_fill" ~cycles
+      ~context:[ ("groups", float_of_int groups); ("links", float_of_int nlinks) ]
+      d wall
+  in
+  (* Track 3 — the aggregated simulator step under a flash crowd (the
+     flood scenario's steady state). *)
+  let () =
+    let d = Demo.make ~fibbing:true () in
+    let prng = Kit.Prng.create ~seed:11 in
+    let flows = if quick then 1000 else 2000 in
+    let spec src =
+      {
+        Video.Workload.src;
+        prefix = Demo.prefix;
+        rate = Demo.stream_rate;
+        video_duration = 3600.;
+      }
+    in
+    let crowd =
+      Video.Workload.crowd prng ~jitter:2.
+        [ spec d.topology.a; spec d.topology.b ]
+        ~first_id:0 ~count:flows ~at:0.
+    in
+    List.iter (Netsim.Sim.add_flow d.sim) crowd;
+    Demo.run d ~until:4.;
+    (* warm: all flows active, classes formed *)
+    let steps = 20 in
+    let dp, wall =
+      prof_measure ~cycles:steps (fun () ->
+          Demo.run d ~until:(Netsim.Sim.time d.sim +. d.Demo.dt))
+    in
+    emit ~track:"sim_step" ~cycles:steps
+      ~context:[ ("flows", float_of_int flows) ]
+      dp wall
+  in
+  match history with
+  | None -> ()
+  | Some file ->
+    Obs.History.append ~file (List.rev !rows);
+    Format.printf "appended %d rows (tag %s) to %s@." (List.length !rows) tag
+      file
+
+let gate_main ~file =
+  section "GATE" "Bench-history regression gate (newest row vs rolling median)";
+  match Obs.History.load ~file with
+  | [] ->
+    Format.printf "no history at %s — nothing to gate (bootstrap run)@." file;
+    0
+  | rows ->
+    let verdicts = Obs.History.gate rows in
+    if verdicts = [] then begin
+      Format.printf "%d rows, no comparable baseline yet — pass@."
+        (List.length rows);
+      0
+    end
+    else begin
+      Format.printf "%a" Obs.History.pp_verdicts verdicts;
+      if Obs.History.gate_ok verdicts then begin
+        Format.printf "gate: OK@.";
+        0
+      end
+      else begin
+        Format.printf "gate: REGRESSION@.";
+        1
+      end
+    end
+
+(* --history FILE / history=FILE, --tag SHA / tag=SHA. *)
+let flag_value name =
+  let v = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--" ^ name && i + 1 < Array.length Sys.argv then
+        v := Some Sys.argv.(i + 1)
+      else
+        match String.split_on_char '=' a with
+        | [ k; x ] when k = name -> v := Some x
+        | _ -> ())
+    Sys.argv;
+  !v
+
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let json = Array.exists (fun a -> a = "json") Sys.argv in
@@ -1496,6 +1708,25 @@ let () =
       | [ "domains"; d ] -> Kit.Pool.set_default_domains (int_of_string_opt d)
       | _ -> ())
     Sys.argv;
+  if Array.exists (fun a -> a = "gate") Sys.argv then begin
+    let file =
+      Option.value ~default:"bench/history.jsonl" (flag_value "history")
+    in
+    exit (gate_main ~file)
+  end;
+  if Array.exists (fun a -> a = "prof-quick") Sys.argv then begin
+    (* Allocation-baseline smoke for @prof-quick / @check: the three
+       prof tracks at reduced scale, no history. *)
+    tprof ~quick:true ~history:None ~tag:"dev" ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
+  if Array.exists (fun a -> a = "prof") Sys.argv then begin
+    let tag = Option.value ~default:"dev" (flag_value "tag") in
+    tprof ~quick ~history:(flag_value "history") ~tag ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
   if Array.exists (fun a -> a = "flow-quick") Sys.argv then begin
     (* Standalone smoke for @flow-quick / @check: just the flow engine
        section at reduced scale, no JSON. *)
@@ -1545,4 +1776,8 @@ let () =
   tflow ~json ~quick ();
   tpar ~json ~quick ();
   if not quick then bechamel_timings ();
+  (* Last: pins the default pool width to 1 for its own nets. *)
+  tprof ~quick ~history:(flag_value "history")
+    ~tag:(Option.value ~default:"dev" (flag_value "tag"))
+    ();
   Format.printf "@.done.@."

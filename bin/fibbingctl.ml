@@ -230,10 +230,22 @@ let fibbing_off_arg =
 let until_arg =
   Arg.(value & opt float 55. & info [ "until" ] ~docv:"SECONDS" ~doc:"Simulated horizon.")
 
+let prof_arg =
+  Arg.(value & flag & info [ "prof" ]
+         ~doc:"Also profile allocation: spans carry Gc.quick_stat deltas \
+               (words allocated, collections) and the *.alloc_words \
+               counters accumulate. Off by default because GC deltas are \
+               not replayable byte-for-byte.")
+
 let trace_cmd =
-  let run fibbing_off until json spans =
+  let run fibbing_off until json spans chrome prof =
+    if prof then Obs.Prof.enable ();
     ignore (traced_demo ~fibbing:(not fibbing_off) ~until);
-    if spans then Format.printf "%a" Obs.Trace.pp_tree ()
+    Obs.Prof.disable ();
+    (* Machine-readable modes own stdout; anything human-facing would
+       go to stderr (there is none on the happy path). *)
+    if chrome then print_string (Obs.Export.chrome_trace_live ())
+    else if spans then Format.printf "%a" Obs.Trace.pp_tree ()
     else if json then print_string (Obs.Timeline.to_json_lines ())
     else Format.printf "%a" (Obs.Timeline.pp_table ?include_spans:None) ();
     0
@@ -245,6 +257,12 @@ let trace_cmd =
     Arg.(value & flag & info [ "spans" ]
            ~doc:"Print the span tree instead of the merged timeline.")
   in
+  let chrome =
+    Arg.(value & flag & info [ "chrome" ]
+           ~doc:"Emit Chrome trace-event JSON (open in Perfetto or \
+                 chrome://tracing): spans as complete events nested per \
+                 domain, timeline events as instants.")
+  in
   let doc =
     "Run the Fig. 2 demo with telemetry on and print the scenario \
      timeline: monitor polls and alarms, controller reactions, SPF \
@@ -252,24 +270,32 @@ let trace_cmd =
      (identical runs emit identical output)."
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ fibbing_off_arg $ until_arg $ json $ spans)
+    Term.(const run $ fibbing_off_arg $ until_arg $ json $ spans $ chrome $ prof_arg)
 
 let metrics_cmd =
-  let run fibbing_off until json =
+  let run fibbing_off until json prom prof =
+    if prof then Obs.Prof.enable ();
     ignore (traced_demo ~fibbing:(not fibbing_off) ~until);
-    if json then print_string (Obs.Metrics.to_json_lines ())
+    Obs.Prof.disable ();
+    if prom then print_string (Obs.Export.open_metrics ())
+    else if json then print_string (Obs.Metrics.to_json_lines ())
     else Format.printf "%a" Obs.Metrics.pp_table ();
     0
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit metrics as JSON lines.")
   in
+  let prom =
+    Arg.(value & flag & info [ "prom" ]
+           ~doc:"Emit OpenMetrics text exposition (counters, gauges, \
+                 histograms with explicit bucket bounds).")
+  in
   let doc =
     "Run the Fig. 2 demo with telemetry on and dump the metrics \
      registry (counters, gauges, histogram percentiles)."
   in
   Cmd.v (Cmd.info "metrics" ~doc)
-    Term.(const run $ fibbing_off_arg $ until_arg $ json)
+    Term.(const run $ fibbing_off_arg $ until_arg $ json $ prom $ prof_arg)
 
 (* ---------- optimize ---------- *)
 

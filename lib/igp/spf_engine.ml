@@ -9,6 +9,7 @@ let m_full_invalidations = Obs.Metrics.counter "spf.full_invalidations"
 let m_routers_dirtied = Obs.Metrics.counter "spf.routers_dirtied"
 let m_routers_kept = Obs.Metrics.counter "spf.routers_kept"
 let m_recompute_ms = Obs.Metrics.histogram "spf.recompute_ms"
+let m_alloc_words = Obs.Metrics.counter "spf.alloc_words"
 let g_dirty = Obs.Metrics.gauge "spf.dirty_routers"
 
 type stats = {
@@ -297,7 +298,7 @@ let table_for t router =
       if Obs.enabled () then begin
         let t0 = Obs.Clock.now () in
         let tbl =
-          Obs.Trace.with_span "spf.recompute"
+          Obs.Prof.with_span "spf.recompute" ~alloc_counter:m_alloc_words
             ~attrs:[ ("router", Int router); ("dirty", Int 1) ]
             fill
         in
@@ -343,8 +344,10 @@ let compute_all t =
     if Obs.enabled () then begin
       let t0 = Obs.Clock.now () in
       (* No pool-width attribute here: the timeline must be a pure
-         function of the logical run, byte-identical at any width. *)
-      Obs.Trace.with_span "spf.recompute"
+         function of the logical run, byte-identical at any width.
+         (Prof attrs only appear under the separate prof switch, which
+         the determinism-gated paths never enable.) *)
+      Obs.Prof.with_span "spf.recompute" ~alloc_counter:m_alloc_words
         ~attrs:[ ("dirty", Int (Array.length missing)) ]
         work;
       Obs.Metrics.observe m_recompute_ms ((Obs.Clock.now () -. t0) *. 1000.)

@@ -30,7 +30,9 @@ let epsilon = 1e-9
    setup; the pool only engages on batches worth sharding. *)
 let par_threshold = 512
 
-let water_fill ?pool capacities ~demands ~links ~weights =
+let m_wf_alloc = Obs.Metrics.counter "fairshare.alloc_words"
+
+let water_fill_kernel ?pool capacities ~demands ~links ~weights =
   let n = Array.length demands in
   if Array.length links <> n || Array.length weights <> n then
     invalid_arg "Fairshare.water_fill: array length mismatch";
@@ -218,6 +220,13 @@ let water_fill ?pool capacities ~demands ~links ~weights =
     done;
     rates
   end
+
+let water_fill ?pool capacities ~demands ~links ~weights =
+  if Obs.enabled () then
+    Obs.Prof.with_span "fairshare.water_fill" ~alloc_counter:m_wf_alloc
+      ~attrs:[ ("groups", Obs.Attr.Int (Array.length demands)) ]
+      (fun () -> water_fill_kernel ?pool capacities ~demands ~links ~weights)
+  else water_fill_kernel ?pool capacities ~demands ~links ~weights
 
 let check_distinct_ids routes =
   let seen = Hashtbl.create 64 in

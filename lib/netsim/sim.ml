@@ -1,6 +1,7 @@
 type event = Start of Flow.t | Stop of int
 
 let m_steps = Obs.Metrics.counter "sim.steps"
+let m_step_alloc = Obs.Metrics.counter "sim.step_alloc_words"
 
 type rate_model = Max_min_fair | Aimd of Aimd.t
 
@@ -626,7 +627,7 @@ let allocate_aimd t aimd =
       c.rate <- rate *. min 1. factor)
     routes
 
-let step t =
+let step_body t =
   let step_start = t.time in
   (* Fake-LSA aging: the simulator — i.e. the routers themselves — ages
      lies out, so an orphaned lie expires even when the controller that
@@ -641,21 +642,25 @@ let step t =
           [ ("fake", String f.fake_id); ("prefix", String f.prefix) ])
       expired;
   (* 0. Run scheduled actions due now (failures, manual injections),
-     ordered by time then registration order for equal timestamps. *)
-  let due = ref [] in
-  let rec drain () =
-    match Kit.Heap.peek t.pending_actions with
-    | Some (time, (seq, action)) when time <= step_start +. 1e-9 ->
-      ignore (Kit.Heap.pop t.pending_actions);
-      due := (time, seq, action) :: !due;
-      drain ()
-    | Some _ | None -> ()
-  in
-  drain ();
-  let due =
-    List.sort (fun (ta, sa, _) (tb, sb, _) -> compare (ta, sa) (tb, sb)) !due
-  in
-  List.iter (fun (_, _, action) -> action t) due;
+     ordered by time then registration order for equal timestamps. The
+     common step has nothing due — one heap peek, no allocation. *)
+  (match Kit.Heap.peek t.pending_actions with
+  | Some (time, _) when time <= step_start +. 1e-9 ->
+    let due = ref [] in
+    let rec drain () =
+      match Kit.Heap.peek t.pending_actions with
+      | Some (time, (seq, action)) when time <= step_start +. 1e-9 ->
+        ignore (Kit.Heap.pop t.pending_actions);
+        due := (time, seq, action) :: !due;
+        drain ()
+      | Some _ | None -> ()
+    in
+    drain ();
+    let due =
+      List.sort (fun (ta, sa, _) (tb, sb, _) -> compare (ta, sa) (tb, sb)) !due
+    in
+    List.iter (fun (_, _, action) -> action t) due
+  | Some _ | None -> ());
   (* 1. Activate and retire flows due at the start of this step. *)
   List.iter
     (fun (_, event) ->
@@ -708,13 +713,21 @@ let step t =
       (fun id () -> Kit.Timeseries.add (flow_series t id) ~time:step_start 0.)
       t.unroutable_set
   end;
-  let tracked = Hashtbl.fold (fun l _ acc -> l :: acc) t.link_histories [] in
-  let touched = List.map fst t.link_rates in
-  List.iter
-    (fun link ->
+  (* Every link with an existing history gets this step's rate (0. when
+     idle); links carrying traffic for the first time open a history.
+     Appends target distinct series, so no ordering or union list is
+     needed — the two passes replace a per-step [touched @ tracked]
+     [sort_uniq], which allocated on every step of every run. *)
+  Hashtbl.iter
+    (fun link series ->
       let rate = Option.value ~default:0. (Hashtbl.find_opt link_tbl link) in
-      Kit.Timeseries.add (link_series t link) ~time:step_start rate)
-    (List.sort_uniq Link.compare (touched @ tracked));
+      Kit.Timeseries.add series ~time:step_start rate)
+    t.link_histories;
+  List.iter
+    (fun (link, rate) ->
+      if not (Hashtbl.mem t.link_histories link) then
+        Kit.Timeseries.add (link_series t link) ~time:step_start rate)
+    t.link_rates;
   (* 5. Advance time, then feed the monitor and fire hooks. *)
   t.time <- step_start +. t.dt;
   Obs.Metrics.incr m_steps;
@@ -744,6 +757,12 @@ let step t =
       Queue.iter (fun hook -> hook t alarms) t.poll_hooks
     end);
   Queue.iter (fun hook -> hook t) t.step_hooks
+
+let step t =
+  if Obs.enabled () then
+    Obs.Prof.with_span "sim.step" ~alloc_counter:m_step_alloc (fun () ->
+        step_body t)
+  else step_body t
 
 let run_until t until =
   while t.time < until -. 1e-9 do

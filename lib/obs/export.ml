@@ -1,0 +1,130 @@
+(* ---- Chrome trace-event JSON ---- *)
+
+(* One rendered event plus its sort key. Chrome's viewer tolerates
+   unsorted input but Perfetto's nesting heuristics work best with
+   timestamp order, so we sort by (ts, seq). *)
+type chrome_event = { ce_ts : float; ce_seq : int; ce_json : string }
+
+let span_event (s : Trace.span) =
+  let ts = s.start_time *. 1e6 in
+  let dur = (s.end_time -. s.start_time) *. 1e6 in
+  {
+    ce_ts = ts;
+    ce_seq = s.seq;
+    ce_json =
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":%s}"
+        (Attr.escape s.name) ts dur s.domain
+        (Attr.list_to_json (("seq", Attr.Int s.seq) :: s.attrs));
+  }
+
+(* Timeline events carry no domain (their rendering must stay
+   execution-independent), so instants all land on lane 0. *)
+let instant_event (e : Timeline.event) =
+  let ts = e.time *. 1e6 in
+  {
+    ce_ts = ts;
+    ce_seq = e.seq;
+    ce_json =
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":0,\"s\":\"t\",\"args\":%s}"
+        (Attr.escape (e.source ^ "." ^ e.kind))
+        (Attr.escape e.source) ts
+        (Attr.list_to_json (("seq", Attr.Int e.seq) :: e.attrs));
+  }
+
+let metadata_event name tid args_json =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":%s}" name tid
+    args_json
+
+let chrome_trace ~events ~spans =
+  let rendered =
+    List.rev_append
+      (List.rev_map span_event spans)
+      (List.map instant_event events)
+  in
+  let rendered =
+    List.sort
+      (fun a b ->
+        match compare a.ce_ts b.ce_ts with 0 -> compare a.ce_seq b.ce_seq | c -> c)
+      rendered
+  in
+  let lanes =
+    List.sort_uniq compare
+      (0 :: List.map (fun (s : Trace.span) -> s.domain) spans)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let add json =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf json
+  in
+  add (metadata_event "process_name" 0 "{\"name\":\"fibbing\"}");
+  List.iter
+    (fun lane ->
+      add
+        (metadata_event "thread_name" lane
+           (Printf.sprintf "{\"name\":\"domain %d\"}" lane)))
+    lanes;
+  List.iter (fun e -> add e.ce_json) rendered;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let chrome_trace_live () =
+  chrome_trace
+    ~events:(Timeline.events ~include_spans:false ())
+    ~spans:(Trace.spans ())
+
+(* ---- OpenMetrics text exposition ---- *)
+
+let sanitize name =
+  if name = "" then "_"
+  else begin
+    let s =
+      String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+          | _ -> '_')
+        name
+    in
+    match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+  end
+
+(* OpenMetrics floats: keep integral values readable ("83.0") and
+   everything else in shortest-exact form. *)
+let om_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let om_bound le = if le = infinity then "+Inf" else Printf.sprintf "%g" le
+
+let open_metrics () =
+  let buckets = Metrics.dump_buckets () in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, snap) ->
+      let n = sanitize name in
+      match (snap : Metrics.snapshot) with
+      | Metrics.Counter v ->
+        Printf.bprintf buf "# TYPE %s counter\n" n;
+        Printf.bprintf buf "%s_total %d\n" n v
+      | Metrics.Gauge v ->
+        Printf.bprintf buf "# TYPE %s gauge\n" n;
+        Printf.bprintf buf "%s %s\n" n (om_float v)
+      | Metrics.Histogram s ->
+        Printf.bprintf buf "# TYPE %s histogram\n" n;
+        (match List.assoc_opt name buckets with
+        | Some bs ->
+          List.iter
+            (fun (le, c) ->
+              Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" n (om_bound le) c)
+            bs
+        | None -> ());
+        Printf.bprintf buf "%s_sum %s\n" n (om_float s.Metrics.sum);
+        Printf.bprintf buf "%s_count %d\n" n s.Metrics.count)
+    (Metrics.dump ());
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -1,0 +1,156 @@
+type row = { tag : string; track : string; values : (string * float) list }
+
+let row_to_json r =
+  Kit.Json.to_string
+    (Kit.Json.Obj
+       (("tag", Kit.Json.Str r.tag)
+       :: ("track", Kit.Json.Str r.track)
+       :: List.map (fun (k, v) -> (k, Kit.Json.Num v)) r.values))
+
+let row_of_json j =
+  match j with
+  | Kit.Json.Obj kvs ->
+    let tag = ref None and track = ref None and values = ref [] in
+    let bad = ref None in
+    List.iter
+      (fun (k, v) ->
+        match (k, v) with
+        | "tag", Kit.Json.Str s -> tag := Some s
+        | "track", Kit.Json.Str s -> track := Some s
+        | _, Kit.Json.Num n -> values := (k, n) :: !values
+        | _ -> bad := Some k)
+      kvs;
+    (match (!bad, !tag, !track) with
+    | Some k, _, _ -> Error (Printf.sprintf "history row: bad value for %S" k)
+    | None, Some tag, Some track ->
+      Ok { tag; track; values = List.rev !values }
+    | None, _, _ -> Error "history row: missing tag or track")
+  | _ -> Error "history row: not an object"
+
+let append ~file rows =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          output_string oc (row_to_json r);
+          output_char oc '\n')
+        rows)
+
+let load ~file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Kit.Json.parse_lines contents with
+    | Error msg -> failwith (Printf.sprintf "%s: %s" file msg)
+    | Ok docs ->
+      List.map
+        (fun doc ->
+          match row_of_json doc with
+          | Ok r -> r
+          | Error msg -> failwith (Printf.sprintf "%s: %s" file msg))
+        docs
+  end
+
+type band = { counter : string; rel : float; abs : float }
+
+let default_bands =
+  [
+    { counter = "alloc_words"; rel = 0.02; abs = 64. };
+    { counter = "minor_collections"; rel = 0.25; abs = 2. };
+    { counter = "major_collections"; rel = 1.0; abs = 2. };
+    { counter = "wall_ms"; rel = 0.5; abs = 1.0 };
+  ]
+
+type verdict = {
+  v_track : string;
+  v_counter : string;
+  current : float;
+  baseline : float;
+  limit : float;
+  ok : bool;
+}
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "History.median: empty"
+  | sorted ->
+    let n = List.length sorted in
+    let nth k = List.nth sorted k in
+    if n mod 2 = 1 then nth (n / 2)
+    else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.
+
+(* Two rows are comparable when every non-gated key agrees exactly
+   (workload sizes, domain counts, ... are ints-in-floats, so exact
+   equality is the right notion). *)
+let same_context ~gated a b =
+  let context r =
+    List.filter (fun (k, _) -> not (List.mem k gated)) r.values
+    |> List.sort compare
+  in
+  context a = context b
+
+let gate ?(bands = default_bands) ?(window = 5) rows =
+  let gated = List.map (fun b -> b.counter) bands in
+  let tracks =
+    List.fold_left
+      (fun acc r -> if List.mem r.track acc then acc else r.track :: acc)
+      [] rows
+    |> List.rev
+  in
+  List.concat_map
+    (fun track ->
+      let of_track = List.filter (fun r -> r.track = track) rows in
+      match List.rev of_track with
+      | [] -> []
+      | newest :: older_rev ->
+        let baseline_rows =
+          List.filteri (fun i _ -> i < window)
+            (List.filter (same_context ~gated newest) older_rev)
+        in
+        if baseline_rows = [] then []
+        else
+          List.filter_map
+            (fun b ->
+              match List.assoc_opt b.counter newest.values with
+              | None -> None
+              | Some current ->
+                let past =
+                  List.filter_map
+                    (fun r -> List.assoc_opt b.counter r.values)
+                    baseline_rows
+                in
+                if past = [] then None
+                else begin
+                  let baseline = median past in
+                  let limit = (baseline *. (1. +. b.rel)) +. b.abs in
+                  Some
+                    {
+                      v_track = track;
+                      v_counter = b.counter;
+                      current;
+                      baseline;
+                      limit;
+                      ok = current <= limit;
+                    }
+                end)
+            bands)
+    tracks
+
+let gate_ok verdicts = List.for_all (fun v -> v.ok) verdicts
+
+let pp_verdicts fmt verdicts =
+  Format.fprintf fmt "%-12s %-20s %14s %14s %14s  %s@." "track" "counter"
+    "current" "baseline" "limit" "verdict";
+  List.iter
+    (fun v ->
+      Format.fprintf fmt "%-12s %-20s %14.6g %14.6g %14.6g  %s@." v.v_track
+        v.v_counter v.current v.baseline v.limit
+        (if v.ok then "ok" else "REGRESSION"))
+    verdicts

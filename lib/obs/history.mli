@@ -1,0 +1,67 @@
+(** Bench history: append-only JSONL rows of per-track counters, and a
+    rolling-baseline regression gate over them.
+
+    [bench prof --history FILE --tag SHA] appends one row per track
+    (deterministic counters first: allocated words, GC collections,
+    workload sizes; wall-time and cores/domains as context);
+    [bench gate] then compares the newest row of each track against
+    the median of the previous rows and fails on any gated counter
+    exceeding its noise band. The gate logic lives here, in the
+    library, so tests can drive it on synthetic histories without
+    spawning the bench binary. *)
+
+type row = {
+  tag : string;  (** Commit SHA or a free-form label. *)
+  track : string;  (** e.g. ["spf_churn"], ["water_fill"], ["sim_step"]. *)
+  values : (string * float) list;
+      (** Counters and context, flat. Keys named in a {!band} are
+          gated; every other key is context and must match exactly for
+          a row to join the baseline (so a workload-size change starts
+          a fresh baseline instead of comparing apples to oranges). *)
+}
+
+val row_to_json : row -> string
+(** One line, no trailing newline:
+    [{"tag":...,"track":...,"k":v,...}]. *)
+
+val row_of_json : Kit.Json.t -> (row, string) result
+
+val append : file:string -> row list -> unit
+(** Appends one line per row, creating the file if needed. *)
+
+val load : file:string -> row list
+(** Rows in file order; [[]] if the file does not exist. Raises
+    [Failure] on a malformed line. *)
+
+type band = {
+  counter : string;
+  rel : float;  (** Allowed relative increase over baseline. *)
+  abs : float;  (** Absolute slack added on top (for near-zero baselines). *)
+}
+
+val default_bands : band list
+(** The documented noise bands: [alloc_words] +2% (deterministic for
+    deterministic code), [minor_collections] +25%, [major_collections]
+    +100%, [wall_ms] +50% (CI wall time is noisy) — each with a small
+    absolute slack. Only regressions (increases) fail; improvements
+    pass and tighten the rolling baseline. *)
+
+type verdict = {
+  v_track : string;
+  v_counter : string;
+  current : float;
+  baseline : float;  (** Median of the baseline window. *)
+  limit : float;  (** [baseline * (1 + rel) + abs]. *)
+  ok : bool;
+}
+
+val gate : ?bands:band list -> ?window:int -> row list -> verdict list
+(** For each track (in first-appearance order): the newest row is
+    compared against the median of up to [window] (default 5)
+    immediately-preceding rows with identical context. Tracks with no
+    comparable history produce no verdicts — the first CI run
+    bootstraps the baseline rather than failing. *)
+
+val gate_ok : verdict list -> bool
+
+val pp_verdicts : Format.formatter -> verdict list -> unit

@@ -191,6 +191,32 @@ let summary_of_snap s =
 
 let summary (h : histogram) = summary_of_snap (snap h)
 
+(* Cumulative (upper-bound, count) pairs in OpenMetrics style: each
+   entry counts observations <= the bound, the final entry is
+   (infinity, total). Derived from the per-bucket counts under the
+   histogram's lock. *)
+let cumulative_buckets h =
+  let s = snap h in
+  let n = Array.length s.s_bounds in
+  let acc = ref 0 in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    acc := !acc + s.s_counts.(i);
+    out := (s.s_bounds.(i), !acc) :: !out
+  done;
+  List.rev ((infinity, !acc + s.s_counts.(n)) :: !out)
+
+let dump_buckets () =
+  let metrics =
+    locked registry_mu (fun () ->
+        Hashtbl.fold
+          (fun name metric acc ->
+            match metric with H h -> (name, h) :: acc | C _ | G _ -> acc)
+          registry [])
+  in
+  List.map (fun (name, h) -> (name, cumulative_buckets h)) metrics
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 type snapshot =
   | Counter of int
   | Gauge of float

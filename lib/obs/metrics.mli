@@ -49,6 +49,16 @@ val summary : histogram -> histogram_summary
 val quantile : histogram -> float -> float
 (** [quantile h q] with [q] in [\[0, 1\]]; [0.] when empty. *)
 
+val cumulative_buckets : histogram -> (float * int) list
+(** OpenMetrics-style cumulative buckets: each pair counts the
+    observations at or below the upper bound, ending with
+    [(infinity, total)]. A coherent snapshot taken under the
+    histogram's lock. *)
+
+val dump_buckets : unit -> (string * (float * int) list) list
+(** [cumulative_buckets] for every registered histogram, sorted by
+    name — the exporter pairs this with {!dump}. *)
+
 type snapshot =
   | Counter of int
   | Gauge of float

@@ -28,6 +28,9 @@ module Clock = Clock
 module Metrics = Metrics
 module Trace = Trace
 module Timeline = Timeline
+module Prof = Prof
+module Export = Export
+module History = History
 
 let enable () = Atomic.set State.enabled true
 

@@ -1,0 +1,65 @@
+(** Allocation/GC profiling attached to trace spans.
+
+    [with_span] behaves like {!Trace.with_span}, but when profiling is
+    switched on it additionally snapshots [Gc.quick_stat] around the
+    function and appends the delta (words allocated in the minor and
+    major heaps, promotions, collection counts, compactions) as span
+    attributes — so [fibbingctl trace --prof] shows words-allocated per
+    [spf.recompute] / [fairshare.water_fill] / [sim.step] span.
+
+    Profiling has its own switch, layered under the global one and
+    {b off by default}: GC counters are monotone per domain but their
+    deltas depend on heap state carried in from earlier work (how full
+    the nursery was, when the last slice ran), so they are not a pure
+    function of the logical run. The byte-identical timeline guarantees
+    (chaos replays, parallel-vs-sequential equality) therefore hold
+    with profiling off; turn it on only when reading the numbers.
+
+    Domain safety: [Gc.quick_stat] reads the calling domain's own
+    counters and spans never migrate domains mid-flight (the span stack
+    is domain-local), so before/after snapshots always come from the
+    same domain. A span's delta covers only allocation done by its own
+    domain — work fanned out to a pool is attributed to the workers'
+    spans, not the caller's.
+
+    Cost: with profiling (or [Obs]) off, one extra atomic load on top
+    of [Trace.with_span]'s flag check — the <5% disabled-overhead gate
+    is unaffected. *)
+
+type snap = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+(** Either an absolute [Gc.quick_stat] reading or a delta of two. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val enabled : unit -> bool
+(** The profiling switch alone; deltas are recorded only when this
+    {e and} [Obs.enabled] are both on. *)
+
+val snapshot : unit -> snap
+(** The calling domain's GC counters, via [Gc.quick_stat]. *)
+
+val delta : before:snap -> after:snap -> snap
+
+val allocated_words : snap -> float
+(** Total words allocated: [minor + major - promoted] (promotions move
+    existing words, they are not new allocation). *)
+
+val attrs : snap -> Attr.t list
+(** A delta as span attributes: [alloc_words], [minor_words],
+    [promoted_words], [major_words], [minor_collections],
+    [major_collections], [compactions]. *)
+
+val with_span :
+  ?attrs:Attr.t list -> ?alloc_counter:Metrics.counter -> string -> (unit -> 'a) -> 'a
+(** [Trace.with_span] plus, when profiling is on, the GC delta of the
+    wrapped function as late attributes. [alloc_counter], if given,
+    accumulates the span's allocated words (rounded down) into a
+    metrics counter so the totals show up in [fibbingctl metrics]. *)

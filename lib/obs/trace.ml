@@ -6,6 +6,7 @@ type span = {
   attrs : Attr.t list;
   start_time : float;
   end_time : float;
+  domain : int;
 }
 
 (* An open span awaiting its end timestamp. *)
@@ -15,6 +16,7 @@ type active = {
   a_depth : int;
   a_name : string;
   a_attrs : Attr.t list;
+  a_late : (unit -> Attr.t list) option;
   a_start : float;
 }
 
@@ -63,7 +65,7 @@ let emit span =
   | buf :: _ -> buf := span :: !buf
   | [] -> locked (fun () -> Kit.Ring.push !ring span)
 
-let with_span ?(attrs = []) name f =
+let with_span ?(attrs = []) ?late_attrs name f =
   if not (Atomic.get State.enabled) then f ()
   else begin
     let stack = Domain.DLS.get stack in
@@ -79,21 +81,26 @@ let with_span ?(attrs = []) name f =
         a_depth = depth;
         a_name = name;
         a_attrs = attrs;
+        a_late = late_attrs;
         a_start = Clock.now ();
       }
     in
     stack := a :: !stack;
     let finish () =
       (match !stack with _ :: rest -> stack := rest | [] -> ());
+      let attrs =
+        match a.a_late with None -> a.a_attrs | Some g -> a.a_attrs @ g ()
+      in
       emit
         {
           seq = a.a_seq;
           parent = a.a_parent;
           depth = a.a_depth;
           name = a.a_name;
-          attrs = a.a_attrs;
+          attrs;
           start_time = a.a_start;
           end_time = Clock.now ();
+          domain = (Domain.self () :> int);
         }
     in
     match f () with

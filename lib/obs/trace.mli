@@ -17,10 +17,19 @@ type span = {
   attrs : Attr.t list;
   start_time : float;
   end_time : float;
+  domain : int;
+      (** Id of the domain that ran the span. Exporters use it as the
+          thread lane; it is deliberately absent from the JSON-line
+          rendering, which must stay a pure function of the logical
+          run regardless of which worker executed it. *)
 }
 
-val with_span : ?attrs:Attr.t list -> string -> (unit -> 'a) -> 'a
-(** Runs the function, recording the span even when it raises. *)
+val with_span :
+  ?attrs:Attr.t list -> ?late_attrs:(unit -> Attr.t list) -> string -> (unit -> 'a) -> 'a
+(** Runs the function, recording the span even when it raises.
+    [late_attrs] is evaluated once at span end (also on the raising
+    path) and appended after [attrs] — for values only known when the
+    work is done, e.g. {!Prof} GC deltas. *)
 
 val spans : unit -> span list
 (** Completed spans retained by the ring, in completion order. *)

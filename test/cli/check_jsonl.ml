@@ -1,0 +1,63 @@
+(* Machine-output validator for the CLI smoke tests.
+
+   Modes:
+     check_jsonl FILE        every line must parse as a JSON object
+     check_jsonl --doc FILE  the whole file must parse as one JSON object
+     check_jsonl --om FILE   OpenMetrics shape: samples are "name value",
+                             comments start with '#', ends with "# EOF"
+
+   Exit 0 on success; prints the offending line and exits 1 otherwise.
+   This is what guarantees "stdout is pure JSONL when a machine flag is
+   set": anything human-readable leaking onto stdout breaks the parse. *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let check_jsonl file =
+  let lines =
+    String.split_on_char '\n' (read_file file)
+    |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then die "%s: no output lines" file;
+  List.iteri
+    (fun i l ->
+      match Kit.Json.parse l with
+      | Ok (Kit.Json.Obj _) -> ()
+      | Ok _ -> die "%s:%d: line is not a JSON object: %s" file (i + 1) l
+      | Error e -> die "%s:%d: %s in line: %s" file (i + 1) e l)
+    lines
+
+let check_doc file =
+  match Kit.Json.parse (read_file file) with
+  | Ok (Kit.Json.Obj _) -> ()
+  | Ok _ -> die "%s: top level is not a JSON object" file
+  | Error e -> die "%s: %s" file e
+
+let check_om file =
+  let txt = read_file file in
+  let n = String.length txt in
+  if n < 6 || String.sub txt (n - 6) 6 <> "# EOF\n" then
+    die "%s: missing terminal # EOF" file;
+  String.split_on_char '\n' txt
+  |> List.filter (fun l -> l <> "")
+  |> List.iteri (fun i l ->
+         if l.[0] <> '#' then
+           match String.rindex_opt l ' ' with
+           | None -> die "%s:%d: sample without value: %s" file (i + 1) l
+           | Some sp -> (
+             let v = String.sub l (sp + 1) (String.length l - sp - 1) in
+             match float_of_string_opt v with
+             | Some _ -> ()
+             | None -> die "%s:%d: non-numeric value: %s" file (i + 1) l))
+
+let () =
+  match Sys.argv with
+  | [| _; file |] -> check_jsonl file
+  | [| _; "--doc"; file |] -> check_doc file
+  | [| _; "--om"; file |] -> check_om file
+  | _ -> die "usage: check_jsonl [--doc|--om] FILE"

@@ -367,6 +367,302 @@ let test_parallel_counter_increments () =
         (Obs.Metrics.counter_value c))
 
 (* ------------------------------------------------------------------ *)
+(* Prof: GC deltas on spans                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_prof f =
+  Obs.reset ();
+  Obs.enable ();
+  Obs.Prof.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Prof.disable ();
+      Obs.disable ())
+    f
+
+let prof_attr name (s : Obs.Trace.span) =
+  match List.assoc_opt name s.attrs with
+  | Some (Obs.Attr.Float v) -> Some v
+  | Some (Obs.Attr.Int v) -> Some (float_of_int v)
+  | Some _ | None -> None
+
+(* Small blocks only: they stay in the minor heap, whose allocation
+   pointer is read live (large arrays go straight to the major heap,
+   where the counters only catch up at collection boundaries). *)
+let churn_minor n =
+  for i = 1 to n do
+    ignore (Sys.opaque_identity (ref i))
+  done
+
+let test_prof_span_attrs () =
+  with_prof (fun () ->
+      Obs.Prof.with_span "alloc" (fun () -> churn_minor 1000);
+      match Obs.Trace.spans () with
+      | [ s ] ->
+        (match prof_attr "alloc_words" s with
+        | None -> Alcotest.fail "alloc_words attr missing"
+        | Some w ->
+          (* 1000 refs = 2000 words minimum. *)
+          Alcotest.(check bool) "counts the refs" true (w >= 2000.))
+      | l ->
+        Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length l)))
+
+let test_prof_off_means_plain_spans () =
+  with_obs (fun () ->
+      Obs.Prof.with_span "plain" (fun () -> churn_minor 100);
+      match Obs.Trace.spans () with
+      | [ s ] ->
+        Alcotest.(check bool) "no prof attrs with prof off" true
+          (prof_attr "alloc_words" s = None)
+      | _ -> Alcotest.fail "expected 1 span")
+
+let test_prof_alloc_counter () =
+  with_prof (fun () ->
+      let c = Obs.Metrics.counter "test.prof.alloc" in
+      Obs.Prof.with_span "alloc" ~alloc_counter:c (fun () -> churn_minor 500);
+      Alcotest.(check bool) "counter accumulates the words" true
+        (Obs.Metrics.counter_value c >= 1000))
+
+(* The disabled-overhead gate, in allocation terms: with everything
+   off, a prof span is the wrapped call plus flag checks — no words. *)
+let test_prof_disabled_allocates_nothing () =
+  Obs.reset ();
+  Obs.disable ();
+  let f () = () in
+  for _ = 1 to 100 do
+    Obs.Prof.with_span "x" f
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    Obs.Prof.with_span "x" f
+  done;
+  let per_call = (Gc.minor_words () -. w0) /. 1000. in
+  Alcotest.(check bool) "under 2 words per disabled call" true (per_call < 2.)
+
+let prop_prof_nested_sums =
+  QCheck.Test.make ~count:30
+    ~name:"prof deltas non-negative; parent covers children"
+    QCheck.(list_of_size Gen.(int_range 1 6) (int_range 0 300))
+    (fun sizes ->
+      Obs.reset ();
+      Obs.enable ();
+      Obs.Prof.enable ();
+      Obs.Prof.with_span "parent" (fun () ->
+          List.iter
+            (fun n -> Obs.Prof.with_span "child" (fun () -> churn_minor n))
+            sizes;
+          churn_minor 10);
+      Obs.Prof.disable ();
+      Obs.disable ();
+      let spans = Obs.Trace.spans () in
+      let w s =
+        match prof_attr "minor_words" s with
+        | Some v -> v
+        | None -> QCheck.Test.fail_report "span without prof attrs"
+      in
+      let parent = List.find (fun (s : Obs.Trace.span) -> s.name = "parent") spans in
+      let children =
+        List.filter (fun (s : Obs.Trace.span) -> s.name = "child") spans
+      in
+      List.length children = List.length sizes
+      && List.for_all (fun s -> w s >= 0.) spans
+      (* Minor words are monotone within the domain, and every child
+         window is contained in the parent's, so the parent's delta
+         dominates the children's sum exactly. *)
+      && w parent >= List.fold_left (fun acc s -> acc +. w s) 0. children)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters: Chrome trace events and OpenMetrics                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_str k e = Option.bind (Kit.Json.member k e) Kit.Json.to_str
+let json_num k e = Option.bind (Kit.Json.member k e) Kit.Json.to_float
+
+(* Golden-shape test on the fixed F2 run: parse the document back and
+   validate required fields and timestamp ordering (byte-golden would
+   tie the test to GC noise once prof is on). *)
+let test_chrome_trace_shape () =
+  Obs.Prof.enable ();
+  ignore (traced_f2_run ());
+  Obs.Prof.disable ();
+  let doc = Obs.Export.chrome_trace_live () in
+  match Kit.Json.parse doc with
+  | Error msg -> Alcotest.fail msg
+  | Ok j ->
+    let events =
+      match Kit.Json.member "traceEvents" j with
+      | Some (Kit.Json.List l) -> l
+      | _ -> Alcotest.fail "traceEvents missing"
+    in
+    Alcotest.(check bool) "non-trivial event count" true
+      (List.length events > 20);
+    let last_ts = ref neg_infinity in
+    let seen_complete = ref false in
+    List.iter
+      (fun e ->
+        let ph =
+          match json_str "ph" e with
+          | Some p -> p
+          | None -> Alcotest.fail "event without ph"
+        in
+        if json_str "name" e = None then Alcotest.fail "event without name";
+        if ph <> "M" then begin
+          (match (json_num "ts" e, json_num "pid" e, json_num "tid" e) with
+          | Some ts, Some _, Some _ ->
+            Alcotest.(check bool) "ts nondecreasing" true (ts >= !last_ts);
+            last_ts := ts
+          | _ -> Alcotest.fail "event without ts/pid/tid");
+          if ph = "X" then begin
+            seen_complete := true;
+            match json_num "dur" e with
+            | Some dur -> Alcotest.(check bool) "dur >= 0" true (dur >= 0.)
+            | None -> Alcotest.fail "complete event without dur"
+          end
+        end)
+      events;
+    Alcotest.(check bool) "has complete (span) events" true !seen_complete;
+    Alcotest.(check bool) "spf.recompute span exported" true
+      (List.exists (fun e -> json_str "name" e = Some "spf.recompute") events);
+    (* Prof was on for the run, so span args carry GC deltas. *)
+    Alcotest.(check bool) "span args carry alloc_words" true
+      (List.exists
+         (fun e ->
+           json_str "ph" e = Some "X"
+           && (match Kit.Json.member "args" e with
+              | Some args -> (
+                match Option.bind (Kit.Json.member "alloc_words" args) Kit.Json.to_float with
+                | Some w -> w >= 0.
+                | None -> false)
+              | None -> false))
+         events)
+
+let sample_value line =
+  match String.rindex_opt line ' ' with
+  | None -> Alcotest.fail ("bad sample line: " ^ line)
+  | Some i -> (
+    let v = String.sub line (i + 1) (String.length line - i - 1) in
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> Alcotest.fail ("bad sample value: " ^ line))
+
+let test_open_metrics_shape () =
+  ignore (traced_f2_run ());
+  let txt = Obs.Export.open_metrics () in
+  Alcotest.(check bool) "terminated by # EOF" true
+    (String.length txt >= 6
+    && String.sub txt (String.length txt - 6) 6 = "# EOF\n");
+  let lines =
+    String.split_on_char '\n' txt |> List.filter (fun l -> l <> "")
+  in
+  (* Every sample line carries a numeric value. *)
+  List.iter
+    (fun l -> if l.[0] <> '#' then ignore (sample_value l))
+    lines;
+  (* Counters are sanitized and suffixed _total. *)
+  Alcotest.(check bool) "spf.runs exposed as spf_runs_total" true
+    (List.exists (String.starts_with ~prefix:"spf_runs_total ") lines);
+  (* Histogram buckets: explicit bounds, cumulative, +Inf equals count. *)
+  let buckets =
+    List.filter
+      (String.starts_with ~prefix:"spf_recompute_ms_bucket{le=\"")
+      lines
+  in
+  Alcotest.(check bool) "histogram has explicit buckets" true
+    (List.length buckets > 2);
+  let values = List.map sample_value buckets in
+  ignore
+    (List.fold_left
+       (fun prev v ->
+         Alcotest.(check bool) "buckets cumulative" true (v >= prev);
+         v)
+       0. values);
+  Alcotest.(check bool) "last bucket is +Inf" true
+    (String.starts_with ~prefix:"spf_recompute_ms_bucket{le=\"+Inf\"}"
+       (List.nth buckets (List.length buckets - 1)));
+  let count_line =
+    List.find (String.starts_with ~prefix:"spf_recompute_ms_count ") lines
+  in
+  checkf "+Inf bucket equals count" (sample_value count_line)
+    (List.nth values (List.length values - 1));
+  (* TYPE headers exist for the three kinds. *)
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Printf.sprintf "a %s family is declared" kind)
+        true
+        (List.exists
+           (fun l ->
+             String.starts_with ~prefix:"# TYPE " l
+             && String.ends_with ~suffix:(" " ^ kind) l)
+           lines))
+    [ "counter"; "gauge"; "histogram" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bench history and the regression gate                               *)
+(* ------------------------------------------------------------------ *)
+
+let hrow tag track values = { Obs.History.tag; track; values }
+
+let test_history_gate_verdicts () =
+  let base = [ ("alloc_words", 1000.); ("wall_ms", 5.); ("flows", 100.) ] in
+  let rows = [ hrow "a" "t" base; hrow "b" "t" base ] in
+  let v = Obs.History.gate rows in
+  Alcotest.(check bool) "stable history passes" true
+    (v <> [] && Obs.History.gate_ok v);
+  (* +10% allocated words is far outside the 2% band. *)
+  let regressed =
+    rows
+    @ [
+        hrow "c" "t"
+          [ ("alloc_words", 1100.); ("wall_ms", 5.); ("flows", 100.) ];
+      ]
+  in
+  Alcotest.(check bool) "synthetic regression row fails" false
+    (Obs.History.gate_ok (Obs.History.gate regressed));
+  (* Wall-time noise inside its (wide) band is fine. *)
+  let noisy =
+    rows
+    @ [
+        hrow "c" "t"
+          [ ("alloc_words", 1000.); ("wall_ms", 7.); ("flows", 100.) ];
+      ]
+  in
+  Alcotest.(check bool) "wall noise within band passes" true
+    (Obs.History.gate_ok (Obs.History.gate noisy));
+  (* A workload change (context key differs) starts a fresh baseline
+     instead of comparing different experiments. *)
+  let rescaled =
+    rows
+    @ [
+        hrow "c" "t"
+          [ ("alloc_words", 9000.); ("wall_ms", 50.); ("flows", 200.) ];
+      ]
+  in
+  Alcotest.(check bool) "context change re-baselines (no verdicts)" true
+    (Obs.History.gate rescaled = []);
+  (* First-ever row: bootstrap, nothing to compare. *)
+  Alcotest.(check bool) "single row passes vacuously" true
+    (Obs.History.gate [ hrow "a" "t" base ] = [])
+
+let test_history_file_roundtrip () =
+  let file = Filename.temp_file "fibbing_hist" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let rows =
+        [
+          hrow "aaa" "spf_churn" [ ("alloc_words", 59087.7); ("routers", 22.) ];
+          hrow "bbb" "water_fill" [ ("alloc_words", 2129604.25) ];
+        ]
+      in
+      Obs.History.append ~file rows;
+      Obs.History.append ~file rows;
+      let back = Obs.History.load ~file in
+      Alcotest.(check int) "two appends accumulate" 4 (List.length back);
+      Alcotest.(check bool) "rows round-trip exactly" true
+        (back = rows @ rows))
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -430,5 +726,30 @@ let () =
             test_capture_identical_across_runs;
           Alcotest.test_case "parallel counter increments" `Quick
             test_parallel_counter_increments;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "span carries GC deltas" `Quick
+            test_prof_span_attrs;
+          Alcotest.test_case "prof off means plain spans" `Quick
+            test_prof_off_means_plain_spans;
+          Alcotest.test_case "alloc counter accumulates" `Quick
+            test_prof_alloc_counter;
+          Alcotest.test_case "disabled allocates nothing" `Quick
+            test_prof_disabled_allocates_nothing;
+        ] );
+      qsuite "prof-props" [ prop_prof_nested_sums ];
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace shape" `Quick
+            test_chrome_trace_shape;
+          Alcotest.test_case "openmetrics shape" `Quick
+            test_open_metrics_shape;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "gate verdicts" `Quick test_history_gate_verdicts;
+          Alcotest.test_case "file round-trip" `Quick
+            test_history_file_roundtrip;
         ] );
     ]
