@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- quick   — skip the Bechamel timings
      dune exec bench/main.exe -- flow-quick — only TFLOW, reduced scale
      dune exec bench/main.exe -- par-quick  — only TPAR, reduced scale
+     dune exec bench/main.exe -- watch-quick — only TWATCH (watchdog
+                                           overhead + non-interference gate)
      dune exec bench/main.exe -- par     — only TPAR, full scale
      dune exec bench/main.exe -- spf     — only TSPF
      dune exec bench/main.exe -- json    — also write BENCH_*.json
@@ -1418,6 +1420,118 @@ let tpar ~json ~quick () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* TWATCH: cost and non-interference of the runtime safety watchdog.
+   The enforced gate is deterministic (work counters, not wall clock):
+   on a calm steady-state run the incremental gating must keep the full
+   safety sweep under 5% of steps, the watchdog must observe zero
+   violations, and arming it must not perturb the simulation at all —
+   the F2 series and the chaos verdicts must be bit-identical with and
+   without it. Wall-clock overhead is printed for the record only. *)
+
+let twatch ~quick () =
+  section "TWATCH" "watchdog: overhead and non-interference";
+  let failed = ref false in
+  (* -- Gate 1: steady state. One long-lived flow, no faults, no
+     controller action: after the initial route computation nothing
+     dirties routing, so the sweep must stay gated off. *)
+  let () =
+    let d = T.demo () in
+    let net = Igp.Network.create d.graph in
+    Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+    let caps = Netsim.Link.capacities ~default:1e6 in
+    let sim = Netsim.Sim.create ~dt:0.5 net caps in
+    let wd = Netsim.Watchdog.arm sim in
+    Netsim.Sim.add_flow sim
+      (Netsim.Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+    Netsim.Sim.run_until sim 100.;
+    let s = Netsim.Watchdog.stats wd in
+    let sweep_pct =
+      100. *. float_of_int s.safety_sweeps /. float_of_int (max 1 s.steps_checked)
+    in
+    Format.printf
+      "steady state: %d steps, %d sweeps, %d skipped — sweep rate %.1f%% \
+       (gate: < 5%%), %d violations@."
+      s.steps_checked s.safety_sweeps s.safety_skipped sweep_pct s.violations;
+    if sweep_pct >= 5. || s.violations > 0 then failed := true
+  in
+  (* -- Gate 2: the Fig. 2 demo run with and without the watchdog. The
+     controller steers (routing changes, sweeps run), yet the plotted
+     series must be bit-identical — observation only, no perturbation. *)
+  let () =
+    let run ~watchdog =
+      let d = Demo.make ~fibbing:true () in
+      ignore (Demo.load_fig2_workload d);
+      let wd =
+        if watchdog then Some (Netsim.Watchdog.arm d.Demo.sim) else None
+      in
+      let t0 = Unix.gettimeofday () in
+      Demo.run d ~until:55.;
+      let wall = (Unix.gettimeofday () -. t0) *. 1000. in
+      (Demo.fig2_series d, wd, wall)
+    in
+    let series_off, _, wall_off = run ~watchdog:false in
+    let series_on, wd, wall_on = run ~watchdog:true in
+    let identical = series_on = series_off in
+    (match wd with
+    | Some wd ->
+      let s = Netsim.Watchdog.stats wd in
+      Format.printf
+        "fig2 demo:    %d steps, %d sweeps, %d skipped, %d violations; \
+         series %s; wall %.1f -> %.1f ms (informational)@."
+        s.steps_checked s.safety_sweeps s.safety_skipped s.violations
+        (if identical then "identical" else "DIVERGED")
+        wall_off wall_on;
+      if s.violations > 0 then failed := true
+    | None -> ());
+    if not identical then failed := true
+  in
+  (* -- Gate 3: chaos seeds with and without the watchdog. Same faults,
+     same verdict (modulo the watchdog's own fields), zero violations. *)
+  let () =
+    let seeds = List.init (if quick then 4 else 8) (fun i -> i + 1) in
+    let strip (v : Scenarios.Chaos.verdict) =
+      ( v.plan.events,
+        v.edges_restored,
+        v.fakes_left,
+        v.fibs_match,
+        v.unroutable_at_until,
+        v.unroutable_at_end,
+        v.controller_alive,
+        v.reactions )
+    in
+    let sweep ~watchdog =
+      let t0 = Unix.gettimeofday () in
+      let vs =
+        List.map
+          (fun seed -> Scenarios.Chaos.run ~watchdog ~seed ~until:20. ())
+          seeds
+      in
+      ((Unix.gettimeofday () -. t0) *. 1000., vs)
+    in
+    let wall_off, off = sweep ~watchdog:false in
+    let wall_on, on = sweep ~watchdog:true in
+    let identical = List.map strip on = List.map strip off in
+    let violations =
+      List.fold_left
+        (fun acc (v : Scenarios.Chaos.verdict) ->
+          acc + List.length v.violations)
+        0 on
+    in
+    Format.printf
+      "chaos x%d:     verdicts %s, %d violations; wall %.1f -> %.1f ms \
+       (informational)@."
+      (List.length seeds)
+      (if identical then "identical" else "DIVERGED")
+      violations wall_off wall_on;
+    if (not identical) || violations > 0 then failed := true
+  in
+  if !failed then begin
+    Format.printf "TWATCH FAILED: watchdog overhead or interference gate@.";
+    exit 1
+  end
+  else Format.printf "TWATCH gate: OK@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per computational stage. *)
 
 let bechamel_timings () =
@@ -1734,6 +1848,13 @@ let () =
     Format.printf "@.done.@.";
     exit 0
   end;
+  if Array.exists (fun a -> a = "watch-quick") Sys.argv then begin
+    (* Watchdog smoke for @watch-quick / @check: the deterministic
+       overhead + non-interference gates at reduced scale. *)
+    twatch ~quick:true ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
   if Array.exists (fun a -> a = "par-quick") Sys.argv then begin
     (* Parallel-equivalence smoke for @par-quick / @check: TPAR at
        reduced scale, exits 1 if parallel ≢ sequential. *)
@@ -1775,6 +1896,7 @@ let () =
   tspf ~json ();
   tflow ~json ~quick ();
   tpar ~json ~quick ();
+  twatch ~quick ();
   if not quick then bechamel_timings ();
   (* Last: pins the default pool width to 1 for its own nets. *)
   tprof ~quick ~history:(flag_value "history")

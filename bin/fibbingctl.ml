@@ -218,6 +218,10 @@ let traced_demo ~fibbing ~until =
   Obs.reset ();
   Obs.enable ();
   Obs.Clock.set_source (fun () -> Netsim.Sim.time d.sim);
+  (* The watchdog rides along so its counters and histograms land in the
+     exported registry (metrics --prom); the demo is safe, so this is
+     pure observation. *)
+  ignore (Netsim.Watchdog.arm d.sim);
   ignore (Scenarios.Demo.load_fig2_workload d);
   Scenarios.Demo.run d ~until;
   Obs.disable ();
@@ -602,12 +606,12 @@ let flood_cmd =
 (* ---------- chaos ---------- *)
 
 let chaos_cmd =
-  let run seed until faults trace json seeds domains =
+  let run seed until faults trace json seeds domains watchdog =
     apply_domains domains;
     if seeds <= 1 then begin
       Obs.reset ();
       if trace || json then Obs.enable ();
-      let v = Scenarios.Chaos.run ~faults ~seed ~until () in
+      let v = Scenarios.Chaos.run ~faults ~watchdog ~seed ~until () in
       Obs.disable ();
       Obs.Clock.use_cpu_time ();
       if json then begin
@@ -627,7 +631,9 @@ let chaos_cmd =
       Obs.reset ();
       if json then Obs.enable ();
       let seed_list = List.init seeds (fun i -> seed + i) in
-      let results = Scenarios.Chaos.sweep ~faults ~seeds:seed_list ~until () in
+      let results =
+        Scenarios.Chaos.sweep ~faults ~watchdog ~seeds:seed_list ~until ()
+      in
       Obs.disable ();
       let failures = ref 0 in
       List.iter
@@ -636,11 +642,15 @@ let chaos_cmd =
           let okay = Scenarios.Chaos.ok v in
           if not okay then incr failures;
           let line = if json then Format.eprintf else Format.printf in
-          line "seed %d: %s (reactions %d, fakes left %d, unroutable %d)@."
+          line
+            "seed %d: %s (reactions %d, fakes left %d, unroutable %d, \
+             violations %d, quarantines %d)@."
             v.seed
             (if okay then "OK" else "FAILED")
             v.reactions v.fakes_left
-            (List.length v.unroutable_at_end))
+            (List.length v.unroutable_at_end)
+            (List.length v.violations)
+            v.quarantines)
         results;
       let line = if json then Format.eprintf else Format.printf in
       line "%d/%d seeds OK@." (seeds - !failures) seeds;
@@ -677,16 +687,26 @@ let chaos_cmd =
            ~doc:"Emit the timeline as JSON lines on stdout (verdict goes \
                  to stderr).")
   in
+  let watchdog =
+    Arg.(value & opt bool true & info [ "watchdog" ] ~docv:"BOOL"
+           ~doc:"Arm the runtime safety watchdog: per-step loop and \
+                 blackhole freedom for every prefix, lie budget, \
+                 freshness and anchoring, per-link utilization bound. \
+                 Any violation at any step fails the run. Default true.")
+  in
   let doc =
     "Run the demo network under a random seeded fault schedule (link \
-     flaps, router crashes, lossy flooding, monitor blackouts, \
-     controller crash/restart) and verify it converges back to the \
-     fault-free pure-IGP state: topology restored, zero fakes left, \
-     FIBs equal to a from-scratch computation, nothing unroutable. \
-     Exit status 1 when the invariant fails."
+     flaps, router crashes, partitions, lossy and delayed flooding, \
+     monitor blackouts and corrupted telemetry, controller \
+     crash/restart) and verify it converges back to the fault-free \
+     pure-IGP state — topology restored, zero fakes left, FIBs equal to \
+     a from-scratch computation, nothing unroutable — with zero runtime \
+     safety violations at every step along the way. Exit status 1 when \
+     the invariant fails."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ seed $ until $ faults $ trace $ json $ seeds $ domains_arg)
+    Term.(const run $ seed $ until $ faults $ trace $ json $ seeds
+          $ domains_arg $ watchdog)
 
 (* ---------- topo ---------- *)
 

@@ -8,6 +8,8 @@ module Flow = Netsim.Flow
 let m_reactions = Obs.Metrics.counter "controller.reactions"
 let m_candidates_considered = Obs.Metrics.counter "controller.candidates_considered"
 let m_candidates_dropped = Obs.Metrics.counter "controller.candidates_dropped"
+let m_quarantines = Obs.Metrics.counter "controller.quarantines"
+let m_resyncs = Obs.Metrics.counter "controller.resyncs"
 let g_fakes_live = Obs.Metrics.gauge "controller.fakes_live"
 
 type strategy = Local_deflection | Global_optimal
@@ -22,6 +24,8 @@ type config = {
   log_capacity : int;
   lie_ttl : float;
   max_backoff : float;
+  quarantine_hold : float;
+  seat : Graph.node option;
 }
 
 let default_config =
@@ -35,6 +39,8 @@ let default_config =
     log_capacity = 4096;
     lie_ttl = 30.;
     max_backoff = 60.;
+    quarantine_hold = 12.;
+    seat = None;
   }
 
 type reoptimizer =
@@ -62,11 +68,18 @@ type t = {
      counted, withdrawn on calm) without a reconstructed plan. *)
   adopted : (Igp.Lsa.prefix, Igp.Lsa.fake list) Hashtbl.t;
   log : action Kit.Ring.t; (* bounded, oldest evicted first *)
+  (* Hold-down: prefixes whose lies were quarantined, with the time the
+     hold expires. No new steering for a held prefix. *)
+  quarantined : (Igp.Lsa.prefix, float) Hashtbl.t;
   mutable calm_since : float option;
   mutable alive : bool;
   (* Exponential backoff for reactions that keep changing nothing. *)
   mutable failures : int;
   mutable backoff_until : float;
+  (* Routers reachable from the seat at the last reaction; growth means
+     a partition healed and triggers an adopt-or-withdraw resync. -1 =
+     never measured (or no seat configured). *)
+  mutable reachable_count : int;
 }
 
 let create ?(config = default_config) ?reoptimize net =
@@ -76,6 +89,8 @@ let create ?(config = default_config) ?reoptimize net =
     invalid_arg "Controller.create: lie_ttl must be positive";
   if config.max_backoff < config.cooldown then
     invalid_arg "Controller.create: max_backoff must be >= cooldown";
+  if config.quarantine_hold < 0. then
+    invalid_arg "Controller.create: quarantine_hold must be >= 0";
   {
     net;
     config;
@@ -83,10 +98,12 @@ let create ?(config = default_config) ?reoptimize net =
     states = Hashtbl.create 4;
     adopted = Hashtbl.create 4;
     log = Kit.Ring.create ~capacity:config.log_capacity;
+    quarantined = Hashtbl.create 4;
     calm_since = None;
     alive = true;
     failures = 0;
     backoff_until = neg_infinity;
+    reachable_count = -1;
   }
 
 let fake_count t =
@@ -167,6 +184,85 @@ let announcers_of net prefix =
 let announcer_of net prefix =
   match announcers_of net prefix with [] -> None | origin :: _ -> Some origin
 
+let quarantine_active t ~time prefix =
+  match Hashtbl.find_opt t.quarantined prefix with
+  | Some until when time < until -> true
+  | Some _ -> Hashtbl.remove t.quarantined prefix; false
+  | None -> false
+
+(* A violation was attributed to this prefix's lies (by our own
+   revalidation or by the watchdog): withdraw them all and hold the
+   prefix down — no new steering until a clean window has passed. *)
+let quarantine t ~time ~prefix ~reason =
+  if t.alive then begin
+    let lsdb = Igp.Network.lsdb t.net in
+    (match Hashtbl.find_opt t.states prefix with
+    | Some s ->
+      (* Withdraw in a transiently safe order when one exists. A state
+         that is already unsafe often admits none (and a watchdog purge
+         may have left the plan partially installed, which the order
+         search cannot replay) — then retract outright: better a
+         transient gap than a persistent loop. *)
+      let complete =
+        List.for_all
+          (fun (f : Igp.Lsa.fake) -> Igp.Lsdb.installed lsdb f.fake_id)
+          s.plan.Augmentation.fakes
+      in
+      let safely =
+        if complete then Transient.revert_safely t.net s.plan
+        else Error "plan partially installed"
+      in
+      (match safely with
+      | Ok () -> ()
+      | Error _ -> Augmentation.revert t.net s.plan);
+      Hashtbl.remove t.states prefix
+    | None -> ());
+    (match Hashtbl.find_opt t.adopted prefix with
+    | Some fakes ->
+      List.iter (retract_if_installed t) fakes;
+      Hashtbl.remove t.adopted prefix
+    | None -> ());
+    (* Orphans from a predecessor controller go too: a quarantine must
+       leave the prefix lie-free. *)
+    List.iter
+      (fun (f : Igp.Lsa.fake) ->
+        if String.equal f.prefix prefix then retract_if_installed t f)
+      (Igp.Network.fakes t.net);
+    Hashtbl.replace t.quarantined prefix (time +. t.config.quarantine_hold);
+    t.calm_since <- None;
+    Obs.Metrics.incr m_quarantines;
+    record t ~time ~prefix (Printf.sprintf "quarantine: %s" reason);
+    if Obs.enabled () then
+      Obs.Timeline.record ~time ~source:"controller" ~kind:"quarantine"
+        [
+          ("prefix", String prefix);
+          ("reason", String reason);
+          ("hold_until", Float (time +. t.config.quarantine_hold));
+        ]
+  end
+
+(* Re-check every prefix we steer against the live network. Registered
+   on [Sim.on_route_change], so it runs when a topology change lands —
+   before any flow is routed over it: a lie set the change turned unsafe
+   is withdrawn within the same convergence. *)
+let revalidate t sim =
+  if t.alive then begin
+    let time = Sim.time sim in
+    let prefixes = Hashtbl.create 4 in
+    Hashtbl.iter (fun p _ -> Hashtbl.replace prefixes p ()) t.states;
+    Hashtbl.iter (fun p _ -> Hashtbl.replace prefixes p ()) t.adopted;
+    Hashtbl.iter
+      (fun prefix () ->
+        match Transient.state_safe t.net ~prefix with
+        | Ok () -> ()
+        | Error reason ->
+          quarantine t ~time ~prefix
+            ~reason:
+              (Printf.sprintf "topology change made steering unsafe: %s"
+                 reason))
+      prefixes
+  end
+
 let crash t =
   if t.alive then begin
     t.alive <- false;
@@ -176,9 +272,11 @@ let crash t =
        deliberately kept for post-mortems. *)
     Hashtbl.reset t.states;
     Hashtbl.reset t.adopted;
+    Hashtbl.reset t.quarantined;
     t.calm_since <- None;
     t.failures <- 0;
     t.backoff_until <- neg_infinity;
+    t.reachable_count <- -1;
     if Obs.enabled () then begin
       Obs.Metrics.set g_fakes_live 0.;
       Obs.Timeline.record ~time:(Obs.Clock.now ()) ~source:"controller"
@@ -192,6 +290,7 @@ let restart t ~time =
     t.calm_since <- None;
     t.failures <- 0;
     t.backoff_until <- neg_infinity;
+    t.reachable_count <- -1;
     (* Resync from the network, not from memory: every surviving fake is
        either adopted (still meaningful: its prefix is announced and its
        forwarding link exists) and refreshed from now on, or withdrawn.
@@ -229,6 +328,83 @@ let restart t ~time =
       Obs.Timeline.record ~time ~source:"controller" ~kind:"restart"
         [ ("adopted", Int !adopted); ("withdrawn", Int !withdrawn) ]
     end
+  end
+
+(* Routers reachable from the controller's seat over the live topology.
+   During a partition, telemetry from the far side cannot reach the
+   controller: links with no reachable endpoint are invisible to it. *)
+let reachable_set t seat =
+  let g = Igp.Network.graph t.net in
+  let seen = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Hashtbl.replace seen seat ();
+  Queue.add seat queue;
+  while not (Queue.is_empty queue) do
+    let r = Queue.pop queue in
+    List.iter
+      (fun (n, _) ->
+        if not (Hashtbl.mem seen n) then begin
+          Hashtbl.replace seen n ();
+          Queue.add n queue
+        end)
+      (Graph.succ g r)
+  done;
+  seen
+
+(* Reachability grew (a partition healed): re-run the adopt-or-withdraw
+   judgement on every adopted lie, re-check every owned steering, and
+   clear the backoff so the controller re-engages promptly. Mirrors the
+   resync [restart] performs, but with memory intact. *)
+let resync t ~time ~reason =
+  let g = Igp.Network.graph t.net in
+  let lsdb = Igp.Network.lsdb t.net in
+  let kept = ref 0 and withdrawn = ref 0 in
+  let adopted =
+    Hashtbl.fold (fun p fakes acc -> (p, fakes) :: acc) t.adopted []
+  in
+  List.iter
+    (fun (prefix, fakes) ->
+      let valid, invalid =
+        List.partition
+          (fun (f : Igp.Lsa.fake) ->
+            Igp.Lsdb.installed lsdb f.fake_id
+            && announcers_of t.net f.prefix <> []
+            && Graph.has_edge g f.attachment f.forwarding)
+          fakes
+      in
+      List.iter (retract_if_installed t) invalid;
+      withdrawn := !withdrawn + List.length invalid;
+      kept := !kept + List.length valid;
+      if valid = [] then Hashtbl.remove t.adopted prefix
+      else Hashtbl.replace t.adopted prefix valid)
+    adopted;
+  List.iter
+    (fun prefix ->
+      match Transient.state_safe t.net ~prefix with
+      | Ok () -> ()
+      | Error why ->
+        quarantine t ~time ~prefix
+          ~reason:(Printf.sprintf "resync found unsafe steering: %s" why))
+    (Hashtbl.fold (fun p _ acc -> p :: acc) t.states []);
+  t.failures <- 0;
+  t.backoff_until <- neg_infinity;
+  Obs.Metrics.incr m_resyncs;
+  Kit.Ring.push t.log
+    {
+      time;
+      description =
+        Printf.sprintf "resync (%s): %d adopted lies kept, %d withdrawn"
+          reason !kept !withdrawn;
+      fakes_installed = fake_count t;
+    };
+  if Obs.enabled () then begin
+    Obs.Metrics.set g_fakes_live (float_of_int (fake_count t));
+    Obs.Timeline.record ~time ~source:"controller" ~kind:"resync"
+      [
+        ("reason", String reason);
+        ("kept", Int !kept);
+        ("withdrawn", Int !withdrawn);
+      ]
   end
 
 (* Demand-based directed link loads, split into the part caused by flows
@@ -329,6 +505,8 @@ let same_requirements ~max_entries a b =
 (* Install (or refresh) requirements for a prefix. Returns true when
    something was changed. *)
 let install_requirements t ~time ~prefix ~description routers =
+  if quarantine_active t ~time prefix then false
+  else begin
   let previous = Hashtbl.find_opt t.states prefix in
   let unchanged =
     match previous with
@@ -401,6 +579,7 @@ let install_requirements t ~time ~prefix ~description routers =
         record t ~time ~prefix description;
         true)
     | Error message -> rollback (Printf.sprintf "compile failed: %s" message)
+  end
   end
 
 (* Merge one router's new splits into the prefix's requirements. *)
@@ -609,6 +788,7 @@ let handle_link t sim ~time (x, y) =
   in
   match dominant with
   | None -> ()
+  | Some (prefix, _) when quarantine_active t ~time prefix -> ()
   | Some (prefix, _) ->
     (match t.config.strategy with
     | Local_deflection -> handle_router t sim ~time ~prefix ~visited:[] ~depth:0 x
@@ -623,6 +803,27 @@ let react t sim _alarms =
     (* Keep-alive: every owned lie's age is reset each control iteration.
        Stop calling react (crash the controller) and they expire. *)
     refresh_lies t ~time;
+    (* Partition awareness: with a seat configured, only links with at
+       least one endpoint reachable from the seat have telemetry the
+       controller can actually see; growth of the reachable set means a
+       partition healed, which triggers an adopt-or-withdraw resync. *)
+    let reachable =
+      match t.config.seat with
+      | None -> None
+      | Some seat -> Some (reachable_set t seat)
+    in
+    (match reachable with
+    | Some set ->
+      let n = Hashtbl.length set in
+      if t.reachable_count >= 0 && n > t.reachable_count then
+        resync t ~time ~reason:"reachability grew";
+      t.reachable_count <- n
+    | None -> ());
+    let visible (u, v) =
+      match reachable with
+      | None -> true
+      | Some set -> Hashtbl.mem set u || Hashtbl.mem set v
+    in
     let utilizations = Monitor.utilizations monitor in
     (* Withdrawal: sustained calm retracts all lies. *)
     let calm =
@@ -651,7 +852,9 @@ let react t sim _alarms =
        edge-triggered alarms: a link stuck above threshold after an
        insufficient fix must be revisited). *)
     let hot =
-      List.filter (fun (_, u) -> u > Monitor.threshold monitor) utilizations
+      List.filter
+        (fun (l, u) -> u > Monitor.threshold monitor && visible l)
+        utilizations
     in
     let worst =
       List.fold_left
@@ -676,6 +879,9 @@ let react t sim _alarms =
         Hashtbl.fold
           (fun _ s acc -> acc || time -. s.last_action < t.config.cooldown)
           t.states false
+        || Hashtbl.fold
+             (fun _ until acc -> acc || time < until)
+             t.quarantined false
       in
       if Igp.Lsdb.version lsdb <> version_before then t.failures <- 0
       else if not in_cooldown then begin
@@ -692,4 +898,9 @@ let react t sim _alarms =
     | Some _ -> () (* backing off *)
     | None -> t.failures <- 0)
 
-let attach t sim = Sim.on_poll sim (fun sim alarms -> react t sim alarms)
+let attach t sim =
+  (* Revalidation must run before any guard-of-last-resort armed later
+     (the watchdog): the owner gets first chance to withdraw its own
+     invalidated lies cleanly. *)
+  Sim.on_route_change sim (fun sim -> revalidate t sim);
+  Sim.on_poll sim (fun sim alarms -> react t sim alarms)

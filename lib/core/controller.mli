@@ -63,6 +63,16 @@ type config = {
   max_backoff : float;
       (** Cap (seconds, default 60.) on the exponential pause after
           consecutive ineffective reactions. Must be >= [cooldown]. *)
+  quarantine_hold : float;
+      (** Hold-down (seconds, default 12.) after a prefix's lies are
+          quarantined: no new steering for the prefix until it expires.
+          Must be >= 0. *)
+  seat : Netgraph.Graph.node option;
+      (** Where the controller physically sits (default [None] =
+          omniscient). With a seat, reactions only consider links with
+          at least one endpoint reachable from it — during a partition
+          the far side's telemetry cannot arrive — and growth of the
+          reachable set (a heal) triggers an adopt-or-withdraw resync. *)
 }
 
 type reoptimizer =
@@ -94,8 +104,11 @@ val create : ?config:config -> ?reoptimize:reoptimizer -> Igp.Network.t -> t
     error if it is missing. *)
 
 val attach : t -> Netsim.Sim.t -> unit
-(** Register the controller on the simulation's monitor poll hook. The
-    simulation must have been created with a monitor. *)
+(** Register the controller on the simulation's monitor poll hook and
+    its route-change hook (for {!revalidate}). The simulation must have
+    been created with a monitor. Attach the controller {e before}
+    arming a {!Netsim.Watchdog}: the owner's revalidation then runs
+    ahead of the watchdog's guard-of-last-resort. *)
 
 val react : t -> Netsim.Sim.t -> Netsim.Monitor.alarm list -> unit
 (** One control iteration (called by the poll hook; callable directly in
@@ -103,6 +116,25 @@ val react : t -> Netsim.Sim.t -> Netsim.Monitor.alarm list -> unit
 
 val withdraw_all : t -> unit
 (** Retract every fake installed (or adopted) by this controller. *)
+
+val quarantine :
+  t -> time:float -> prefix:Igp.Lsa.prefix -> reason:string -> unit
+(** Withdraw every lie for the prefix — owned (in a transiently safe
+    order when one exists, outright otherwise), adopted, and orphaned —
+    and hold the prefix down for [quarantine_hold] seconds: reactions
+    and installs for it are suppressed until the hold expires. Called by
+    the controller's own revalidation when a topology change makes a
+    steering unsafe, and wired to the watchdog's quarantine hook so a
+    guard purge also enters hold-down. No-op while crashed. *)
+
+val quarantine_active : t -> time:float -> Igp.Lsa.prefix -> bool
+(** Is the prefix currently held down? (Expired holds are collected.) *)
+
+val revalidate : t -> Netsim.Sim.t -> unit
+(** Re-check every steered prefix against the live network and
+    quarantine any whose forwarding state turned unsafe. [attach]
+    registers this on {!Netsim.Sim.on_route_change}, so it runs when a
+    topology change lands — before flows are routed over it. *)
 
 val crash : t -> unit
 (** Fault injection: the controller process dies. All in-memory state

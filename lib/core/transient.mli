@@ -24,7 +24,8 @@ type violation = {
 val state_safe : Igp.Network.t -> prefix:Igp.Lsa.prefix -> (unit, string) result
 (** Is the network's {e current} forwarding for the prefix loop-free, and
     does every router that has a route actually reach an announcer by
-    following next hops? *)
+    following next hops? (Delegates to {!Igp.Safety.state_safe}, shared
+    with the runtime watchdog.) *)
 
 val check_order :
   Igp.Network.t ->

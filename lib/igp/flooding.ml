@@ -25,6 +25,12 @@ let loss ?(drop = 0.1) ?(max_backoff = 8) ?(max_retries = 16) ~seed () =
   if max_retries < 1 then invalid_arg "Flooding.loss: max_retries must be >= 1";
   { prng = Kit.Prng.create ~seed; drop; max_backoff; max_retries }
 
+type jitter = { jitter_prng : Kit.Prng.t; max_delay : int }
+
+let jitter ?(max_delay = 4) ~seed () =
+  if max_delay < 1 then invalid_arg "Flooding.jitter: max_delay must be >= 1";
+  { jitter_prng = Kit.Prng.create ~seed; max_delay }
+
 (* One reliable transmission over a lossy adjacency: attempts are lost
    independently with probability [drop]; after the k-th loss the sender
    waits min(2^k, max_backoff) rounds before retransmitting (OSPF's
@@ -43,12 +49,27 @@ let transmit l =
   done;
   (!attempts, 1 + !delay)
 
-(* Lossy flooding: per-edge delivery latencies are sampled as above and
-   the LSA's arrival time at each router is the shortest-path closure of
-   those latencies (a router re-floods the instant the first copy
-   arrives). Deterministic: edges are relaxed in increasing (arrival,
-   node, neighbor insertion) order, so one seed = one outcome. *)
-let flood_lossy l g ~origin =
+(* Sampled flooding: per-edge delivery latencies combine retransmission
+   delay (loss) with scheduling jitter (delay/reorder), and the LSA's
+   arrival time at each router is the shortest-path closure of those
+   latencies (a router re-floods the instant the first copy arrives).
+   With jitter, a router two cheap hops away can be informed before a
+   direct but slow neighbor — LSA reordering falls out of the closure
+   rather than being modelled separately. Deterministic: edges are
+   relaxed in increasing (arrival, node, neighbor insertion) order, so
+   one seed = one outcome. *)
+let flood_sampled ~loss ~jitter g ~origin =
+  let edge_latency () =
+    let attempts, latency =
+      match loss with Some l -> transmit l | None -> (1, 1)
+    in
+    let latency =
+      match jitter with
+      | Some j -> latency + Kit.Prng.int j.jitter_prng (j.max_delay + 1)
+      | None -> latency
+    in
+    (attempts, latency)
+  in
   let n = Graph.node_count g in
   let arrival = Array.make n infinity in
   let settled = Array.make n false in
@@ -67,7 +88,7 @@ let flood_lossy l g ~origin =
       settled.(u) <- true;
       Graph.iter_succ g u (fun v _ ->
           if not settled.(v) then begin
-            let _, latency = transmit l in
+            let _, latency = edge_latency () in
             let at = arrival.(u) +. float_of_int latency in
             if at < arrival.(v) then arrival.(v) <- at
           end);
@@ -85,11 +106,14 @@ let flood_lossy l g ~origin =
     arrival;
   (* As in the lossless model, every directed edge between informed
      routers carries the update (the loser is suppressed as a
-     duplicate) — but here each copy is retried until acked, so an edge
-     costs its sampled attempt count rather than exactly one message. *)
+     duplicate) — but under loss each copy is retried until acked, so an
+     edge costs its sampled attempt count rather than exactly one
+     message. Jitter delays copies without duplicating them. *)
   let messages =
     Graph.fold_edges g ~init:0 ~f:(fun acc u v _ ->
-        if settled.(u) && settled.(v) then acc + fst (transmit l) else acc)
+        if settled.(u) && settled.(v) then
+          acc + (match loss with Some l -> fst (transmit l) | None -> 1)
+        else acc)
   in
   Obs.Metrics.add m_messages messages;
   Obs.Metrics.add m_suppressed (max 0 (messages - (!reached - 1)));
@@ -120,7 +144,8 @@ let flood_lossless g ~origin =
   Obs.Metrics.add m_suppressed (max 0 (messages - (reached - 1)));
   { messages; rounds = !rounds }
 
-let flood ?loss g ~origin =
-  match loss with
-  | Some l when l.drop > 0. -> flood_lossy l g ~origin
-  | Some _ | None -> flood_lossless g ~origin
+let flood ?loss ?jitter g ~origin =
+  let lossy = match loss with Some l -> l.drop > 0. | None -> false in
+  if lossy || jitter <> None then
+    flood_sampled ~loss:(if lossy then loss else None) ~jitter g ~origin
+  else flood_lossless g ~origin

@@ -27,7 +27,20 @@ val loss : ?drop:float -> ?max_backoff:int -> ?max_retries:int -> seed:int -> un
 (** Defaults: 10% drop, backoff capped at 8 rounds, 16 attempts.
     Deterministic per seed. *)
 
-val flood : ?loss:loss -> Netgraph.Graph.t -> origin:Netgraph.Graph.node -> cost
+type jitter
+(** LSA delay/reorder model: every per-adjacency delivery pays a random
+    extra latency of 0..[max_delay] rounds (queueing, scheduling, a slow
+    control plane). Because a router refloods the instant the first copy
+    arrives, uneven per-edge delays make updates reach routers {e out of
+    order} — the reordering chaos fault is emergent, not scripted. *)
+
+val jitter : ?max_delay:int -> seed:int -> unit -> jitter
+(** Default [max_delay] 4 rounds; must be >= 1. Deterministic per
+    seed. *)
+
+val flood :
+  ?loss:loss -> ?jitter:jitter -> Netgraph.Graph.t ->
+  origin:Netgraph.Graph.node -> cost
 (** Cost of flooding one LSA originated at [origin] over the physical
     topology. Only links between routers reachable from the origin
     count.
@@ -37,7 +50,11 @@ val flood : ?loss:loss -> Netgraph.Graph.t -> origin:Netgraph.Graph.node -> cost
     includes every retry, and [rounds] is the time until the last router
     is informed (a router refloods as soon as the first copy arrives, so
     the arrival times are the shortest-path closure of the per-edge retry
-    latencies). [loss] with [drop = 0.] is exactly the lossless model. *)
+    latencies). [loss] with [drop = 0.] is exactly the lossless model.
+
+    With [jitter], every delivery additionally pays a random extra
+    latency, so [rounds] stretches and arrivals reorder; combined with
+    [loss] the latencies add. *)
 
 val zero : cost
 

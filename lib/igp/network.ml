@@ -12,6 +12,8 @@ type t = {
   mutable flooding_loss : Flooding.loss option;
       (* Chaos knob: when set, every accounted flood pays lossy
          retransmission costs. [None] (the default) is lossless. *)
+  mutable flooding_jitter : Flooding.jitter option;
+      (* Chaos knob: per-adjacency delivery jitter (LSA delay/reorder). *)
 }
 
 let create ?domains graph =
@@ -23,6 +25,7 @@ let create ?domains graph =
     engine = Spf_engine.create ~pool lsdb;
     control = Flooding.zero;
     flooding_loss = None;
+    flooding_jitter = None;
   }
 
 let clone t =
@@ -41,6 +44,7 @@ let clone t =
     engine = Spf_engine.create ~pool lsdb;
     control = Flooding.zero;
     flooding_loss = None;
+    flooding_jitter = None;
   }
 
 let graph t = t.graph
@@ -53,11 +57,16 @@ let announce_prefix t prefix ~origin ~cost =
 let account t ~origin =
   t.control <-
     Flooding.add t.control
-      (Flooding.flood ?loss:t.flooding_loss t.graph ~origin)
+      (Flooding.flood ?loss:t.flooding_loss ?jitter:t.flooding_jitter t.graph
+         ~origin)
 
 let set_flooding_loss t loss = t.flooding_loss <- loss
 
 let flooding_loss t = t.flooding_loss
+
+let set_flooding_jitter t jitter = t.flooding_jitter <- jitter
+
+let flooding_jitter t = t.flooding_jitter
 
 let inject_fake t fake =
   Lsdb.install_fake t.lsdb fake;

@@ -84,6 +84,14 @@ val set_flooding_loss : t -> Flooding.loss option -> unit
 
 val flooding_loss : t -> Flooding.loss option
 
+val set_flooding_jitter : t -> Flooding.jitter option -> unit
+(** Make every subsequently accounted flood pay per-adjacency delivery
+    jitter — LSAs arrive late and out of order ({!Flooding.jitter}).
+    Composes with [set_flooding_loss]; [None] (the default, and the
+    clone state) disables. *)
+
+val flooding_jitter : t -> Flooding.jitter option
+
 val refresh_cost : t -> period:float -> duration:float -> Flooding.cost
 (** Steady-state cost of keeping the currently installed fakes alive for
     [duration] seconds: OSPF re-originates every LSA each [period]

@@ -1,0 +1,62 @@
+module Graph = Netgraph.Graph
+
+(* Loop and blackhole analysis of the current forwarding graph for one
+   prefix: Kahn's algorithm on the next-hop edges finds cycles; a
+   forward walk from every routed router must end at a local
+   delivery. *)
+let state_safe net ~prefix =
+  let g = Network.graph net in
+  let n = Graph.node_count g in
+  let fibs = Network.fib_table net prefix in
+  assert (Array.length fibs = n);
+  let forwarding router =
+    match fibs.(router) with
+    | Some fib when not fib.Fib.local -> Fib.next_hops fib
+    | Some _ | None -> []
+  in
+  (* Cycle detection. *)
+  let indegree = Array.make n 0 in
+  List.iter
+    (fun router ->
+      List.iter (fun nh -> indegree.(nh) <- indegree.(nh) + 1) (forwarding router))
+    (Graph.nodes g);
+  let queue = Queue.create () in
+  Array.iteri (fun router d -> if d = 0 then Queue.push router queue) indegree;
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let router = Queue.pop queue in
+    incr processed;
+    List.iter
+      (fun nh ->
+        indegree.(nh) <- indegree.(nh) - 1;
+        if indegree.(nh) = 0 then Queue.push nh queue)
+      (forwarding router)
+  done;
+  if !processed < n then begin
+    let cyclic =
+      List.filter (fun router -> indegree.(router) > 0) (Graph.nodes g)
+      |> List.map (Graph.name g)
+    in
+    Error
+      (Printf.sprintf "forwarding loop for %s through {%s}" prefix
+         (String.concat ", " cyclic))
+  end
+  else begin
+    (* Blackholes: a routed router whose every forwarding chain dies.
+       With loop-freedom established, it suffices that every router with
+       a FIB has all next hops themselves routed (or local). *)
+    let routed router = fibs.(router) <> None in
+    let bad =
+      List.find_opt
+        (fun router ->
+          routed router
+          && List.exists (fun nh -> not (routed nh)) (forwarding router))
+        (Graph.nodes g)
+    in
+    match bad with
+    | Some router ->
+      Error
+        (Printf.sprintf "blackhole for %s at %s: a next hop has no route"
+           prefix (Graph.name g router))
+    | None -> Ok ()
+  end

@@ -1,0 +1,15 @@
+(** Forwarding-state safety analysis for one prefix.
+
+    The check underlying both install-time transient safety
+    ([Fibbing.Transient]) and the continuous runtime watchdog
+    ([Netsim.Watchdog]): is the network's {e current} per-prefix
+    forwarding graph loop-free, and does every router that has a route
+    actually reach an announcer by following next hops? It lives here —
+    below both consumers — because [Netsim] cannot depend on the fibbing
+    core (the dependency runs the other way). *)
+
+val state_safe : Network.t -> prefix:Lsa.prefix -> (unit, string) result
+(** [Ok ()] when the prefix's forwarding graph has no cycle (Kahn's
+    algorithm over the next-hop edges) and no routed router forwards to
+    a next hop without a route of its own; [Error description]
+    otherwise. Cost: O(V + E) over the physical graph. *)

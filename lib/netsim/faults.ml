@@ -5,9 +5,16 @@ type kind =
   | Link_up of Link.t
   | Router_crash of Graph.node
   | Router_recover of Graph.node
+  | Partition of { side : Graph.node list; cut : Link.t list; duration : float }
   | Monitor_blackout of float
   | Monitor_sample_loss of { probability : float; duration : float }
+  | Monitor_corruption of {
+      probability : float;
+      gain : float;
+      duration : float;
+    }
   | Flooding_loss of { drop : float; duration : float }
+  | Lsa_delay of { max_delay : int; duration : float }
   | Controller_crash
   | Controller_restart
 
@@ -22,11 +29,21 @@ let kind_to_string g = function
   | Link_up l -> "link_up " ^ Link.name g l
   | Router_crash r -> "router_crash " ^ Graph.name g r
   | Router_recover r -> "router_recover " ^ Graph.name g r
+  | Partition { side; cut; duration } ->
+    Printf.sprintf "partition {%s} cut %s %.1fs"
+      (String.concat ", " (List.map (Graph.name g) side))
+      (String.concat ", " (List.map (Link.name g) cut))
+      duration
   | Monitor_blackout d -> Printf.sprintf "monitor_blackout %.1fs" d
   | Monitor_sample_loss { probability; duration } ->
     Printf.sprintf "sample_loss p=%.2f %.1fs" probability duration
+  | Monitor_corruption { probability; gain; duration } ->
+    Printf.sprintf "monitor_corruption p=%.2f gain=%.1f %.1fs" probability
+      gain duration
   | Flooding_loss { drop; duration } ->
     Printf.sprintf "flooding_loss p=%.2f %.1fs" drop duration
+  | Lsa_delay { max_delay; duration } ->
+    Printf.sprintf "lsa_delay <=%d rounds %.1fs" max_delay duration
   | Controller_crash -> "controller_crash"
   | Controller_restart -> "controller_restart"
 
@@ -39,8 +56,17 @@ let to_string g plan =
 (* Replay the plan through a small state machine; any transition a real
    run could not perform (restoring a link that is up, crashing a router
    that holds a failed link, ...) is a malformed plan. *)
-let validate plan =
+let validate ?(margin = 4.) plan =
   let down = Hashtbl.create 8 and crashed = Hashtbl.create 4 in
+  (* Partitioned edges heal on their own at a recorded time; they are
+     released before judging each event so post-heal faults are legal. *)
+  let partitioned = Hashtbl.create 8 in
+  let release now =
+    Hashtbl.fold
+      (fun l heal acc -> if heal <= now +. 1e-9 then l :: acc else acc)
+      partitioned []
+    |> List.iter (Hashtbl.remove partitioned)
+  in
   let dead = ref false in
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let incident r l = fst l = r || snd l = r in
@@ -50,6 +76,7 @@ let validate plan =
       else if Hashtbl.length crashed > 0 then err "a router never recovers"
       else Ok ()
     | e :: rest ->
+      release e.time;
       if e.time < last -. 1e-9 then err "events not sorted by time"
       else if e.time < 0. || e.time > plan.until then
         err "event at %.2f outside [0, %.2f]" e.time plan.until
@@ -60,36 +87,84 @@ let validate plan =
         | Link_down l ->
           let l = norm l in
           if Hashtbl.mem down l then err "link failed twice"
+          else if Hashtbl.mem partitioned l then
+            err "link fault on a partitioned edge"
           else if Hashtbl.mem crashed (fst l) || Hashtbl.mem crashed (snd l)
           then err "link fault on a crashed router"
           else (Hashtbl.replace down l (); continue ())
         | Link_up l ->
           let l = norm l in
-          if not (Hashtbl.mem down l) then err "restoring a link that is up"
+          if Hashtbl.mem partitioned l then
+            err "restoring a partitioned edge (the heal restores it)"
+          else if not (Hashtbl.mem down l) then
+            err "restoring a link that is up"
           else (Hashtbl.remove down l; continue ())
         | Router_crash r ->
           if Hashtbl.mem crashed r then err "router crashed twice"
           else if Hashtbl.fold (fun l () acc -> acc || incident r l) down false
           then err "crashing a router holding a failed link"
+          else if
+            Hashtbl.fold
+              (fun l _ acc -> acc || incident r l)
+              partitioned false
+          then err "crashing an endpoint of a partitioned edge"
           else (Hashtbl.replace crashed r (); continue ())
         | Router_recover r ->
           if not (Hashtbl.mem crashed r) then
             err "recovering a router that is up"
           else (Hashtbl.remove crashed r; continue ())
+        | Partition { side; cut; duration } ->
+          if side = [] then err "partition with an empty side"
+          else if cut = [] then err "partition with an empty cut"
+          else if duration <= 0. then err "partition duration <= 0"
+          else if e.time +. duration > plan.until -. margin +. 1e-6 then
+            err "partition heals after until - margin"
+          else begin
+            let seen = Hashtbl.create 8 in
+            let bad =
+              List.find_map
+                (fun l ->
+                  let l = norm l in
+                  if Hashtbl.mem seen l then
+                    Some "partition cuts an edge twice"
+                  else if Hashtbl.mem down l || Hashtbl.mem partitioned l then
+                    Some "partition cuts an already-failed edge"
+                  else if
+                    Hashtbl.mem crashed (fst l) || Hashtbl.mem crashed (snd l)
+                  then Some "partition cuts an edge of a crashed router"
+                  else (Hashtbl.replace seen l (); None))
+                cut
+            in
+            match bad with
+            | Some msg -> err "%s" msg
+            | None ->
+              Hashtbl.iter
+                (fun l () ->
+                  Hashtbl.replace partitioned l (e.time +. duration))
+                seen;
+              continue ()
+          end
         | Monitor_blackout d when d <= 0. -> err "blackout duration <= 0"
         | Monitor_sample_loss { probability = p; duration }
           when p < 0. || p >= 1. || duration <= 0. ->
           err "bad sample-loss parameters"
+        | Monitor_corruption { probability = p; gain; duration }
+          when p < 0. || p >= 1. || gain <= 0. || duration <= 0. ->
+          err "bad monitor-corruption parameters"
         | Flooding_loss { drop; duration }
           when drop <= 0. || drop >= 1. || duration <= 0. ->
           err "bad flooding-loss parameters"
+        | Lsa_delay { max_delay; duration }
+          when max_delay < 1 || duration <= 0. ->
+          err "bad lsa-delay parameters"
         | Controller_crash ->
           if !dead then err "controller crashed twice"
           else (dead := true; continue ())
         | Controller_restart ->
           if not !dead then err "restarting a live controller"
           else (dead := false; continue ())
-        | Monitor_blackout _ | Monitor_sample_loss _ | Flooding_loss _ ->
+        | Monitor_blackout _ | Monitor_sample_loss _ | Monitor_corruption _
+        | Flooding_loss _ | Lsa_delay _ ->
           continue ())
   in
   go 0. plan.events
@@ -126,7 +201,7 @@ let random_plan ?(faults = 4) ?(margin = 4.) ?(allow_controller_death = true)
     let dur =
       0.5 +. Kit.Prng.float prng (max 1e-6 (horizon -. start -. 0.5))
     in
-    match Kit.Prng.int prng 6 with
+    match Kit.Prng.int prng 8 with
     | 0 | 1 -> (
       (* Link flap: down, then back up before the horizon. *)
       let free (u, v) =
@@ -168,6 +243,69 @@ let random_plan ?(faults = 4) ?(margin = 4.) ?(allow_controller_death = true)
         emit start
           (Flooding_loss
              { drop = 0.05 +. Kit.Prng.float prng 0.35; duration = dur })
+    | 5 -> (
+      (* Partition: grow a connected side from a random router; the cut
+         is every edge crossing it. Every cut edge must be fault-free
+         and both endpoints uncrashed for the whole plan, so the heal
+         can restore the whole cut atomically; when the draw cannot
+         honour that, degrade to a blackout rather than skew timing. *)
+      let n = Array.length routers in
+      if n < 3 then emit start (Monitor_blackout dur)
+      else begin
+        let seed_router = Kit.Prng.pick prng routers in
+        let target = 1 + Kit.Prng.int prng (max 1 (n / 2)) in
+        let side = Hashtbl.create 8 in
+        Hashtbl.replace side seed_router ();
+        let queue = Queue.create () in
+        Queue.add seed_router queue;
+        while Hashtbl.length side < target && not (Queue.is_empty queue) do
+          let r = Queue.pop queue in
+          List.iter
+            (fun (v, _cost) ->
+              if Hashtbl.length side < target && not (Hashtbl.mem side v)
+              then begin
+                Hashtbl.replace side v ();
+                Queue.add v queue
+              end)
+            (Graph.succ g r)
+        done;
+        let cut =
+          Array.to_list links
+          |> List.filter (fun (u, v) ->
+                 Hashtbl.mem side u <> Hashtbl.mem side v)
+        in
+        let ok =
+          Hashtbl.length side < n
+          && cut <> []
+          && List.for_all
+               (fun (u, v) ->
+                 (not (Hashtbl.mem busy_links (u, v)))
+                 && (not (Hashtbl.mem busy_routers u))
+                 && not (Hashtbl.mem busy_routers v))
+               cut
+        in
+        if not ok then emit start (Monitor_blackout dur)
+        else begin
+          List.iter (fun l -> Hashtbl.replace busy_links l ()) cut;
+          let side_list =
+            Array.to_list routers
+            |> List.filter (fun r -> Hashtbl.mem side r)
+          in
+          emit start (Partition { side = side_list; cut; duration = dur })
+        end
+      end)
+    | 6 ->
+      if Kit.Prng.bool prng then
+        emit start
+          (Lsa_delay { max_delay = 2 + Kit.Prng.int prng 5; duration = dur })
+      else
+        emit start
+          (Monitor_corruption
+             {
+               probability = 0.1 +. Kit.Prng.float prng 0.4;
+               gain = 0.5 +. Kit.Prng.float prng 2.0;
+               duration = dur;
+             })
     | _ ->
       if !controller_done then emit start (Monitor_blackout dur)
       else begin
@@ -198,6 +336,25 @@ let inject ?on_controller_crash ?on_controller_restart sim plan =
       | Link_up l -> Sim.restore_link sim ~time l
       | Router_crash r -> Sim.crash_router sim ~time r
       | Router_recover r -> Sim.recover_router sim ~time r
+      | Partition { side; cut; duration } ->
+        (* The record is scheduled first so the partition event precedes
+           the per-link link_down events in the timeline; the cut itself
+           is atomic (one scheduled action fails every edge). *)
+        Sim.schedule sim ~time (fun sim ->
+            let g = Igp.Network.graph (Sim.network sim) in
+            record_event sim "partition"
+              [
+                ( "side",
+                  String (String.concat "," (List.map (Graph.name g) side))
+                );
+                ("links_cut", Int (List.length cut));
+                ("duration", Float duration);
+              ]);
+        Sim.fail_links sim ~time cut;
+        Sim.schedule sim ~time:(time +. duration) (fun sim ->
+            record_event sim "partition_heal"
+              [ ("links_restored", Int (List.length cut)) ]);
+        Sim.restore_links sim ~time:(time +. duration) cut
       | Monitor_blackout duration ->
         Sim.schedule sim ~time (fun sim ->
             match Sim.monitor sim with
@@ -221,6 +378,23 @@ let inject ?on_controller_crash ?on_controller_restart sim plan =
             | Some m ->
               Monitor.set_sample_loss m None;
               record_event sim "sample_loss_off" [])
+      | Monitor_corruption { probability; gain; duration } ->
+        Sim.schedule sim ~time (fun sim ->
+            match Sim.monitor sim with
+            | None -> ()
+            | Some m ->
+              Monitor.set_corruption m
+                (Some
+                   (Monitor.corruption ~probability ~gain ~seed:(sub_seed i)
+                      ()));
+              record_event sim "monitor_corruption_on"
+                [ ("probability", Float probability); ("gain", Float gain) ]);
+        Sim.schedule sim ~time:(time +. duration) (fun sim ->
+            match Sim.monitor sim with
+            | None -> ()
+            | Some m ->
+              Monitor.set_corruption m None;
+              record_event sim "monitor_corruption_off" [])
       | Flooding_loss { drop; duration } ->
         Sim.schedule sim ~time (fun sim ->
             Igp.Network.set_flooding_loss (Sim.network sim)
@@ -229,6 +403,14 @@ let inject ?on_controller_crash ?on_controller_restart sim plan =
         Sim.schedule sim ~time:(time +. duration) (fun sim ->
             Igp.Network.set_flooding_loss (Sim.network sim) None;
             record_event sim "flooding_loss_off" [])
+      | Lsa_delay { max_delay; duration } ->
+        Sim.schedule sim ~time (fun sim ->
+            Igp.Network.set_flooding_jitter (Sim.network sim)
+              (Some (Igp.Flooding.jitter ~max_delay ~seed:(sub_seed i) ()));
+            record_event sim "lsa_delay_on" [ ("max_delay", Int max_delay) ]);
+        Sim.schedule sim ~time:(time +. duration) (fun sim ->
+            Igp.Network.set_flooding_jitter (Sim.network sim) None;
+            record_event sim "lsa_delay_off" [])
       | Controller_crash ->
         Sim.schedule sim ~time (fun sim ->
             record_event sim "controller_crash" [];

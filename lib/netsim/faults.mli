@@ -13,13 +13,34 @@ type kind =
   | Link_up of Link.t
   | Router_crash of Netgraph.Graph.node
   | Router_recover of Netgraph.Graph.node
+  | Partition of {
+      side : Netgraph.Graph.node list;
+      cut : Link.t list;
+      duration : float;
+    }
+      (** Cut every edge in [cut] atomically (one scheduled action),
+          splitting the graph with [side] on one shore, and restore the
+          whole cut [duration] seconds later. The heal is implicit: a
+          plan never carries separate [Link_up] events for cut edges. *)
   | Monitor_blackout of float
       (** Lose every monitor sample for this many seconds. *)
   | Monitor_sample_loss of { probability : float; duration : float }
       (** Drop each per-link sample independently. *)
+  | Monitor_corruption of {
+      probability : float;
+      gain : float;
+      duration : float;
+    }
+      (** Corrupt surviving samples: with [probability], scale a reading
+          by a uniform factor in [\[0, gain)] ({!Monitor.corruption}) —
+          phantom congestion above 1, stale/undercounting below. *)
   | Flooding_loss of { drop : float; duration : float }
       (** Per-hop LSA drop probability; floods pay retransmissions
           ({!Igp.Flooding.loss}) while active. *)
+  | Lsa_delay of { max_delay : int; duration : float }
+      (** Per-adjacency LSA delivery jitter of up to [max_delay] extra
+          flooding rounds ({!Igp.Flooding.jitter}); routers on distinct
+          paths from the origin then learn changes in different orders. *)
   | Controller_crash
   | Controller_restart
 
@@ -37,18 +58,24 @@ val random_plan :
   plan
 (** Draw [faults] fault episodes (default 4) over [\[0.5, until - margin]]
     (default margin 4 s). Same seed, same graph: same plan. Guarantees:
-    every link failure and router crash is healed by [until - margin];
-    no element suffers two overlapping faults; a crashed router never
-    overlaps a failed incident link. The controller crashes at most once
-    and, when [allow_controller_death] (the default), stays dead to the
-    end with probability ~0.3. Raises [Invalid_argument] when
-    [until <= margin + 1]. *)
+    every link failure, router crash, and partition is healed by
+    [until - margin]; no element suffers two overlapping faults; a
+    crashed router never overlaps a failed incident link or a cut edge.
+    Partition sides are grown by BFS from a random router (at most half
+    the graph); when the crossing edges collide with already-faulted
+    elements the draw degrades to a blackout. The controller crashes at
+    most once and, when [allow_controller_death] (the default), stays
+    dead to the end with probability ~0.3. Raises [Invalid_argument]
+    when [until <= margin + 1]. *)
 
-val validate : plan -> (unit, string) result
+val validate : ?margin:float -> plan -> (unit, string) result
 (** Replay the plan through a state machine and reject any schedule a
     real run could not perform (double failure, restore of a live link,
-    crash overlapping a failed link, unhealed element at the end, ...).
-    [random_plan] output always validates. *)
+    crash overlapping a failed link or a partitioned edge, unhealed
+    element at the end, ...). Partitions must additionally heal by
+    [until - margin] (default margin 4 s, matching [random_plan]) — the
+    quiet tail the reconvergence properties rely on. [random_plan]
+    output always validates. *)
 
 val inject :
   ?on_controller_crash:(Sim.t -> unit) ->

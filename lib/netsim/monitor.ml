@@ -19,7 +19,11 @@ type t = {
       (* Fault injection: samples arriving before this time are lost. *)
   mutable sample_loss : (Kit.Prng.t * float) option;
       (* Fault injection: drop each per-link sample with probability p. *)
+  mutable corruption : corruption option;
+      (* Fault injection: scale surviving samples by a random factor. *)
 }
+
+and corruption = { c_prng : Kit.Prng.t; probability : float; gain : float }
 
 (* A repeat poll inside this window is a no-op: the byte counters have
    not advanced, and dividing by a ~zero-length window would turn any
@@ -44,6 +48,7 @@ let create ?(poll_interval = 2.0) ?(threshold = 0.9) ?(clear_threshold = 0.7)
     last_poll = 0.;
     mute_until = neg_infinity;
     sample_loss = None;
+    corruption = None;
   }
 
 let mute t ~until = t.mute_until <- max t.mute_until until
@@ -55,6 +60,14 @@ let set_sample_loss t loss =
   | Some _ | None -> ());
   t.sample_loss <- loss
 
+let corruption ?(probability = 0.3) ?(gain = 2.0) ~seed () =
+  if probability < 0. || probability >= 1. then
+    invalid_arg "Monitor.corruption: probability must be in [0, 1)";
+  if gain <= 0. then invalid_arg "Monitor.corruption: gain must be positive";
+  { c_prng = Kit.Prng.create ~seed; probability; gain }
+
+let set_corruption t c = t.corruption <- c
+
 let observe t ~time ~dt rates =
   if time > t.mute_until then
     List.iter
@@ -65,6 +78,16 @@ let observe t ~time ~dt rates =
           | None -> false
         in
         if not lost then begin
+          (* Corruption hits each surviving sample independently: the
+             byte counter reads a uniform factor in [0, gain) of the
+             truth — > 1 fabricates phantom congestion, < 1 is the
+             stale/undercounting reading of a wedged SNMP agent. *)
+          let rate =
+            match t.corruption with
+            | Some c when Kit.Prng.float c.c_prng 1.0 < c.probability ->
+              rate *. Kit.Prng.float c.c_prng c.gain
+            | Some _ | None -> rate
+          in
           let bytes =
             Option.value ~default:0. (Hashtbl.find_opt t.window_bytes link)
           in

@@ -58,6 +58,23 @@ val set_sample_loss : t -> (Kit.Prng.t * float) option -> unit
 (** Fault injection: drop each per-link sample independently with the
     given probability (deterministic per PRNG). [None] disables. *)
 
+type corruption
+(** Corrupted/stale telemetry: each surviving per-link sample is, with
+    some probability, scaled by a uniform random factor in [\[0, gain)] —
+    factors above 1 fabricate phantom congestion (spurious alarms),
+    factors below 1 model stale or undercounting readings (missed
+    congestion). *)
+
+val corruption : ?probability:float -> ?gain:float -> seed:int -> unit -> corruption
+(** Defaults: probability 0.3, gain 2.0 (so corrupt readings range from
+    zero to double the truth). Probability must be in [\[0, 1)], gain
+    positive; deterministic per seed. *)
+
+val set_corruption : t -> corruption option -> unit
+(** Fault injection: corrupt samples as described above. Applied after
+    sample loss (a dropped sample is dropped, not corrupted). [None]
+    disables. *)
+
 val utilization : t -> Link.t -> float
 (** Current smoothed utilization estimate (0. if never observed). *)
 

@@ -57,6 +57,11 @@ type t = {
   known_ids : (int, unit) Hashtbl.t;
   poll_hooks : (t -> Monitor.alarm list -> unit) Queue.t;
   step_hooks : (t -> unit) Queue.t;
+  (* Pre-routing hooks: fired after fake expiry and scheduled actions,
+     before flows are (re)routed, on steps where the LSDB changed.
+     [route_change_version] tracks the last version they saw. *)
+  route_change_hooks : (t -> unit) Queue.t;
+  mutable route_change_version : int;
   (* Routing state: per-flow cached hashed path ([None] = unroutable)
      and the flow classes built over those paths. *)
   paths : (int, Netgraph.Graph.node list option) Hashtbl.t;
@@ -107,6 +112,8 @@ let create ?(dt = 0.5) ?monitor ?(rate_model = Max_min_fair) ?convergence
     known_ids = Hashtbl.create 256;
     poll_hooks = Queue.create ();
     step_hooks = Queue.create ();
+    route_change_hooks = Queue.create ();
+    route_change_version = Igp.Lsdb.version (Igp.Network.lsdb net);
     paths = Hashtbl.create 256;
     classes = Hashtbl.create 64;
     class_of = Hashtbl.create 256;
@@ -128,6 +135,8 @@ let capacities t = t.caps
 let monitor t = t.monitor
 
 let time t = t.time
+
+let dt t = t.dt
 
 let add_flow t flow =
   if Hashtbl.mem t.known_ids flow.Flow.id then
@@ -264,10 +273,25 @@ let recover_router_now t r =
     fault_event t ~kind:"router_recover"
       [ ("router", String (Netgraph.Graph.name g r)) ]
 
+(* Cut (or heal) a whole edge set in one scheduled action, so the
+   intermediate one-edge-down states of a partition are never exposed to
+   routing: the step that runs the action sees the complete cut. *)
+let fail_links_now t links =
+  List.iter (fun link -> fail_link_now t link) links
+
+let restore_links_now t links =
+  List.iter (fun link -> restore_link_now t link) links
+
 let fail_link t ~time link = schedule t ~time (fun t -> fail_link_now t link)
 
 let restore_link t ~time link =
   schedule t ~time (fun t -> restore_link_now t link)
+
+let fail_links t ~time links =
+  schedule t ~time (fun t -> fail_links_now t links)
+
+let restore_links t ~time links =
+  schedule t ~time (fun t -> restore_links_now t links)
 
 let crash_router t ~time r = schedule t ~time (fun t -> crash_router_now t r)
 
@@ -279,6 +303,8 @@ let on_poll t hook =
   Queue.add hook t.poll_hooks
 
 let on_step t hook = Queue.add hook t.step_hooks
+
+let on_route_change t hook = Queue.add hook t.route_change_hooks
 
 let series table key ~make =
   match Hashtbl.find_opt table key with
@@ -661,6 +687,20 @@ let step_body t =
     in
     List.iter (fun (_, _, action) -> action t) due
   | Some _ | None -> ());
+  (* 0b. Route-change hooks: the control plane reacts to LSDB changes
+     (faults, expiries, manual injections) {e before} flows are routed
+     against the new state — a Fibbing controller participates in the
+     IGP, so it learns of a flood as fast as any router and can withdraw
+     a lie the change invalidated within the same convergence. Hooks may
+     themselves change the LSDB (withdrawals); the version marker is
+     re-read after they run so their own changes do not re-trigger. *)
+  if not (Queue.is_empty t.route_change_hooks) then begin
+    let lsdb = Igp.Network.lsdb t.net in
+    if Igp.Lsdb.version lsdb <> t.route_change_version then begin
+      Queue.iter (fun hook -> hook t) t.route_change_hooks;
+      t.route_change_version <- Igp.Lsdb.version lsdb
+    end
+  end;
   (* 1. Activate and retire flows due at the start of this step. *)
   List.iter
     (fun (_, event) ->

@@ -63,6 +63,9 @@ val monitor : t -> Monitor.t option
 
 val time : t -> float
 
+val dt : t -> float
+(** The fixed step length the simulation was created with. *)
+
 val add_flow : t -> Flow.t -> unit
 (** Schedule a flow; its [start_time]/[duration] govern activation.
     Raises [Invalid_argument] if the id is already known or the start
@@ -102,6 +105,16 @@ val recover_router : t -> time:float -> Netgraph.Graph.node -> unit
     still-crashed neighbors wait for those neighbors) and the router
     re-originates its LSA. No-op if not crashed. *)
 
+val fail_links : t -> time:float -> Link.t list -> unit
+(** Schedule the failure of a whole edge set as {e one} action: the step
+    that runs it sees the complete cut, never a partially-failed
+    intermediate. This is how a partition fault lands atomically. Each
+    link fails exactly as under [fail_link]. *)
+
+val restore_links : t -> time:float -> Link.t list -> unit
+(** Atomic counterpart of [fail_links]: restore every link of the set in
+    one action (the partition heal). *)
+
 val router_crashed : t -> Netgraph.Graph.node -> bool
 
 val on_poll : t -> (t -> Monitor.alarm list -> unit) -> unit
@@ -111,6 +124,17 @@ val on_poll : t -> (t -> Monitor.alarm list -> unit) -> unit
 
 val on_step : t -> (t -> unit) -> unit
 (** Hook called after every simulation step. *)
+
+val on_route_change : t -> (t -> unit) -> unit
+(** Hook called at the {e start} of any step on which the LSDB version
+    changed (fault, fake expiry, scheduled injection) — after the
+    change landed but before any flow is routed against it. A Fibbing
+    controller participates in the IGP, so it hears a flood as fast as
+    any router: this is where it revalidates installed lies the change
+    may have invalidated, and where the watchdog's guard purges unsafe
+    lie sets before they can forward a single packet. Hooks run in
+    registration order and may themselves change the LSDB (their own
+    changes do not re-trigger the hooks within the step). *)
 
 val run_until : t -> float -> unit
 (** Advance the simulation to the given time (multiple of [dt] steps). *)

@@ -1,0 +1,328 @@
+module Graph = Netgraph.Graph
+
+let m_steps = Obs.Metrics.counter "watchdog.steps"
+let m_safety_sweeps = Obs.Metrics.counter "watchdog.safety_sweeps"
+let m_safety_skipped = Obs.Metrics.counter "watchdog.safety_skipped"
+let m_violations = Obs.Metrics.counter "watchdog.violations"
+let m_quarantines = Obs.Metrics.counter "watchdog.quarantines"
+
+let h_prefixes_checked =
+  Obs.Metrics.histogram "watchdog.prefixes_checked"
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+
+type kind =
+  | Forwarding_loop
+  | Blackhole
+  | Lie_budget
+  | Stale_lie
+  | Dangling_lie
+  | Link_overload
+
+let kind_to_string = function
+  | Forwarding_loop -> "forwarding_loop"
+  | Blackhole -> "blackhole"
+  | Lie_budget -> "lie_budget"
+  | Stale_lie -> "stale_lie"
+  | Dangling_lie -> "dangling_lie"
+  | Link_overload -> "link_overload"
+
+type violation = {
+  time : float;
+  kind : kind;
+  prefix : Igp.Lsa.prefix option;
+  subject : string;
+  detail : string;
+}
+
+exception Tripped of violation
+
+type config = {
+  max_fakes : int;
+  max_lie_age : float;
+  require_mortal : bool;
+  utilization_bound : float;
+  guard : bool;
+  fail_fast : bool;
+  history : int;
+}
+
+let default_config =
+  {
+    max_fakes = 64;
+    max_lie_age = Igp.Lsa.max_age;
+    require_mortal = true;
+    utilization_bound = 1.0;
+    guard = true;
+    fail_fast = false;
+    history = 256;
+  }
+
+type stats = {
+  steps_checked : int;
+  safety_sweeps : int;
+  safety_skipped : int;
+  violations : int;
+  quarantines : int;
+}
+
+type t = {
+  config : config;
+  (* Incremental gating: a safety sweep reruns only when the LSDB
+     version moved AND the SPF dirty log says some router's answers
+     actually changed — steady-state steps skip the O(prefixes * (V+E))
+     walk entirely. The guard and the post-step check share this state:
+     a clean guard pass means the post-step check of the same (still
+     unchanged) version can skip. *)
+  mutable lsdb_version : int;
+  mutable spf_cursor : int;
+  ring : violation Kit.Ring.t;
+  mutable n_steps : int;
+  mutable n_sweeps : int;
+  mutable n_skipped : int;
+  mutable n_violations : int;
+  mutable n_quarantines : int;
+  violation_hooks : (violation -> unit) Queue.t;
+  quarantine_hooks : (prefix:Igp.Lsa.prefix -> reason:string -> unit) Queue.t;
+}
+
+let on_violation t hook = Queue.add hook t.violation_hooks
+
+let on_quarantine t hook = Queue.add hook t.quarantine_hooks
+
+let violations t = Kit.Ring.to_list t.ring
+
+let violation_count t = t.n_violations
+
+let quarantine_count t = t.n_quarantines
+
+let stats t =
+  {
+    steps_checked = t.n_steps;
+    safety_sweeps = t.n_sweeps;
+    safety_skipped = t.n_skipped;
+    violations = t.n_violations;
+    quarantines = t.n_quarantines;
+  }
+
+let report t ~time ~kind ?prefix ~subject detail =
+  let v = { time; kind; prefix; subject; detail } in
+  t.n_violations <- t.n_violations + 1;
+  Kit.Ring.push t.ring v;
+  Obs.Metrics.incr m_violations;
+  if Obs.enabled () then
+    Obs.Timeline.record ~time ~source:"watchdog" ~kind:"violation"
+      ([
+         ("invariant", Obs.Attr.String (kind_to_string kind));
+         ("subject", Obs.Attr.String subject);
+         ("detail", Obs.Attr.String detail);
+       ]
+      @
+      match prefix with
+      | Some p -> [ ("prefix", Obs.Attr.String p) ]
+      | None -> []);
+  Queue.iter (fun hook -> hook v) t.violation_hooks;
+  if t.config.fail_fast then raise (Tripped v)
+
+(* ---- invariants ---- *)
+
+(* The lie ledger: budget respected, every fake mortal, refreshed within
+   age, and anchored to a live adjacency. O(#fakes) per step. [now] is
+   post-step time; the sim purges expiries <= step start, so a surviving
+   fake may legally carry an expiry up to [dt] in the past. *)
+let check_lies t sim ~time =
+  let net = Sim.network sim in
+  let g = Igp.Network.graph net in
+  let lsdb = Igp.Network.lsdb net in
+  let count = Igp.Lsdb.fake_count lsdb in
+  if count > t.config.max_fakes then
+    report t ~time ~kind:Lie_budget ~subject:"lsdb"
+      (Printf.sprintf "%d fakes installed, budget %d" count t.config.max_fakes);
+  let slack = Sim.dt sim +. 1e-9 in
+  List.iter
+    (fun (f : Igp.Lsa.fake) ->
+      (match Igp.Lsdb.fake_expiry lsdb ~fake_id:f.fake_id with
+      | None ->
+        if t.config.require_mortal then
+          report t ~time ~kind:Stale_lie ~prefix:f.prefix ~subject:f.fake_id
+            "installed without an expiry (immortal lie)"
+      | Some expiry ->
+        if expiry <= time -. slack then
+          report t ~time ~kind:Stale_lie ~prefix:f.prefix ~subject:f.fake_id
+            (Printf.sprintf "expiry %.2f passed at %.2f and was not purged"
+               expiry time)
+        else if expiry > time +. t.config.max_lie_age +. 1e-9 then
+          report t ~time ~kind:Stale_lie ~prefix:f.prefix ~subject:f.fake_id
+            (Printf.sprintf "expiry %.2f exceeds max lie age %.1f" expiry
+               t.config.max_lie_age));
+      if not (Graph.has_edge g f.attachment f.forwarding) then
+        report t ~time ~kind:Dangling_lie ~prefix:f.prefix ~subject:f.fake_id
+          (Printf.sprintf "forwarding adjacency %s -> %s is gone"
+             (Graph.name g f.attachment)
+             (Graph.name g f.forwarding)))
+    (Igp.Lsdb.fakes lsdb)
+
+(* Delivered per-link throughput must respect capacity * bound. The
+   allocator guarantees this by construction; the invariant catches a
+   regression in it (or a caller bypassing it). *)
+let check_utilization t sim ~time =
+  let caps = Sim.capacities sim in
+  let g = Igp.Network.graph (Sim.network sim) in
+  List.iter
+    (fun (link, rate) ->
+      let cap = Link.capacity caps link in
+      let bound = t.config.utilization_bound *. cap in
+      if rate > (bound *. (1. +. 1e-6)) +. 1e-6 then
+        report t ~time ~kind:Link_overload ~subject:(Link.name g link)
+          (Printf.sprintf "delivered %.0f B/s exceeds %.0f B/s (bound %.2f)"
+             rate bound t.config.utilization_bound))
+    (Sim.current_link_rates sim)
+
+let classify problem =
+  (* [Igp.Safety.state_safe] errors start with "forwarding loop" or
+     "blackhole". *)
+  if String.length problem >= 9 && String.sub problem 0 9 = "blackhole" then
+    Blackhole
+  else Forwarding_loop
+
+(* Has routing actually changed since the watchdog last looked? Version
+   unchanged: certainly not. Version moved: ask the SPF dirty log; an
+   empty dirty set means every router still answers exactly as before
+   (e.g. a pure metadata bump). *)
+let routing_dirty t net =
+  let lsdb = Igp.Network.lsdb net in
+  let version = Igp.Lsdb.version lsdb in
+  if version = t.lsdb_version then false
+  else begin
+    t.lsdb_version <- version;
+    let engine = Igp.Network.engine net in
+    let dirty =
+      match Igp.Spf_engine.dirtied_since engine ~cursor:t.spf_cursor with
+      | Some [] -> false
+      | Some _ | None -> true
+    in
+    t.spf_cursor <- Igp.Spf_engine.dirty_cursor engine;
+    dirty
+  end
+
+let sweep_safety t sim ~time ~on_unsafe =
+  let net = Sim.network sim in
+  let prefixes = Igp.Lsdb.prefix_list (Igp.Network.lsdb net) in
+  t.n_sweeps <- t.n_sweeps + 1;
+  Obs.Metrics.incr m_safety_sweeps;
+  Obs.Metrics.observe h_prefixes_checked (float_of_int (List.length prefixes));
+  List.iter
+    (fun prefix ->
+      match Igp.Safety.state_safe net ~prefix with
+      | Ok () -> ()
+      | Error problem -> on_unsafe ~time prefix problem)
+    prefixes
+
+(* ---- the two checkpoints ---- *)
+
+(* Post-step check: every invariant, with the safety sweep gated on the
+   dirty log. Any hit here is a real violation — this state allocated
+   traffic. *)
+let check t sim =
+  let time = Sim.time sim in
+  t.n_steps <- t.n_steps + 1;
+  Obs.Metrics.incr m_steps;
+  check_lies t sim ~time;
+  check_utilization t sim ~time;
+  if routing_dirty t (Sim.network sim) then
+    sweep_safety t sim ~time ~on_unsafe:(fun ~time prefix problem ->
+        report t ~time ~kind:(classify problem) ~prefix ~subject:prefix problem)
+  else begin
+    t.n_skipped <- t.n_skipped + 1;
+    Obs.Metrics.incr m_safety_skipped
+  end
+
+(* Pre-routing guard: when a topology change invalidates an installed
+   lie set (a failure elsewhere can make a previously verified lie
+   loop), purge the prefix's fakes before a single flow is routed
+   against the unsafe state — MaxAge-flooding the poisoned lies, which
+   any IGP speaker may do. This is the lie quarantine of last resort: a
+   live controller's own revalidation (registered earlier on the same
+   hook) normally withdraws first; the guard covers dead controllers
+   and unowned garbage. A state still unsafe with no lies left to blame
+   is a genuine IGP anomaly and is reported as a violation. *)
+let guard t sim =
+  if routing_dirty t (Sim.network sim) then begin
+    let net = Sim.network sim in
+    let lsdb = Igp.Network.lsdb net in
+    sweep_safety t sim ~time:(Sim.time sim) ~on_unsafe:(fun ~time prefix problem ->
+        let blamed =
+          List.filter
+            (fun (f : Igp.Lsa.fake) -> String.equal f.prefix prefix)
+            (Igp.Lsdb.fakes lsdb)
+        in
+        if blamed = [] then
+          report t ~time ~kind:(classify problem) ~prefix ~subject:prefix
+            problem
+        else begin
+          List.iter
+            (fun (f : Igp.Lsa.fake) ->
+              Igp.Network.retract_fake net ~fake_id:f.fake_id)
+            blamed;
+          t.n_quarantines <- t.n_quarantines + 1;
+          Obs.Metrics.incr m_quarantines;
+          if Obs.enabled () then
+            Obs.Timeline.record ~time ~source:"watchdog" ~kind:"quarantine"
+              [
+                ("prefix", Obs.Attr.String prefix);
+                ("fakes_purged", Obs.Attr.Int (List.length blamed));
+                ("reason", Obs.Attr.String problem);
+              ];
+          Queue.iter
+            (fun hook -> hook ~prefix ~reason:problem)
+            t.quarantine_hooks;
+          (* The purge must have restored safety; if not, report. *)
+          match Igp.Safety.state_safe net ~prefix with
+          | Ok () -> ()
+          | Error problem ->
+            report t ~time ~kind:(classify problem) ~prefix ~subject:prefix
+              problem
+        end);
+    (* The purges themselves bumped the version; absorb them so the
+       post-step check does not re-sweep an already-vetted state. *)
+    ignore (routing_dirty t net)
+  end
+
+let arm ?(config = default_config) sim =
+  if config.max_fakes < 0 then invalid_arg "Watchdog.arm: max_fakes";
+  if config.max_lie_age <= 0. then invalid_arg "Watchdog.arm: max_lie_age";
+  if config.utilization_bound <= 0. then
+    invalid_arg "Watchdog.arm: utilization_bound";
+  if config.history <= 0 then invalid_arg "Watchdog.arm: history";
+  let net = Sim.network sim in
+  let t =
+    {
+      config;
+      lsdb_version = Igp.Lsdb.version (Igp.Network.lsdb net);
+      spf_cursor = Igp.Spf_engine.dirty_cursor (Igp.Network.engine net);
+      ring = Kit.Ring.create ~capacity:config.history;
+      n_steps = 0;
+      n_sweeps = 0;
+      n_skipped = 0;
+      n_violations = 0;
+      n_quarantines = 0;
+      violation_hooks = Queue.create ();
+      quarantine_hooks = Queue.create ();
+    }
+  in
+  if config.guard then Sim.on_route_change sim (fun sim -> guard t sim);
+  Sim.on_step sim (fun sim -> check t sim);
+  t
+
+let check_now t sim =
+  (* Force a full sweep regardless of the dirty log (tests, one-shot
+     audits): pretend the version moved and the log overflowed. *)
+  t.lsdb_version <- -1;
+  t.spf_cursor <- min_int;
+  check t sim
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%.2f] %s %s%s: %s" v.time
+    (kind_to_string v.kind)
+    v.subject
+    (match v.prefix with Some p -> " (prefix " ^ p ^ ")" | None -> "")
+    v.detail

@@ -19,11 +19,14 @@ type verdict = {
   unroutable_at_end : int list;
   controller_alive : bool;
   reactions : int;
+  violations : Netsim.Watchdog.violation list;
+  quarantines : int;
+  watchdog_stats : Netsim.Watchdog.stats option;
 }
 
 let ok v =
   v.edges_restored && v.fakes_left = 0 && v.fibs_match
-  && v.unroutable_at_end = []
+  && v.unroutable_at_end = [] && v.violations = []
 
 let prefix = "blue"
 
@@ -36,7 +39,8 @@ let relax_after = 10.
 
 let quiet = 40.
 
-let run ?domains ?(faults = 4) ?(allow_controller_death = true) ~seed ~until () =
+let run ?domains ?(faults = 4) ?(allow_controller_death = true)
+    ?(watchdog = true) ~seed ~until () =
   if until < 16. then invalid_arg "Chaos.run: until must be >= 16";
   let demo = Netgraph.Topologies.demo () in
   let g = demo.graph in
@@ -64,10 +68,28 @@ let run ?domains ?(faults = 4) ?(allow_controller_death = true) ~seed ~until () 
           relax_after;
           lie_ttl;
           max_backoff = 16.;
+          (* The paper's controller is connected to R3: during a
+             partition it only sees (and reacts to) its own side. *)
+          seat = Some demo.r3;
         }
       net
   in
+  (* Hook order matters: the controller attaches first, so on a route
+     change its own revalidation withdraws invalidated lies before the
+     watchdog's guard-of-last-resort purges whatever remains. *)
   Fibbing.Controller.attach controller sim;
+  let wd =
+    if not watchdog then None
+    else begin
+      let wd = Netsim.Watchdog.arm sim in
+      (* A guard purge enters the owner's hold-down too: the controller
+         must not re-install the same bad steering next poll. *)
+      Netsim.Watchdog.on_quarantine wd (fun ~prefix ~reason ->
+          Fibbing.Controller.quarantine controller ~time:(Sim.time sim)
+            ~prefix ~reason);
+      Some wd
+    end
+  in
   (* Deterministic offered load, shaped like the demo's flash crowds so
      the controller actually lies: enough demand from both A and B to
      congest the 2.75 MB/s edge links. *)
@@ -129,6 +151,11 @@ let run ?domains ?(faults = 4) ?(allow_controller_death = true) ~seed ~until () 
     unroutable_at_end;
     controller_alive = Fibbing.Controller.alive controller;
     reactions = List.length (Fibbing.Controller.actions controller);
+    violations =
+      (match wd with Some wd -> Netsim.Watchdog.violations wd | None -> []);
+    quarantines =
+      (match wd with Some wd -> Netsim.Watchdog.quarantine_count wd | None -> 0);
+    watchdog_stats = Option.map Netsim.Watchdog.stats wd;
   }
 
 (* One scenario per domain. Each run is wrapped in [Obs.capture], so its
@@ -137,14 +164,14 @@ let run ?domains ?(faults = 4) ?(allow_controller_death = true) ~seed ~until () 
    executes on 1 domain or 8, in whatever interleaving. The inner
    networks are built with [~domains:1] — the parallelism budget is
    spent across scenarios, not nested inside each SPF batch. *)
-let sweep ?pool ?faults ?allow_controller_death ~seeds ~until () =
+let sweep ?pool ?faults ?allow_controller_death ?watchdog ~seeds ~until () =
   let pool = match pool with Some p -> p | None -> Kit.Pool.create () in
   let seeds = Array.of_list seeds in
   Kit.Pool.map pool ~n:(Array.length seeds) (fun i ->
       let v, cap =
         Obs.capture (fun () ->
-            run ~domains:1 ?faults ?allow_controller_death ~seed:seeds.(i)
-              ~until ())
+            run ~domains:1 ?faults ?allow_controller_death ?watchdog
+              ~seed:seeds.(i) ~until ())
       in
       let timeline =
         if Obs.enabled () then Some (Obs.capture_json cap) else None
@@ -161,7 +188,8 @@ let pp fmt v =
      fakes left: %d@,\
      fibs match fault-free reference: %b@,\
      unroutable at until: %d, at end: %d@,\
-     controller alive: %b, actions logged: %d@]"
+     controller alive: %b, actions logged: %d@,\
+     watchdog: %s@]"
     v.seed
     (if ok v then "OK" else "FAILED")
     (Faults.to_string demo.graph v.plan)
@@ -169,3 +197,10 @@ let pp fmt v =
     (List.length v.unroutable_at_until)
     (List.length v.unroutable_at_end)
     v.controller_alive v.reactions
+    (match v.watchdog_stats with
+    | None -> "off"
+    | Some s ->
+      Printf.sprintf
+        "%d violations, %d quarantines (%d steps, %d sweeps, %d skipped)"
+        (List.length v.violations)
+        v.quarantines s.steps_checked s.safety_sweeps s.safety_skipped)

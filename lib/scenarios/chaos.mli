@@ -22,16 +22,27 @@ type verdict = {
   unroutable_at_end : int list;
   controller_alive : bool;
   reactions : int;
+  violations : Netsim.Watchdog.violation list;
+      (** Watchdog violations over the {e whole} run, every step — the
+          strongest property: not only must the system reconverge, no
+          intermediate state may ever loop, blackhole, or leak lies. *)
+  quarantines : int;
+      (** Lie sets purged by the watchdog's pre-routing guard (the
+          controller's own revalidation usually withdraws first). *)
+  watchdog_stats : Netsim.Watchdog.stats option;
+      (** Work counters ([None] when the watchdog was off). *)
 }
 
 val ok : verdict -> bool
-(** Topology whole, zero fakes, FIBs equal the fault-free reference, and
-    nothing unroutable after quiescence. *)
+(** Topology whole, zero fakes, FIBs equal the fault-free reference,
+    nothing unroutable after quiescence, and zero watchdog violations at
+    every step. *)
 
 val run :
   ?domains:int ->
   ?faults:int ->
   ?allow_controller_death:bool ->
+  ?watchdog:bool ->
   seed:int ->
   until:float ->
   unit ->
@@ -41,12 +52,17 @@ val run :
     [until]. Requires [until >= 16]. With [Obs] telemetry enabled the
     whole run is traced on the shared timeline ([fibbingctl chaos]).
     [domains] sizes the run's inner SPF pool (see
-    {!Igp.Network.create}); the verdict does not depend on it. *)
+    {!Igp.Network.create}); the verdict does not depend on it.
+    [watchdog] (default [true]) arms a {!Netsim.Watchdog} after the
+    controller attaches and wires guard purges into the controller's
+    quarantine hold-down; the controller sits at R3, so during a
+    partition it only reacts to links its side can observe. *)
 
 val sweep :
   ?pool:Kit.Pool.t ->
   ?faults:int ->
   ?allow_controller_death:bool ->
+  ?watchdog:bool ->
   seeds:int list ->
   until:float ->
   unit ->

@@ -131,6 +131,58 @@ let test_flooding_loss_validation () =
     (try ignore (Igp.Flooding.loss ~drop:(-0.1) ~seed:1 ()); false
      with Invalid_argument _ -> true)
 
+(* ---------- LSA delivery jitter ---------- *)
+
+let test_flooding_jitter_costs_rounds_not_messages () =
+  let d = T.demo () in
+  let reference = Igp.Flooding.flood d.graph ~origin:d.b in
+  let jitter = Igp.Flooding.jitter ~max_delay:5 ~seed:3 () in
+  let cost = Igp.Flooding.flood ~jitter d.graph ~origin:d.b in
+  (* Jitter delays deliveries (reordering them across paths) but drops
+     nothing: same messages, at least as many rounds. *)
+  Alcotest.(check int) "messages unchanged" reference.messages cost.messages;
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %d >= lossless %d" cost.rounds reference.rounds)
+    true
+    (cost.rounds >= reference.rounds)
+
+let test_flooding_jitter_deterministic_and_validated () =
+  let d = T.demo () in
+  let run seed =
+    let jitter = Igp.Flooding.jitter ~max_delay:4 ~seed () in
+    Igp.Flooding.flood ~jitter d.graph ~origin:d.a
+  in
+  Alcotest.(check bool) "same seed, same cost" true (run 9 = run 9);
+  Alcotest.(check bool) "max_delay < 1 rejected" true
+    (try ignore (Igp.Flooding.jitter ~max_delay:0 ~seed:1 ()); false
+     with Invalid_argument _ -> true)
+
+(* ---------- Corrupted monitor samples ---------- *)
+
+let test_monitor_corruption () =
+  let caps = Netsim.Link.capacities ~default:100. in
+  let readings corruption =
+    let m = Netsim.Monitor.create ~poll_interval:1. caps in
+    Netsim.Monitor.set_corruption m corruption;
+    Netsim.Monitor.observe m ~time:1. ~dt:1.
+      (List.init 50 (fun i -> ((i, i + 1), 50.)));
+    ignore (Netsim.Monitor.poll m ~time:1.);
+    Netsim.Monitor.utilizations m
+  in
+  let corrupt seed =
+    Some (Netsim.Monitor.corruption ~probability:0.8 ~gain:3. ~seed ())
+  in
+  Alcotest.(check bool) "deterministic per seed" true
+    (readings (corrupt 7) = readings (corrupt 7));
+  Alcotest.(check bool) "corruption changes readings" true
+    (readings (corrupt 7) <> readings None);
+  Alcotest.(check bool) "probability >= 1 rejected" true
+    (try ignore (Netsim.Monitor.corruption ~probability:1. ~seed:1 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-positive gain rejected" true
+    (try ignore (Netsim.Monitor.corruption ~gain:0. ~seed:1 ()); false
+     with Invalid_argument _ -> true)
+
 (* ---------- Fault plans ---------- *)
 
 let prop_random_plans_validate =
@@ -187,12 +239,294 @@ let test_validate_rejects_malformed () =
             { time = 1.; kind = Link_up (0, 1) };
           ]));
   Alcotest.(check bool) "restart of live controller" true
-    (rejected (bad [ { time = 1.; kind = Controller_restart } ]))
+    (rejected (bad [ { time = 1.; kind = Controller_restart } ]));
+  Alcotest.(check bool) "bad lsa-delay parameters" true
+    (rejected
+       (bad [ { time = 1.; kind = Lsa_delay { max_delay = 0; duration = 5. } } ]));
+  Alcotest.(check bool) "bad monitor-corruption parameters" true
+    (rejected
+       (bad
+          [
+            {
+              time = 1.;
+              kind =
+                Monitor_corruption
+                  { probability = 1.5; gain = 2.; duration = 5. };
+            };
+          ]))
+
+(* ---------- Partition faults ---------- *)
+
+(* Fig. 1a: side {A, R1} is separated from the rest by cutting A-B and
+   R1-R4. *)
+let partition d ~time ~duration : Faults.event =
+  {
+    time;
+    kind =
+      Faults.Partition
+        {
+          side = [ d.T.a; d.T.r1 ];
+          cut = [ (d.T.a, d.T.b); (d.T.r1, d.T.r4) ];
+          duration;
+        };
+  }
+
+let test_validate_partition_rules () =
+  let d = T.demo () in
+  let plan events : Faults.plan = { seed = 0; until = 30.; events } in
+  let ok events =
+    match Faults.validate (plan events) with Ok () -> true | Error _ -> false
+  in
+  Alcotest.(check bool) "well-formed partition validates" true
+    (ok [ partition d ~time:2. ~duration:5. ]);
+  Alcotest.(check bool) "must heal by until - margin" false
+    (ok [ partition d ~time:20. ~duration:9. ]);
+  Alcotest.(check bool) "empty cut rejected" false
+    (ok
+       [
+         {
+           time = 2.;
+           kind = Faults.Partition { side = [ d.a ]; cut = []; duration = 5. };
+         };
+       ]);
+  Alcotest.(check bool) "empty side rejected" false
+    (ok
+       [
+         {
+           time = 2.;
+           kind =
+             Faults.Partition
+               { side = []; cut = [ (d.a, d.b) ]; duration = 5. };
+         };
+       ]);
+  Alcotest.(check bool) "link fault on a partitioned edge rejected" false
+    (ok
+       [
+         partition d ~time:2. ~duration:10.;
+         { time = 5.; kind = Link_down (d.a, d.b) };
+         { time = 8.; kind = Link_up (d.a, d.b) };
+       ]);
+  Alcotest.(check bool) "crashing a partitioned endpoint rejected" false
+    (ok
+       [
+         partition d ~time:2. ~duration:10.;
+         { time = 5.; kind = Router_crash d.a };
+         { time = 8.; kind = Router_recover d.a };
+       ]);
+  Alcotest.(check bool) "faults on the healed edge are fine again" true
+    (ok
+       [
+         partition d ~time:2. ~duration:3.;
+         { time = 10.; kind = Link_down (d.a, d.b) };
+         { time = 12.; kind = Link_up (d.a, d.b) };
+       ]);
+  Alcotest.(check bool) "partition over an already-failed edge rejected" false
+    (ok
+       [
+         { time = 1.; kind = Link_down (d.a, d.b) };
+         partition d ~time:2. ~duration:3.;
+         { time = 10.; kind = Link_up (d.a, d.b) };
+       ])
+
+let test_partition_inject_cuts_and_heals () =
+  let d, net = demo_net () in
+  let caps = Netsim.Link.capacities ~default:1e6 in
+  let sim = Netsim.Sim.create ~dt:0.5 net caps in
+  let cut = [ (d.a, d.b); (d.r1, d.r4) ] in
+  let plan : Faults.plan =
+    { seed = 0; until = 30.; events = [ partition d ~time:2. ~duration:5. ] }
+  in
+  (match Faults.validate plan with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "plan invalid: %s" e);
+  Faults.inject sim plan;
+  Netsim.Sim.run_until sim 4.;
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "edge cut during the window" false
+        (G.has_edge d.graph u v))
+    cut;
+  (* The cut is atomic: A keeps no path to the prefix at C. *)
+  Alcotest.(check bool) "A separated from C" true
+    (match Igp.Network.fib net ~router:d.a "blue" with
+    | None -> true
+    | Some f -> Igp.Fib.next_hops f = []);
+  Netsim.Sim.run_until sim 10.;
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "edge back after heal" true
+        (G.has_edge d.graph u v))
+    cut;
+  Alcotest.(check bool) "A routes to C again" true
+    (Igp.Network.fib net ~router:d.a "blue" <> None)
+
+let test_random_plans_draw_new_kinds () =
+  let g = (T.demo ()).graph in
+  let seen_partition = ref false
+  and seen_delay = ref false
+  and seen_corrupt = ref false in
+  for seed = 0 to 199 do
+    let plan = Faults.random_plan ~faults:6 ~seed ~until:40. g in
+    List.iter
+      (fun (e : Faults.event) ->
+        match e.kind with
+        | Faults.Partition _ -> seen_partition := true
+        | Faults.Lsa_delay _ -> seen_delay := true
+        | Faults.Monitor_corruption _ -> seen_corrupt := true
+        | _ -> ())
+      plan.events
+  done;
+  Alcotest.(check bool) "partitions drawn" true !seen_partition;
+  Alcotest.(check bool) "lsa delays drawn" true !seen_delay;
+  Alcotest.(check bool) "corrupted telemetry drawn" true !seen_corrupt
+
+(* ---------- Watchdog ---------- *)
+
+module W = Netsim.Watchdog
+
+let watchdog_sim () =
+  let d, net = demo_net () in
+  let caps = Netsim.Link.capacities ~default:1e6 in
+  let sim = Netsim.Sim.create ~dt:0.5 net caps in
+  (d, net, sim)
+
+(* Two of these with mirrored attachments form a tight two-router
+   forwarding loop: announced_cost 0 beats every real route. *)
+let cheap ~id ~at ~fwd : Igp.Lsa.fake =
+  {
+    fake_id = id;
+    attachment = at;
+    attachment_cost = 1;
+    prefix = "blue";
+    announced_cost = 0;
+    forwarding = fwd;
+  }
+
+let inject_loop ?(mortal = true) d net sim =
+  Igp.Network.inject_fake net (cheap ~id:"l1" ~at:d.T.a ~fwd:d.T.b);
+  Igp.Network.inject_fake net (cheap ~id:"l2" ~at:d.T.b ~fwd:d.T.a);
+  if mortal then begin
+    let lsdb = Igp.Network.lsdb net in
+    let now = Netsim.Sim.time sim in
+    Igp.Lsdb.set_fake_expiry lsdb ~fake_id:"l1" ~now ~ttl:30.;
+    Igp.Lsdb.set_fake_expiry lsdb ~fake_id:"l2" ~now ~ttl:30.
+  end
+
+let test_watchdog_quiet_on_safe_run () =
+  let d, _net, sim = watchdog_sim () in
+  let wd = W.arm sim in
+  Netsim.Sim.add_flow sim
+    (Netsim.Flow.make ~id:1 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.run_until sim 20.;
+  Alcotest.(check int) "no violations" 0 (W.violation_count wd);
+  Alcotest.(check int) "no quarantines" 0 (W.quarantine_count wd);
+  let s = W.stats wd in
+  Alcotest.(check bool) "every step checked" true (s.steps_checked >= 39);
+  (* Incremental gating: nothing changed routing after step one, so the
+     safety sweep is skipped nearly everywhere. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "skips %d dominate sweeps %d" s.safety_skipped
+       s.safety_sweeps)
+    true
+    (s.safety_skipped > s.safety_sweeps)
+
+let test_watchdog_detects_forced_loop () =
+  let d, net, sim = watchdog_sim () in
+  (* guard off: the unsafe state must survive to the check itself. *)
+  let wd = W.arm ~config:{ W.default_config with guard = false } sim in
+  Netsim.Sim.run_until sim 1.;
+  inject_loop d net sim;
+  W.check_now wd sim;
+  let kinds = List.map (fun (v : W.violation) -> v.kind) (W.violations wd) in
+  Alcotest.(check bool) "loop flagged" true (List.mem W.Forwarding_loop kinds)
+
+let test_watchdog_budget_and_freshness () =
+  let d, net, sim = watchdog_sim () in
+  let wd =
+    W.arm ~config:{ W.default_config with max_fakes = 1; guard = false } sim
+  in
+  Netsim.Sim.run_until sim 1.;
+  (* Two safe but immortal fakes: over budget and never expiring. *)
+  Igp.Network.inject_fake net (fake ~id:"s1" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Igp.Network.inject_fake net (fake ~id:"s2" ~at:d.a ~cost:3 ~fwd:d.r1);
+  W.check_now wd sim;
+  let kinds = List.map (fun (v : W.violation) -> v.kind) (W.violations wd) in
+  Alcotest.(check bool) "budget breach flagged" true (List.mem W.Lie_budget kinds);
+  Alcotest.(check bool) "immortal lie flagged" true (List.mem W.Stale_lie kinds)
+
+let test_watchdog_dangling_lie () =
+  let d, net, sim = watchdog_sim () in
+  let wd = W.arm ~config:{ W.default_config with guard = false } sim in
+  Netsim.Sim.run_until sim 1.;
+  Igp.Network.inject_fake net (fake ~id:"s1" ~at:d.b ~cost:2 ~fwd:d.r3);
+  Igp.Lsdb.set_fake_expiry (Igp.Network.lsdb net) ~fake_id:"s1"
+    ~now:(Netsim.Sim.time sim) ~ttl:30.;
+  (* Remove the forwarding adjacency behind the simulator's back. *)
+  G.remove_edge d.graph d.b d.r3;
+  W.check_now wd sim;
+  let kinds = List.map (fun (v : W.violation) -> v.kind) (W.violations wd) in
+  Alcotest.(check bool) "dangling lie flagged" true
+    (List.mem W.Dangling_lie kinds)
+
+let test_watchdog_fail_fast_raises () =
+  let d, net, sim = watchdog_sim () in
+  let wd =
+    W.arm
+      ~config:{ W.default_config with guard = false; fail_fast = true }
+      sim
+  in
+  Netsim.Sim.run_until sim 1.;
+  inject_loop d net sim;
+  Alcotest.(check bool) "raises Tripped" true
+    (try
+       W.check_now wd sim;
+       false
+     with W.Tripped _ -> true)
+
+let test_watchdog_guard_quarantines_on_timeline () =
+  (* The acceptance scenario: force an unsafe lie set into a running
+     sim; the pre-routing guard must purge it before any flow is routed
+     (zero violations), count a quarantine, call the quarantine hook,
+     and stamp the Obs timeline. *)
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  let d, net, sim = watchdog_sim () in
+  let wd = W.arm sim in
+  let quarantined = ref [] in
+  W.on_quarantine wd (fun ~prefix ~reason:_ ->
+      quarantined := prefix :: !quarantined);
+  Netsim.Sim.add_flow sim
+    (Netsim.Flow.make ~id:1 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.run_until sim 1.;
+  inject_loop d net sim;
+  Netsim.Sim.run_until sim 3.;
+  Alcotest.(check int) "guard caught it pre-routing: zero violations" 0
+    (W.violation_count wd);
+  Alcotest.(check bool) "quarantine counted" true (W.quarantine_count wd > 0);
+  Alcotest.(check (list string)) "hook saw the prefix" [ "blue" ] !quarantined;
+  Alcotest.(check int) "lies purged" 0
+    (Igp.Lsdb.fake_count (Igp.Network.lsdb net));
+  Alcotest.(check bool) "flow routable again" true
+    (Netsim.Sim.unroutable_flows sim = []);
+  let kinds =
+    List.map (fun e -> e.Obs.Timeline.kind) (Obs.Timeline.events ())
+  in
+  Alcotest.(check bool) "quarantine on the Obs timeline" true
+    (List.mem "quarantine" kinds)
 
 (* ---------- The chaos property ---------- *)
 
+(* The watchdog is armed by default, and [ok] demands an empty violation
+   list — so this is the strongest robustness property in the suite:
+   across 300 random fault schedules (link flaps, crashes, partitions,
+   delayed flooding, corrupted telemetry, controller death) there must
+   be zero watchdog violations at {e every} step, and the end state must
+   be exactly the fault-free pure IGP. *)
 let prop_chaos_converges =
-  QCheck.Test.make ~name:"chaos: recovers the fault-free state" ~count:300
+  QCheck.Test.make
+    ~name:"chaos: fault-free state recovered, zero watchdog violations"
+    ~count:300
     QCheck.(int_range 0 1_000_000)
     (fun seed ->
       let v = Scenarios.Chaos.run ~faults:(2 + (seed mod 5)) ~seed ~until:30. () in
@@ -398,13 +732,40 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_flooding_lossy_deterministic;
           Alcotest.test_case "validation" `Quick test_flooding_loss_validation;
         ] );
+      ( "flooding-jitter",
+        [
+          Alcotest.test_case "rounds not messages" `Quick
+            test_flooding_jitter_costs_rounds_not_messages;
+          Alcotest.test_case "deterministic + validated" `Quick
+            test_flooding_jitter_deterministic_and_validated;
+        ] );
+      ( "monitor-corruption",
+        [ Alcotest.test_case "deterministic + validated" `Quick test_monitor_corruption ] );
       ( "fault-plans",
         [
           Alcotest.test_case "deterministic" `Quick test_plan_deterministic;
           Alcotest.test_case "validate rejects malformed" `Quick
             test_validate_rejects_malformed;
+          Alcotest.test_case "partition rules" `Quick test_validate_partition_rules;
+          Alcotest.test_case "partition cuts and heals" `Quick
+            test_partition_inject_cuts_and_heals;
+          Alcotest.test_case "new kinds drawn" `Quick test_random_plans_draw_new_kinds;
         ]
         @ qsuite [ prop_random_plans_validate ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "quiet on a safe run" `Quick
+            test_watchdog_quiet_on_safe_run;
+          Alcotest.test_case "detects forced loop" `Quick
+            test_watchdog_detects_forced_loop;
+          Alcotest.test_case "budget + freshness" `Quick
+            test_watchdog_budget_and_freshness;
+          Alcotest.test_case "dangling lie" `Quick test_watchdog_dangling_lie;
+          Alcotest.test_case "fail-fast raises" `Quick
+            test_watchdog_fail_fast_raises;
+          Alcotest.test_case "guard quarantines on the timeline" `Quick
+            test_watchdog_guard_quarantines_on_timeline;
+        ] );
       ( "lie-aging",
         [
           Alcotest.test_case "dead controller ages out" `Quick

@@ -776,6 +776,50 @@ let test_transient_apply_and_revert_safely () =
   let report = Fibbing.Verify.check net ~prefix:"blue" ~expected:[] ~baseline in
   Alcotest.(check bool) "back to baseline" true report.ok
 
+let test_transient_safe_removal_order_found () =
+  let _, net = demo_net () in
+  let plan = r3_via_b_plan net in
+  (match Fibbing.Transient.apply_safely net plan with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "apply_safely: %s" e);
+  match Fibbing.Transient.safe_removal_order net plan with
+  | Error e -> Alcotest.failf "no safe removal order: %s" e
+  | Ok order ->
+    Alcotest.(check int) "all fakes ordered" (List.length plan.fakes)
+      (List.length order);
+    (* Replay the removal on a scratch clone, checking safety after
+       every single retraction — each intermediate state carries a
+       suffix of the lie and must neither loop nor blackhole. *)
+    let scratch = Igp.Network.clone net in
+    List.iter
+      (fun (f : Igp.Lsa.fake) ->
+        Igp.Network.retract_fake scratch ~fake_id:f.fake_id;
+        match Fibbing.Transient.state_safe scratch ~prefix:"blue" with
+        | Ok () -> ()
+        | Error reason ->
+          Alcotest.failf "unsafe after retracting %s: %s" f.fake_id reason)
+      order;
+    Alcotest.(check int) "everything retracted" 0
+      (List.length (Igp.Network.fakes scratch))
+
+let test_transient_removal_rejects_unsafe_start () =
+  (* When the installed state is already broken (extra loop-forming lies
+     the plan does not know about), no removal order of the plan's own
+     fakes starts from a safe state — the search must report it, not
+     fabricate an order. *)
+  let d, net = demo_net () in
+  let plan = r3_via_b_plan net in
+  Fibbing.Augmentation.apply net plan;
+  let cheap ~id ~at ~fwd : Igp.Lsa.fake =
+    { fake_id = id; attachment = at; attachment_cost = 1; prefix = "blue";
+      announced_cost = 0; forwarding = fwd }
+  in
+  Igp.Network.inject_fake net (cheap ~id:"x1" ~at:d.a ~fwd:d.b);
+  Igp.Network.inject_fake net (cheap ~id:"x2" ~at:d.b ~fwd:d.a);
+  match Fibbing.Transient.safe_removal_order net plan with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected the broken start state to be rejected"
+
 (* Property: for every compiled single-router even-ECMP plan on random
    topologies, safe_order succeeds and its every prefix state is safe. *)
 let prop_transient_safe_order_on_random =
@@ -814,6 +858,58 @@ let prop_transient_safe_order_on_random =
             (match Fibbing.Transient.safe_order net plan with
             | Ok order -> Fibbing.Transient.check_order net ~prefix:"p" order = Ok ()
             | Error _ -> false)
+        end)
+
+(* The mirror property: once a compiled plan is safely installed, a safe
+   removal order exists and replaying it keeps every intermediate state
+   safe down to the lie-free network. *)
+let prop_transient_safe_removal_on_random =
+  QCheck.Test.make ~name:"safe removal order exists" ~count:30
+    QCheck.(pair (int_range 0 100000) (int_range 6 14))
+    (fun (seed, n) ->
+      let prng = Kit.Prng.create ~seed in
+      let g = T.random prng ~n ~extra_edges:n ~max_weight:3 in
+      let announcer = Kit.Prng.int prng n in
+      let net = Igp.Network.create g in
+      Igp.Network.announce_prefix net "p" ~origin:announcer ~cost:0;
+      let router =
+        let r = ref (Kit.Prng.int prng n) in
+        while !r = announcer do
+          r := Kit.Prng.int prng n
+        done;
+        !r
+      in
+      let dist v = Igp.Network.distance net ~router:v "p" in
+      match dist router with
+      | None -> true
+      | Some d_r ->
+        let safe =
+          List.filter
+            (fun (v, _) ->
+              match dist v with Some dv -> dv < d_r | None -> false)
+            (G.succ g router)
+          |> List.map fst
+        in
+        if safe = [] then true
+        else begin
+          let reqs = R.even ~prefix:"p" ~router (List.filteri (fun i _ -> i < 3) safe) in
+          match A.compile net reqs with
+          | Error _ -> true
+          | Ok plan ->
+            (match Fibbing.Transient.apply_safely net plan with
+            | Error _ -> true
+            | Ok () ->
+              (match Fibbing.Transient.safe_removal_order net plan with
+              | Error e ->
+                QCheck.Test.fail_reportf "no removal order (seed %d): %s" seed e
+              | Ok order ->
+                let scratch = Igp.Network.clone net in
+                List.for_all
+                  (fun (f : Igp.Lsa.fake) ->
+                    Igp.Network.retract_fake scratch ~fake_id:f.fake_id;
+                    Fibbing.Transient.state_safe scratch ~prefix:"p" = Ok ())
+                  order
+                && Igp.Network.fakes scratch = []))
         end)
 
 (* ---------- Audit ---------- *)
@@ -1084,9 +1180,17 @@ let () =
           Alcotest.test_case "safe order found" `Quick test_transient_safe_order_found;
           Alcotest.test_case "apply/revert safely" `Quick
             test_transient_apply_and_revert_safely;
+          Alcotest.test_case "safe removal order found" `Quick
+            test_transient_safe_removal_order_found;
+          Alcotest.test_case "removal rejects unsafe start" `Quick
+            test_transient_removal_rejects_unsafe_start;
         ] );
       qsuite "transient-props"
-        [ prop_transient_safe_order_on_random; prop_controller_keeps_state_safe ];
+        [
+          prop_transient_safe_order_on_random;
+          prop_transient_safe_removal_on_random;
+          prop_controller_keeps_state_safe;
+        ];
       ( "audit",
         [
           Alcotest.test_case "empty" `Quick test_audit_empty;
