@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Benchmark harness: regenerates every table and figure of the paper
    (see DESIGN.md's experiment index) and runs Bechamel timings for the
    computational pieces.
@@ -43,11 +44,11 @@ let section id title =
 let demo_net () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   (d, net)
 
 let demo_requirements (d : T.demo) =
-  Fibbing.Requirements.make ~prefix:"blue"
+  Fibbing.Requirements.make ~prefix:(pfx "blue")
     [
       (d.b, [ (d.r2, 0.5); (d.r3, 0.5) ]);
       (d.a, [ (d.b, 1. /. 3.); (d.r1, 2. /. 3.) ]);
@@ -55,8 +56,8 @@ let demo_requirements (d : T.demo) =
 
 let demo_demands (d : T.demo) =
   [
-    { Netsim.Loadmap.src = d.a; prefix = "blue"; amount = 100. };
-    { Netsim.Loadmap.src = d.b; prefix = "blue"; amount = 100. };
+    { Netsim.Loadmap.src = d.a; prefix = pfx "blue"; amount = 100. };
+    { Netsim.Loadmap.src = d.b; prefix = pfx "blue"; amount = 100. };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -77,7 +78,7 @@ let f1a () =
         (if fib.Igp.Fib.local then "local"
          else String.concat "," (List.map names (Igp.Fib.next_hops fib)))
         paths)
-    (Igp.Network.fibs net "blue");
+    (Igp.Network.fibs net (pfx "blue"));
   Format.printf
     "@.Paper check: A reaches blue via B at cost 3 (unique path),@.\
      B via R2 at cost 2 (unique) — the two flows overlap on B-R2-C.@."
@@ -270,7 +271,7 @@ let tscale () =
       let g = T.two_level prng ~core ~edge_per_core:2 in
       let net = Igp.Network.create g in
       let egress = G.find_node_exn g "C0" in
-      Igp.Network.announce_prefix net "cdn" ~origin:egress ~cost:0;
+      Igp.Network.announce_prefix net (pfx "cdn") ~origin:egress ~cost:0;
       let sources =
         [
           G.find_node_exn g (Printf.sprintf "E%d_0" (core / 2));
@@ -278,7 +279,7 @@ let tscale () =
           G.find_node_exn g (Printf.sprintf "E%d_0" (core - 1));
         ]
       in
-      let reqs = surge_requirements net "cdn" egress sources 120. 100. in
+      let reqs = surge_requirements net (pfx "cdn") egress sources 120. 100. in
       let t0 = Sys.time () in
       match Fibbing.Augmentation.compile ~max_entries:8 net reqs with
       | Error e -> Format.printf "%8d compile failed: %s@." (G.node_count g) e
@@ -319,12 +320,12 @@ let topt () =
       let caps = Netsim.Link.capacities ~default:capacity in
       let fresh () =
         let net = Igp.Network.create (G.copy g) in
-        Igp.Network.announce_prefix net "cdn" ~origin:egress ~cost:0;
+        Igp.Network.announce_prefix net (pfx "cdn") ~origin:egress ~cost:0;
         net
       in
       let demands =
         List.map
-          (fun src -> { Netsim.Loadmap.src; prefix = "cdn"; amount = 120. })
+          (fun src -> { Netsim.Loadmap.src; prefix = pfx "cdn"; amount = 120. })
           sources
       in
       let util net =
@@ -342,7 +343,7 @@ let topt () =
       let fib_net = fresh () in
       let commodities =
         List.map
-          (fun src -> { Te.Mcf.src; dst = egress; prefix = "cdn"; demand = 120. })
+          (fun src -> { Te.Mcf.src; dst = egress; prefix = pfx "cdn"; demand = 120. })
           sources
       in
       let oblivious =
@@ -361,8 +362,8 @@ let topt () =
           result
       in
       let reqs =
-        Te.Decompose.to_requirements fib_net ~prefix:"cdn"
-          (List.assoc "cdn" result.flows)
+        Te.Decompose.to_requirements fib_net ~prefix:(pfx "cdn")
+          (List.assoc (pfx "cdn") result.flows)
       in
       match Fibbing.Augmentation.compile ~max_entries:16 fib_net reqs with
       | Error e -> Format.printf "%6d fibbing compile failed: %s@." seed e
@@ -451,10 +452,10 @@ let tzoo () =
       let capacity = 100. in
       let caps = Netsim.Link.capacities ~default:capacity in
       let net = Igp.Network.create (G.copy g) in
-      Igp.Network.announce_prefix net "cdn" ~origin:egress ~cost:0;
+      Igp.Network.announce_prefix net (pfx "cdn") ~origin:egress ~cost:0;
       let demands =
         List.map
-          (fun src -> { Netsim.Loadmap.src; prefix = "cdn"; amount = 120. })
+          (fun src -> { Netsim.Loadmap.src; prefix = pfx "cdn"; amount = 120. })
           sources
       in
       let util network =
@@ -469,7 +470,7 @@ let tzoo () =
       let igp_util = util net in
       let commodities =
         List.map
-          (fun src -> { Te.Mcf.src; dst = egress; prefix = "cdn"; demand = 120. })
+          (fun src -> { Te.Mcf.src; dst = egress; prefix = pfx "cdn"; demand = 120. })
           sources
       in
       let result =
@@ -483,8 +484,8 @@ let tzoo () =
           result
       in
       let reqs =
-        Te.Decompose.to_requirements net ~prefix:"cdn"
-          (List.assoc "cdn" result.flows)
+        Te.Decompose.to_requirements net ~prefix:(pfx "cdn")
+          (List.assoc (pfx "cdn") result.flows)
       in
       match Fibbing.Augmentation.compile ~max_entries:16 net reqs with
       | Error e -> Format.printf "%-10s compile failed: %s@." entry.name e
@@ -502,7 +503,7 @@ let ttrans () =
   (* The pinning scenario: R3 must forward via B; installing R3's lie
      before B's pin loops through B. *)
   let reqs =
-    Fibbing.Requirements.make ~prefix:"blue" [ (d.r3, [ (d.b, 1.0) ]) ]
+    Fibbing.Requirements.make ~prefix:(pfx "blue") [ (d.r3, [ (d.b, 1.0) ]) ]
   in
   match Fibbing.Augmentation.compile net reqs with
   | Error e -> Format.printf "compile failed: %s@." e
@@ -523,7 +524,7 @@ let ttrans () =
     List.iter
       (fun position ->
         let order = insert_at position others in
-        match Fibbing.Transient.check_order net ~prefix:"blue" order with
+        match Fibbing.Transient.check_order net ~prefix:(pfx "blue") order with
         | Ok () ->
           Format.printf "  R3's lie at position %d: safe@." (position + 1)
         | Error v ->
@@ -709,12 +710,12 @@ let tconv () =
       fake_id = "fB";
       attachment = d.b;
       attachment_cost = 1;
-      prefix = "blue";
+      prefix = pfx "blue";
       announced_cost = 1;
       forwarding = d.r3;
     };
   pp_report "Fibbing: inject fB (demo)"
-    (Igp.Convergence.analyze ~before:net ~after ~origin:d.b ~prefix:"blue" ());
+    (Igp.Convergence.analyze ~before:net ~after ~origin:d.b ~prefix:(pfx "blue") ());
   (* 2. The full three-fake demo plan, injected as one converged batch
      per fake (the controller's safe order). *)
   let after3 = Igp.Network.clone net in
@@ -724,7 +725,7 @@ let tconv () =
   | Ok plan -> Fibbing.Augmentation.apply after3 plan
   | Error e -> Format.printf "compile failed: %s@." e);
   pp_report "Fibbing: full demo plan"
-    (Igp.Convergence.analyze ~before:net ~after:after3 ~origin:d.a ~prefix:"blue" ());
+    (Igp.Convergence.analyze ~before:net ~after:after3 ~origin:d.a ~prefix:(pfx "blue") ());
   (* 3. A textbook weight degradation with a known micro-loop. *)
   let g = G.create () in
   let a = G.add_node g ~name:"A" in
@@ -738,13 +739,13 @@ let tconv () =
   G.add_link g b a ~weight:1;
   G.add_link g a t ~weight:1;
   let chain_before = Igp.Network.create g in
-  Igp.Network.announce_prefix chain_before "p" ~origin:t ~cost:0;
+  Igp.Network.announce_prefix chain_before (pfx "p") ~origin:t ~cost:0;
   let chain_after = Igp.Network.clone chain_before in
   Igp.Network.set_weight chain_after a t ~weight:10;
   Igp.Network.set_weight chain_after t a ~weight:10;
   pp_report "weight x10 on chain (degrade)"
     (Igp.Convergence.analyze ~before:chain_before ~after:chain_after ~origin:a
-       ~prefix:"p" ());
+       ~prefix:(pfx "p") ());
   (* 4. The weight re-optimization computed in TOVH, replayed change by
      change on the demo network. *)
   let scratch = Igp.Network.clone net in
@@ -760,7 +761,7 @@ let tconv () =
       Igp.Network.set_weight next u v ~weight:new_weight;
       let r =
         Igp.Convergence.analyze ~before:rolling ~after:next ~origin:u
-          ~prefix:"blue" ()
+          ~prefix:(pfx "blue") ()
       in
       total_states := !total_states + r.states;
       total_unsafe := !total_unsafe + r.unsafe_states;
@@ -817,8 +818,8 @@ let tmicro () =
       G.add_link g b a ~weight:1;
       G.add_link g a t ~weight:1;
       let net = Igp.Network.create g in
-      Igp.Network.announce_prefix net "p" ~origin:t ~cost:0;
-      (net, c, "p"))
+      Igp.Network.announce_prefix net (pfx "p") ~origin:t ~cost:0;
+      (net, c, pfx "p"))
     ~change:(fun sim ->
       let net = Netsim.Sim.network sim in
       let g = Igp.Network.graph net in
@@ -828,7 +829,7 @@ let tmicro () =
   run "Fibbing lie (fB on the demo network)"
     ~build:(fun () ->
       let d, net = demo_net () in
-      (d.a |> fun src -> (net, src, "blue")))
+      (d.a |> fun src -> (net, src, pfx "blue")))
     ~change:(fun sim ->
       let net = Netsim.Sim.network sim in
       let g = Igp.Network.graph net in
@@ -837,7 +838,7 @@ let tmicro () =
           fake_id = "fB";
           attachment = G.find_node_exn g "B";
           attachment_cost = 1;
-          prefix = "blue";
+          prefix = pfx "blue";
           announced_cost = 1;
           forwarding = G.find_node_exn g "R3";
         });
@@ -897,7 +898,7 @@ let tspf ~json () =
      deployment keeps converged. *)
   List.iter
     (fun r ->
-      Igp.Network.announce_prefix net (Printf.sprintf "p%02d" r) ~origin:r
+      Igp.Network.announce_prefix net (pfx (Printf.sprintf "p%02d" r)) ~origin:r
         ~cost:0)
     (G.nodes g);
   let prefixes = Igp.Lsdb.prefix_list (Igp.Network.lsdb net) in
@@ -959,7 +960,7 @@ let tspf ~json () =
           fake_id = "bench";
           attachment = 0;
           attachment_cost = 1;
-          prefix = Printf.sprintf "p%02d" far;
+          prefix = pfx (Printf.sprintf "p%02d" far);
           announced_cost = 0;
           forwarding = fst (List.hd (G.succ g 0));
         }
@@ -1074,7 +1075,7 @@ let tflow ~json ~quick () =
   let demo_case () =
     let d = T.demo () in
     let net = Igp.Network.create d.graph in
-    Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+    Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
     let caps = Netsim.Link.capacities ~default:Demo.backbone_capacity in
     List.iter
       (fun link -> Netsim.Link.set_link caps link Demo.link_capacity)
@@ -1082,7 +1083,7 @@ let tflow ~json ~quick () =
     let spec src =
       {
         Video.Workload.src;
-        prefix = "blue";
+        prefix = pfx "blue";
         rate = Demo.stream_rate;
         video_duration = 86_400.;
       }
@@ -1093,7 +1094,7 @@ let tflow ~json ~quick () =
     let entry = Netgraph.Zoo.geant () in
     let g = entry.Netgraph.Zoo.graph in
     let net = Igp.Network.create g in
-    Igp.Network.announce_prefix net "cdn" ~origin:0 ~cost:0;
+    Igp.Network.announce_prefix net (pfx "cdn") ~origin:0 ~cost:0;
     let caps = Netsim.Link.capacities ~default:(64. *. 1024. *. 1024.) in
     (* Four ingress PoPs spread across the node range, none the origin. *)
     let nodes = G.nodes g in
@@ -1104,7 +1105,7 @@ let tflow ~json ~quick () =
     let spec src =
       {
         Video.Workload.src;
-        prefix = "cdn";
+        prefix = pfx "cdn";
         rate = Demo.stream_rate;
         video_duration = 86_400.;
       }
@@ -1253,7 +1254,7 @@ let tpar ~json ~quick () =
     let net = Igp.Network.create ~domains:d g in
     List.iter
       (fun r ->
-        Igp.Network.announce_prefix net (Printf.sprintf "p%02d" r) ~origin:r
+        Igp.Network.announce_prefix net (pfx (Printf.sprintf "p%02d" r)) ~origin:r
           ~cost:0)
       (G.nodes g);
     let prefixes = Igp.Lsdb.prefix_list (Igp.Network.lsdb net) in
@@ -1266,7 +1267,7 @@ let tpar ~json ~quick () =
             fake_id = "bench";
             attachment = 0;
             attachment_cost = 1;
-            prefix = "p20";
+            prefix = pfx "p20";
             announced_cost = 0;
             forwarding = fst (List.hd (G.succ g 0));
           }
@@ -1286,10 +1287,10 @@ let tpar ~json ~quick () =
         Array.iteri
           (fun router fib ->
             match fib with
-            | None -> Buffer.add_string buf (Printf.sprintf "%d/%s -@." router prefix)
+            | None -> Buffer.add_string buf (Printf.sprintf "%d/%s -@." router (Igp.Prefix.to_string prefix))
             | Some fib ->
               Buffer.add_string buf
-                (Format.asprintf "%d/%s %a@." router prefix
+                (Format.asprintf "%d/%s %a@." router (Igp.Prefix.to_string prefix)
                    (Igp.Fib.pp ~names:(G.name g))
                    fib))
           (Igp.Network.fib_table net prefix))
@@ -1437,12 +1438,12 @@ let twatch ~quick () =
   let () =
     let d = T.demo () in
     let net = Igp.Network.create d.graph in
-    Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+    Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
     let caps = Netsim.Link.capacities ~default:1e6 in
     let sim = Netsim.Sim.create ~dt:0.5 net caps in
     let wd = Netsim.Watchdog.arm sim in
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+      (Netsim.Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
     Netsim.Sim.run_until sim 100.;
     let s = Netsim.Watchdog.stats wd in
     let sweep_pct =
@@ -1542,7 +1543,7 @@ let bechamel_timings () =
   let big_prng = Kit.Prng.create ~seed:7 in
   let big = T.two_level big_prng ~core:10 ~edge_per_core:2 in
   let big_net = Igp.Network.create big in
-  Igp.Network.announce_prefix big_net "cdn" ~origin:(G.find_node_exn big "C0")
+  Igp.Network.announce_prefix big_net (pfx "cdn") ~origin:(G.find_node_exn big "C0")
     ~cost:0;
   let reqs = demo_requirements d in
   let demo_for_step = Demo.make ~fibbing:true () in
@@ -1577,7 +1578,7 @@ let bechamel_timings () =
              ignore
                (Te.Mcf.solve ~epsilon:0.2 g
                   ~capacities:(fun _ -> 100.)
-                  [ { src = 5; dst = 0; prefix = "p"; demand = 100. } ])));
+                  [ { src = 5; dst = 0; prefix = pfx "p"; demand = 100. } ])));
       Test.make ~name:"ratio-approx (TSCALE)"
         (Staged.stage (fun () ->
              ignore (Kit.Ratio.approximate ~max_total:16 [| 0.28; 0.72 |])));
@@ -1663,7 +1664,7 @@ let tprof ~quick ~history ~tag () =
     let net = Igp.Network.create g in
     List.iter
       (fun r ->
-        Igp.Network.announce_prefix net (Printf.sprintf "p%02d" r) ~origin:r
+        Igp.Network.announce_prefix net (pfx (Printf.sprintf "p%02d" r)) ~origin:r
           ~cost:0)
       (G.nodes g);
     let routers = G.nodes g in
@@ -1687,7 +1688,7 @@ let tprof ~quick ~history ~tag () =
             fake_id = "bench";
             attachment = 0;
             attachment_cost = 1;
-            prefix = Printf.sprintf "p%02d" far;
+            prefix = pfx (Printf.sprintf "p%02d" far);
             announced_cost = 0;
             forwarding = fst (List.hd (G.succ g 0));
           }
@@ -1771,6 +1772,243 @@ let tprof ~quick ~history ~tag () =
     Format.printf "appended %d rows (tag %s) to %s@." (List.length !rows) tag
       file
 
+(* ------------------------------------------------------------------ *)
+(* TFIB: prefix-scale FIB. A synthetic Zipf-nested prefix table is
+   loaded into the compressed trie; we measure build time, aggregation
+   ratio and approximate memory, then apply a fixed churn (re-steer /
+   retract / re-install random prefixes) and measure per-update latency
+   plus the deterministic visited-node counter. Enforced gates:
+     - after churn the aggregated trie must route every probed
+       breakpoint address exactly like the flat table;
+     - mean visited nodes per update must be independent of table size
+       (the FAQS property: updates walk one path and refresh direct
+       children only — never the whole trie);
+     - at network level (GEANT carrying a synthesized table), per-router
+       aggregated LPM must agree with the flat FIB across lie churn. *)
+
+let tfib ~json ~quick ~history ~tag () =
+  section "TFIB"
+    "prefix-scale FIB: trie build, FAQS aggregation, incremental updates";
+  let scales = if quick then [ 10_000; 50_000 ] else [ 100_000; 1_000_000 ] in
+  let churn_ops = 1_000 in
+  let behaviors = 8 in
+  let failed = ref false in
+  let results =
+    List.map
+      (fun n ->
+        let prng = Kit.Prng.create ~seed:7 in
+        let prefixes = Array.of_list (Igp.Prefix.synthesize prng ~n) in
+        (* Behaviors come from a small distinct set, skewed so nested
+           subnets usually share their covering aggregate's value — the
+           redundancy FAQS exists to strip. *)
+        let behavior () =
+          let u = Kit.Prng.float prng 1. in
+          int_of_float (float_of_int behaviors *. (u ** 3.))
+        in
+        let t = Igp.Fib_trie.create ~eq:Int.equal in
+        let t0 = Unix.gettimeofday () in
+        Array.iter (fun p -> Igp.Fib_trie.update t p (behavior ())) prefixes;
+        let build_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        let stats = Igp.Fib_trie.stats t in
+        let visited0 = Igp.Fib_trie.visited t in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to churn_ops do
+          let p = Kit.Prng.pick prng prefixes in
+          match Kit.Prng.int prng 3 with
+          | 0 -> Igp.Fib_trie.remove t p
+          | _ -> Igp.Fib_trie.update t p (behavior ())
+        done;
+        let churn_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        let visited_per_update =
+          float_of_int (Igp.Fib_trie.visited t - visited0)
+          /. float_of_int churn_ops
+        in
+        (* Equivalence probe at breakpoints: each sampled prefix's first
+           address, last address, and one past the end. *)
+        let mismatches = ref 0 in
+        for _ = 1 to 2_000 do
+          let p = Kit.Prng.pick prng prefixes in
+          List.iter
+            (fun a ->
+              let flat = Option.map snd (Igp.Fib_trie.lookup t a) in
+              let agg = Option.map snd (Igp.Fib_trie.lookup_aggregated t a) in
+              if flat <> agg then incr mismatches)
+            [
+              Igp.Prefix.first_addr p;
+              Igp.Prefix.last_addr p;
+              (Igp.Prefix.last_addr p + 1) land 0xFFFFFFFF;
+            ]
+        done;
+        if !mismatches > 0 then failed := true;
+        Format.printf
+          "%8d prefixes: build %8.1f ms, %8d installed of %8d (ratio %.2f), \
+           %8.0f KB, churn %7.4f ms/op, %6.1f visited/op, %d mismatches@."
+          n build_ms stats.Igp.Fib_trie.installed stats.Igp.Fib_trie.routes
+          stats.Igp.Fib_trie.ratio
+          (float_of_int stats.Igp.Fib_trie.approx_bytes /. 1024.)
+          (churn_ms /. float_of_int churn_ops)
+          visited_per_update !mismatches;
+        (n, build_ms, stats, churn_ms /. float_of_int churn_ops,
+         visited_per_update))
+      scales
+  in
+  (* FAQS gate on the deterministic counter, not wall clock: update work
+     at the largest table must not exceed the smallest by more than a
+     constant factor. *)
+  let n_small, _, _, _, v_small = List.hd results in
+  let n_large, _, _, _, v_large = List.nth results (List.length results - 1) in
+  let independent = v_large <= (4. *. v_small) +. 16. in
+  Format.printf
+    "update cost: %.1f visited/op at %d prefixes vs %.1f at %d — %s@." v_small
+    n_small v_large n_large
+    (if independent then "independent of table size"
+     else "GROWS WITH TABLE SIZE");
+  if not independent then failed := true;
+  (* -- Integrated: GEANT carrying a synthesized table, with lie churn.
+     The per-router aggregated LPM must agree with a flat scan of the
+     announced prefixes after every reconvergence. *)
+  let geant_prefixes = if quick then 300 else 2_000 in
+  let warm_ms, lie_ms, agg_ratio, agg_kb =
+    let entry = Netgraph.Zoo.geant () in
+    let g = entry.Netgraph.Zoo.graph in
+    let net = Igp.Network.create g in
+    let prng = Kit.Prng.create ~seed:23 in
+    let prefixes = Array.of_list (Igp.Prefix.synthesize prng ~n:geant_prefixes) in
+    let nodes = Array.of_list (G.nodes g) in
+    Array.iter
+      (fun p ->
+        Igp.Network.announce_prefix net p ~origin:(Kit.Prng.pick prng nodes)
+          ~cost:0)
+      prefixes;
+    let t0 = Unix.gettimeofday () in
+    Igp.Network.warm net;
+    let warm_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let flat_lpm router a =
+      (* Reference: longest announced prefix covering [a] that has a FIB
+         at this router, found by linear scan. *)
+      Array.fold_left
+        (fun best p ->
+          if not (Igp.Prefix.contains_addr p a) then best
+          else
+            match Igp.Network.fib net ~router p with
+            | None -> best
+            | Some fib -> (
+              match best with
+              | Some (q, _) when Igp.Prefix.len q >= Igp.Prefix.len p -> best
+              | _ -> Some (p, fib)))
+        None prefixes
+    in
+    let agree label =
+      let bad = ref 0 in
+      for _ = 1 to 200 do
+        let router = Kit.Prng.pick prng nodes in
+        let p = Kit.Prng.pick prng prefixes in
+        let a = Igp.Prefix.first_addr p in
+        match (Igp.Network.lpm net ~router a, flat_lpm router a) with
+        | None, None -> ()
+        | Some (_, agg), Some (_, flat) ->
+          if not (Igp.Fib.same_behavior agg flat) then incr bad
+        | _ -> incr bad
+      done;
+      if !bad > 0 then begin
+        Format.printf "GEANT %s: %d/200 probes disagree with flat FIB@." label
+          !bad;
+        failed := true
+      end
+    in
+    agree "baseline";
+    (* Lie churn: inject and retract fakes on random announced prefixes,
+       reconverging and re-probing each time. *)
+    let lies = if quick then 5 else 20 in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to lies do
+      let at = Kit.Prng.pick prng nodes in
+      let prefix = Kit.Prng.pick prng prefixes in
+      let forwarding = fst (Kit.Prng.pick prng (Array.of_list (G.succ g at))) in
+      let fake_id = Printf.sprintf "tfib%d" i in
+      Igp.Network.inject_fake net
+        { fake_id; attachment = at; attachment_cost = 1; prefix;
+          announced_cost = 0; forwarding };
+      Igp.Network.warm net;
+      agree (Printf.sprintf "lie %d installed" i);
+      Igp.Network.retract_fake net ~fake_id;
+      Igp.Network.warm net;
+      agree (Printf.sprintf "lie %d retracted" i)
+    done;
+    let lie_ms = (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int lies in
+    (* Aggregation payoff across the real per-router tries. *)
+    let ratios, kbs =
+      List.split
+        (List.map
+           (fun router ->
+             let s = Igp.Spf_engine.aggregation (Igp.Network.engine net) ~router in
+             (s.Igp.Fib_trie.ratio,
+              float_of_int s.Igp.Fib_trie.approx_bytes /. 1024.))
+           (Array.to_list nodes))
+    in
+    let mean l = List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+    (warm_ms, lie_ms, mean ratios, mean kbs)
+  in
+  Format.printf
+    "GEANT x %d prefixes: warm %8.1f ms, %8.2f ms per lie cycle, mean \
+     aggregation ratio %.2f, %.0f KB trie per router@."
+    geant_prefixes warm_ms lie_ms agg_ratio agg_kb;
+  if json then begin
+    let oc = open_out "BENCH_fib.json" in
+    let field fmt (n, build_ms, (s : Igp.Fib_trie.stats), ms_per_op, vpo) =
+      Printf.sprintf fmt n build_ms s.routes s.installed s.ratio s.approx_bytes
+        ms_per_op vpo
+    in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"fib\",\n\
+      \  \"scales\": [\n%s\n  ],\n\
+      \  \"geant\": {\"prefixes\": %d, \"warm_ms\": %.2f, \"lie_cycle_ms\": \
+       %.2f,\n\
+      \            \"mean_aggregation_ratio\": %.3f, \
+       \"mean_trie_kb\": %.1f},\n\
+      \  \"equivalent\": %b\n\
+       }\n"
+      (String.concat ",\n"
+         (List.map
+            (field
+               "    {\"prefixes\": %d, \"build_ms\": %.2f, \"routes\": %d, \
+                \"installed\": %d,\n\
+               \     \"aggregation_ratio\": %.3f, \"approx_bytes\": %d, \
+                \"update_ms\": %.5f,\n\
+               \     \"visited_per_update\": %.1f}")
+            results))
+      geant_prefixes warm_ms lie_ms agg_ratio agg_kb (not !failed);
+    close_out oc;
+    Format.printf "wrote BENCH_fib.json@."
+  end;
+  (match history with
+  | None -> ()
+  | Some file ->
+    let rows =
+      List.map
+        (fun (n, _, (s : Igp.Fib_trie.stats), ms_per_op, vpo) ->
+          {
+            Obs.History.tag;
+            track = "fib_update";
+            values =
+              [
+                ("wall_ms", ms_per_op);
+                ("visited_per_update", vpo);
+                ("aggregation_ratio", s.ratio);
+                ("prefixes", float_of_int n);
+              ];
+          })
+        results
+    in
+    Obs.History.append ~file rows;
+    Format.printf "appended %d rows (tag %s) to %s@." (List.length rows) tag
+      file);
+  if !failed then begin
+    Format.printf "TFIB FAILED: aggregated FIB diverged or updates scale with table size@.";
+    exit 1
+  end
+
 let gate_main ~file =
   section "GATE" "Bench-history regression gate (newest row vs rolling median)";
   match Obs.History.load ~file with
@@ -1841,6 +2079,22 @@ let () =
     Format.printf "@.done.@.";
     exit 0
   end;
+  if Array.exists (fun a -> a = "fib-quick") Sys.argv then begin
+    (* Prefix-scale FIB smoke for @fib-quick / @check: reduced-scale
+       trie build + churn with the flat/aggregated equivalence and
+       FAQS update-cost gates; exits 1 on divergence. *)
+    tfib ~json:false ~quick:true ~history:None ~tag:"dev" ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
+  if Array.exists (fun a -> a = "fib") Sys.argv then begin
+    (* Full-scale TFIB only (with json: regenerates BENCH_fib.json;
+       with --history: appends fib_update rows for the gate). *)
+    let tag = Option.value ~default:"dev" (flag_value "tag") in
+    tfib ~json ~quick ~history:(flag_value "history") ~tag ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
   if Array.exists (fun a -> a = "flow-quick") Sys.argv then begin
     (* Standalone smoke for @flow-quick / @check: just the flow engine
        section at reduced scale, no JSON. *)
@@ -1896,6 +2150,7 @@ let () =
   tspf ~json ();
   tflow ~json ~quick ();
   tpar ~json ~quick ();
+  tfib ~json ~quick ~history:None ~tag:"dev" ();
   twatch ~quick ();
   if not quick then bechamel_timings ();
   (* Last: pins the default pool width to 1 for its own nets. *)

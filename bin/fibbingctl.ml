@@ -70,8 +70,22 @@ let domains_arg =
 
 let apply_domains d = Kit.Pool.set_default_domains d
 
+(* Prefixes are validated at the CLI boundary: a malformed CIDR is a
+   usage error with the parser's reason, not an unroutable destination. *)
+let prefix_conv =
+  let parse s =
+    match Igp.Prefix.of_string s with
+    | Ok p -> Ok p
+    | Error reason -> Error (`Msg reason)
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Igp.Prefix.to_string p))
+
 let prefix_arg =
-  Arg.(value & opt string "blue" & info [ "p"; "prefix" ] ~docv:"PREFIX" ~doc:"Prefix name.")
+  Arg.(
+    value
+    & opt prefix_conv (Igp.Prefix.v "blue")
+    & info [ "p"; "prefix" ] ~docv:"PREFIX"
+        ~doc:"Destination prefix (name or CIDR, e.g. 10.1.0.0/16).")
 
 let with_network spec prefix f =
   match parse_topology spec with

@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Traffic-engineering shoot-out on a random ISP-like topology:
 
      - plain IGP/ECMP (no reaction at all),
@@ -26,7 +27,7 @@ let () =
   let demand_each = 120. in
   let capacity = 100. in
   let caps = Netsim.Link.capacities ~default:capacity in
-  let prefix = "cdn" in
+  let prefix = pfx "cdn" in
 
   let fresh_net () =
     let net = Igp.Network.create (G.copy g) in

@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Uneven load-balancing with stock ECMP hardware: how Fibbing encodes
    fractional ratios as fake-route multiplicities, and what precision a
    given FIB width buys.
@@ -7,7 +8,7 @@
 let () =
   let d = Netgraph.Topologies.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   let names = Netgraph.Graph.name d.graph in
 
   let desired = [ (d.r2, 0.28); (d.r3, 0.72) ] in
@@ -37,7 +38,7 @@ let () =
 
   (* Install the 16-entry version and measure what actually happens to
      fluid traffic. *)
-  let reqs = { Fibbing.Requirements.prefix = "blue"; routers = [ { router = d.b; splits } ] } in
+  let reqs = { Fibbing.Requirements.prefix = pfx "blue"; routers = [ { router = d.b; splits } ] } in
   match Fibbing.Augmentation.compile ~max_entries:16 net reqs with
   | Error e -> Format.printf "compilation failed: %s@." e
   | Ok plan ->
@@ -47,7 +48,7 @@ let () =
       (List.assoc d.b plan.costs);
     let loads =
       Netsim.Loadmap.propagate net
-        [ { src = d.b; prefix = "blue"; amount = 1000. } ]
+        [ { src = d.b; prefix = pfx "blue"; amount = 1000. } ]
     in
     Format.printf "Fluid load for 1000 units entering at B:@.";
     Format.printf "%a"
@@ -55,7 +56,7 @@ let () =
       loads;
     (* And the per-flow view: hashing 1000 flows approximates the same
        ratio without any per-flow state in the network. *)
-    let fib = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+    let fib = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
     let to_r3 = ref 0 in
     let flows = 1000 in
     for flow_id = 0 to flows - 1 do

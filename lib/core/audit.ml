@@ -49,7 +49,7 @@ let run net =
               fakes =
                 List.filter
                   (fun (f : Igp.Lsa.fake) ->
-                    f.attachment = router && String.equal f.prefix prefix)
+                    f.attachment = router && Igp.Prefix.equal f.prefix prefix)
                   fakes;
               mode =
                 (if lied_distance < honest_distance then Overrides else Extends);
@@ -85,7 +85,7 @@ let pp ~names fmt t =
     List.iter
       (fun audit ->
         Format.fprintf fmt "  %s @@ %s: %s, cost %d (honest %d), %s via %a@."
-          audit.prefix (names audit.router)
+          (Igp.Prefix.to_string audit.prefix) (names audit.router)
           (match audit.mode with
           | Extends -> "extends ECMP"
           | Overrides -> "overrides routing")

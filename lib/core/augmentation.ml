@@ -16,7 +16,7 @@ let fake_count plan = List.length plan.fakes
 
 let ( let* ) = Result.bind
 
-let default_tag prefix = Printf.sprintf "fib:%s" prefix
+let default_tag prefix = Printf.sprintf "fib:%s" (Igp.Prefix.to_string prefix)
 
 let fake_id ~tag ~router_name ~hop_name ~index =
   Printf.sprintf "%s/%s>%s#%d" tag router_name hop_name index
@@ -55,13 +55,13 @@ let extension_plan ?(max_entries = Splitting.default_max_entries)
     | (rr : Requirements.router_requirement) :: rest ->
       let rname = Graph.name g rr.router in
       (match Igp.Network.fib net ~router:rr.router reqs.prefix with
-      | None -> Error (Printf.sprintf "%s cannot reach %s" rname reqs.prefix)
+      | None -> Error (Printf.sprintf "%s cannot reach %s" rname (Igp.Prefix.to_string reqs.prefix))
       | Some fib ->
         if Igp.Fib.uses_fake fib then
           Error
             (Printf.sprintf
                "%s already has fake routes for %s; retract them first" rname
-               reqs.prefix)
+               (Igp.Prefix.to_string reqs.prefix))
         else begin
           let weighted = Splitting.multiplicities ~max_entries rr.splits in
           let desired_hops = List.map fst weighted in
@@ -129,7 +129,7 @@ let override_plan ?(max_entries = Splitting.default_max_entries) ?tag
     | Some v ->
       Error
         (Printf.sprintf "%s already has fake routes for %s; retract them first"
-           (Graph.name g v) reqs.prefix)
+           (Graph.name g v) (Igp.Prefix.to_string reqs.prefix))
     | None -> Ok ()
   in
   (* Current SPF distances (no fakes of ours involved, per check above). *)
@@ -141,7 +141,7 @@ let override_plan ?(max_entries = Splitting.default_max_entries) ?tag
   let* () =
     match List.find_opt (fun v -> distance_of v = max_int) lied with
     | Some v ->
-      Error (Printf.sprintf "%s cannot reach %s" (Graph.name g v) reqs.prefix)
+      Error (Printf.sprintf "%s cannot reach %s" (Graph.name g v) (Igp.Prefix.to_string reqs.prefix))
     | None -> Ok ()
   in
   (* dist(u -> v) for every router u, for each lied-to v. *)
@@ -216,13 +216,13 @@ let hybrid_plan ?(max_entries = Splitting.default_max_entries) ?tag ?(pin = [])
       | (router, weighted) :: rest ->
         let rname = Graph.name g router in
         (match Igp.Network.fib net ~router reqs.prefix with
-        | None -> Error (Printf.sprintf "%s cannot reach %s" rname reqs.prefix)
+        | None -> Error (Printf.sprintf "%s cannot reach %s" rname (Igp.Prefix.to_string reqs.prefix))
         | Some fib ->
           if Igp.Fib.uses_fake fib then
             Error
               (Printf.sprintf
                  "%s already has fake routes for %s; retract them first" rname
-                 reqs.prefix)
+                 (Igp.Prefix.to_string reqs.prefix))
           else begin
             let desired_hops = List.map fst weighted in
             let real_hops = Igp.Fib.next_hops fib in

@@ -155,7 +155,7 @@ let record t ~time ~prefix description =
     Obs.Metrics.set g_fakes_live (float_of_int (fake_count t));
     Obs.Timeline.record ~time ~source:"controller" ~kind:"action"
       [
-        ("prefix", String prefix);
+        ("prefix", String (Igp.Prefix.to_string prefix));
         ("description", String description);
         ("fakes", Int fakes_installed);
       ]
@@ -178,7 +178,7 @@ let withdraw_all t =
 
 let announcers_of net prefix =
   List.filter_map
-    (fun (p, origin, _) -> if String.equal p prefix then Some origin else None)
+    (fun (p, origin, _) -> if Igp.Prefix.equal p prefix then Some origin else None)
     (Igp.Lsdb.prefixes (Igp.Network.lsdb net))
 
 let announcer_of net prefix =
@@ -226,7 +226,7 @@ let quarantine t ~time ~prefix ~reason =
        leave the prefix lie-free. *)
     List.iter
       (fun (f : Igp.Lsa.fake) ->
-        if String.equal f.prefix prefix then retract_if_installed t f)
+        if Igp.Prefix.equal f.prefix prefix then retract_if_installed t f)
       (Igp.Network.fakes t.net);
     Hashtbl.replace t.quarantined prefix (time +. t.config.quarantine_hold);
     t.calm_since <- None;
@@ -235,7 +235,7 @@ let quarantine t ~time ~prefix ~reason =
     if Obs.enabled () then
       Obs.Timeline.record ~time ~source:"controller" ~kind:"quarantine"
         [
-          ("prefix", String prefix);
+          ("prefix", String (Igp.Prefix.to_string prefix));
           ("reason", String reason);
           ("hold_until", Float (time +. t.config.quarantine_hold));
         ]
@@ -421,7 +421,7 @@ let demand_loads sim ~prefix ~via =
       match Sim.flow_path sim flow.id with
       | None -> ()
       | Some path ->
-        let mine = String.equal flow.prefix prefix && List.mem via path in
+        let mine = Igp.Prefix.equal flow.prefix prefix && List.mem via path in
         let rec walk = function
           | u :: (v :: _ as rest) ->
             bump (if mine then own else other) (u, v) flow.demand;
@@ -609,7 +609,7 @@ let install t ~time ~prefix ~router splits =
   else
     install_requirements t ~time ~prefix
       ~description:
-        (Format.asprintf "steer %s at %s: %a" prefix (Graph.name g router)
+        (Format.asprintf "steer %s at %s: %a" (Igp.Prefix.to_string prefix) (Graph.name g router)
            (Format.pp_print_list
               ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
               (fun fmt (s : Requirements.split) ->
@@ -638,7 +638,7 @@ let rec handle_router t sim ~time ~prefix ~visited ~depth v =
         List.fold_left
           (fun acc (flow : Flow.t) ->
             match Sim.flow_path sim flow.id with
-            | Some path when String.equal flow.prefix prefix && List.mem v path ->
+            | Some path when Igp.Prefix.equal flow.prefix prefix && List.mem v path ->
               acc +. flow.demand
             | Some _ | None -> acc)
           0. (Sim.active_flows sim)
@@ -684,7 +684,7 @@ let rec handle_router t sim ~time ~prefix ~visited ~depth v =
         List.iter
           (fun (flow : Flow.t) ->
             match Sim.flow_path sim flow.id with
-            | Some path when String.equal flow.prefix prefix ->
+            | Some path when Igp.Prefix.equal flow.prefix prefix ->
               let rec find_pred = function
                 | u :: (w :: _ as rest) ->
                   if w = v then
@@ -710,7 +710,7 @@ let rec handle_router t sim ~time ~prefix ~visited ~depth v =
           if Obs.enabled () then
             Obs.Timeline.record ~time ~source:"controller" ~kind:"escalate"
               [
-                ("prefix", String prefix);
+                ("prefix", String (Igp.Prefix.to_string prefix));
                 ("from", String (Graph.name g v));
                 ("to", String (Graph.name g u));
                 ("depth", Int (depth + 1));
@@ -734,7 +734,7 @@ let handle_global t sim ~time ~prefix =
       let by_src = Hashtbl.create 4 in
       List.iter
         (fun (flow : Flow.t) ->
-          if String.equal flow.prefix prefix && flow.src <> egress then
+          if Igp.Prefix.equal flow.prefix prefix && flow.src <> egress then
             Hashtbl.replace by_src flow.src
               (flow.demand
               +. Option.value ~default:0. (Hashtbl.find_opt by_src flow.src)))
@@ -755,7 +755,7 @@ let handle_global t sim ~time ~prefix =
           ignore
             (install_requirements t ~time ~prefix
                ~description:
-                 (Printf.sprintf "re-optimize %s: %d routers steered" prefix
+                 (Printf.sprintf "re-optimize %s: %d routers steered" (Igp.Prefix.to_string prefix)
                     (List.length routers))
                routers)
       end

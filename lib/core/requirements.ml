@@ -34,10 +34,10 @@ let validate net t =
   let error fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
   let announcers =
     List.filter_map
-      (fun (p, origin, _) -> if String.equal p t.prefix then Some origin else None)
+      (fun (p, origin, _) -> if Igp.Prefix.equal p t.prefix then Some origin else None)
       (Igp.Lsdb.prefixes (Igp.Network.lsdb net))
   in
-  if announcers = [] then error "prefix %s is not announced" t.prefix;
+  if announcers = [] then error "prefix %s is not announced" (Igp.Prefix.to_string t.prefix);
   let seen_routers = Hashtbl.create 8 in
   List.iter
     (fun { router; splits } ->
@@ -46,7 +46,7 @@ let validate net t =
         error "router %s appears twice" rname;
       Hashtbl.replace seen_routers router ();
       if List.mem router announcers then
-        error "router %s announces %s itself; its delivery cannot be overridden" rname t.prefix;
+        error "router %s announces %s itself; its delivery cannot be overridden" rname (Igp.Prefix.to_string t.prefix);
       if splits = [] then error "router %s has no next hops" rname;
       let seen_hops = Hashtbl.create 8 in
       List.iter
@@ -68,7 +68,7 @@ let validate net t =
   | errs -> Error (String.concat "; " errs)
 
 let pp ~names fmt t =
-  Format.fprintf fmt "requirements(%s):@." t.prefix;
+  Format.fprintf fmt "requirements(%s):@." (Igp.Prefix.to_string t.prefix);
   List.iter
     (fun { router; splits } ->
       Format.fprintf fmt "  %s -> %a@." (names router)

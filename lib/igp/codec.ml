@@ -31,10 +31,15 @@ let check_name name value =
 
 let string_length s = 1 + String.length s
 
+(* Prefixes travel as their canonical text form (name or CIDR); the
+   decoder re-validates through [Prefix.of_string]. *)
+let prefix_string = Prefix.to_string
+
 let body_length = function
   | Lsa.Router { links; _ } -> 2 + (6 * List.length links)
-  | Lsa.Prefix { prefix; _ } -> string_length prefix + 3 + 4
-  | Lsa.Fake f -> string_length f.fake_id + 2 + string_length f.prefix + 3 + 4
+  | Lsa.Prefix { prefix; _ } -> string_length (prefix_string prefix) + 3 + 4
+  | Lsa.Fake f ->
+    string_length f.fake_id + 2 + string_length (prefix_string f.prefix) + 3 + 4
 
 let wire_length packet = header_length + body_length packet.lsa
 
@@ -82,11 +87,11 @@ let encode ?(age = 0) packet =
       links;
     if List.length links > 0xffff then invalid_arg "Codec.encode: too many links"
   | Lsa.Prefix { prefix; cost; _ } ->
-    check_name "prefix" prefix;
+    check_name "prefix" (prefix_string prefix);
     check_range "external metric" cost 24
   | Lsa.Fake f ->
     check_name "fake id" f.fake_id;
-    check_name "prefix" f.prefix;
+    check_name "prefix" (prefix_string f.prefix);
     check_range "attachment cost" f.attachment_cost 16;
     check_range "announced cost" f.announced_cost 24;
     check_range "forwarding" f.forwarding 32);
@@ -109,13 +114,13 @@ let encode ?(age = 0) packet =
           put_u16 buf pos metric)
         pos links
     | Lsa.Prefix { prefix; cost; _ } ->
-      let pos = put_string buf pos prefix in
+      let pos = put_string buf pos (prefix_string prefix) in
       let pos = put_u24 buf pos cost in
       put_u32 buf pos 0 (* forwarding address: none *)
     | Lsa.Fake f ->
       let pos = put_string buf pos f.fake_id in
       let pos = put_u16 buf pos f.attachment_cost in
-      let pos = put_string buf pos f.prefix in
+      let pos = put_string buf pos (prefix_string f.prefix) in
       let pos = put_u24 buf pos f.announced_cost in
       put_u32 buf pos f.forwarding
   in
@@ -164,6 +169,15 @@ let get_string c what =
   c.pos <- c.pos + len;
   s
 
+(* A wire prefix must parse: any malformed prefix string used to slip
+   through here as an unroutable exact-match destination. *)
+let get_prefix c what =
+  let s = get_string c what in
+  match Prefix.of_string s with
+  | Ok p -> p
+  | Error reason ->
+    raise (Malformed (Printf.sprintf "%s at offset %d: %s" what c.pos reason))
+
 let decode_age buf =
   if Bytes.length buf < header_length then Error "truncated header"
   else Ok (Bytes.get_uint16_be buf 0)
@@ -205,14 +219,14 @@ let decode buf =
         in
         Lsa.Router { origin; links }
       | 5 ->
-        let prefix = get_string c "prefix" in
+        let prefix = get_prefix c "prefix" in
         let cost = get_u24 c "metric" in
         let _forwarding = get_u32 c "forwarding" in
         Lsa.Prefix { origin; prefix; cost }
       | 9 ->
         let fake_id = get_string c "fake id" in
         let attachment_cost = get_u16 c "attachment cost" in
-        let prefix = get_string c "prefix" in
+        let prefix = get_prefix c "prefix" in
         let announced_cost = get_u24 c "announced cost" in
         let forwarding = get_u32 c "forwarding" in
         Lsa.Fake

@@ -23,11 +23,28 @@ type t = {
   entries : entry list;  (** Sorted by next hop. *)
 }
 
+val make :
+  router:Netgraph.Graph.node ->
+  prefix:Lsa.prefix ->
+  distance:int ->
+  local:bool ->
+  entry list ->
+  t
+(** Checked constructor: raises [Invalid_argument] unless every entry
+    has multiplicity >= 1 and entries are strictly sorted by next hop
+    (canonical form). Zero- or negative-multiplicity entries used to be
+    accepted silently and skewed {!fractions}/{!total_multiplicity}. *)
+
+val invariant : t -> (unit, string) result
+(** The {!make} check, as a result — asserted by the watchdog's safety
+    pass on live FIBs. *)
+
 val next_hops : t -> Netgraph.Graph.node list
 (** Distinct next hops, ascending. *)
 
 val weights : t -> (Netgraph.Graph.node * int) list
-(** Next hop with aggregated multiplicity, ascending by next hop. *)
+(** Next hop with aggregated multiplicity, in canonical form: ascending
+    by next hop, duplicate next-hop entries merged. *)
 
 val total_multiplicity : t -> int
 
@@ -39,6 +56,13 @@ val uses_fake : t -> bool
 
 val equal_forwarding : t -> t -> bool
 (** Same next hops with the same aggregated multiplicities (ignores which
-    fakes produced them). *)
+    fakes produced them). Compares canonical {!weights}, so entry order
+    and duplicate next-hop splits do not matter. *)
+
+val same_behavior : t -> t -> bool
+(** Forwarding-behavior equality used as the trie aggregation relation:
+    both local, or both non-local with {!equal_forwarding}. Ignores
+    [router], [prefix] and [distance] — two routes with the same
+    behavior may be collapsed into one aggregated entry. *)
 
 val pp : names:(Netgraph.Graph.node -> string) -> Format.formatter -> t -> unit

@@ -1,4 +1,4 @@
-type prefix = string
+type prefix = Prefix.t
 
 type fake = {
   fake_id : string;
@@ -24,7 +24,8 @@ let max_age = 3600.
 
 let key = function
   | Router { origin; _ } -> Printf.sprintf "router:%d" origin
-  | Prefix { origin; prefix; _ } -> Printf.sprintf "prefix:%d:%s" origin prefix
+  | Prefix { origin; prefix; _ } ->
+    Printf.sprintf "prefix:%d:%s" origin (Prefix.to_string prefix)
   | Fake { fake_id; _ } -> Printf.sprintf "fake:%s" fake_id
 
 let pp ~names fmt = function
@@ -35,8 +36,10 @@ let pp ~names fmt = function
          (fun fmt (v, w) -> Format.fprintf fmt "%s/%d" (names v) w))
       links
   | Prefix { origin; prefix; cost } ->
-    Format.fprintf fmt "Prefix(%s via %s cost %d)" prefix (names origin) cost
+    Format.fprintf fmt "Prefix(%s via %s cost %d)" (Prefix.to_string prefix)
+      (names origin) cost
   | Fake f ->
     Format.fprintf fmt "Fake(%s @@ %s link %d, %s cost %d -> fwd %s)" f.fake_id
-      (names f.attachment) f.attachment_cost f.prefix f.announced_cost
-      (names f.forwarding)
+      (names f.attachment) f.attachment_cost
+      (Prefix.to_string f.prefix)
+      f.announced_cost (names f.forwarding)

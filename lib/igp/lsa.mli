@@ -10,9 +10,10 @@
       carrying a forwarding-address mapping to a physical neighbor of the
       attachment router. This is the Fibbing "lie". *)
 
-type prefix = string
-(** Destination prefixes are identified by name (the paper's "blue
-    prefix"). *)
+type prefix = Prefix.t
+(** Destination prefixes are parsed CIDR values (see {!Prefix}); the
+    paper's named prefixes ("blue") are synthetic host routes created
+    through the {!Prefix.v} compatibility constructor. *)
 
 type fake = {
   fake_id : string;  (** Unique identifier, e.g. ["fB"], ["fA#1"]. *)

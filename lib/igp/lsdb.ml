@@ -44,6 +44,10 @@ type t = {
   mutable version : int;
   mutable last_origin : Graph.node option;
   mutable cached_view : (int * view) option;
+  mutable resolver : (int * Lsa.prefix Fib_trie.t) option;
+      (* LPM index over announced prefixes, rebuilt lazily per version;
+         maps any destination prefix to the announced prefix governing
+         it (longest covering announcement). *)
   mutable delta_log : (int * delta) list; (* newest first *)
   mutable log_entries : int;
   mutable log_floor : int;
@@ -60,6 +64,7 @@ let create base =
     version = 0;
     last_origin = None;
     cached_view = None;
+    resolver = None;
     delta_log = [];
     log_entries = 0;
     log_floor = 0;
@@ -117,13 +122,13 @@ let announce_prefix t prefix ~origin ~cost =
   ignore (Graph.name t.base origin);
   t.last_origin <- Some origin;
   t.announcements <-
-    List.filter (fun (p, o, _) -> not (String.equal p prefix && o = origin)) t.announcements
+    List.filter (fun (p, o, _) -> not (Prefix.equal p prefix && o = origin)) t.announcements
     @ [ (prefix, origin, cost) ];
   bump t (Lsa.key (Prefix { origin; prefix; cost }));
   record t [ Generic_delta ]
 
 let prefix_known t prefix =
-  List.exists (fun (p, _, _) -> String.equal p prefix) t.announcements
+  List.exists (fun (p, _, _) -> Prefix.equal p prefix) t.announcements
 
 let install_fake t (fake : Lsa.fake) =
   if fake.attachment_cost <= 0 then
@@ -136,7 +141,8 @@ let install_fake t (fake : Lsa.fake) =
          fake.fake_id);
   if not (prefix_known t fake.prefix) then
     invalid_arg
-      (Printf.sprintf "Lsdb.install_fake: unknown prefix %s" fake.prefix);
+      (Printf.sprintf "Lsdb.install_fake: unknown prefix %s"
+         (Prefix.to_string fake.prefix));
   let superseded =
     List.find_opt
       (fun (f : Lsa.fake) -> String.equal f.fake_id fake.fake_id)
@@ -211,6 +217,20 @@ let expire_fakes t ~now =
 
 let prefixes t = t.announcements
 
+let resolver t =
+  match t.resolver with
+  | Some (version, trie) when version = t.version -> trie
+  | Some _ | None ->
+    let trie = Fib_trie.create ~eq:Prefix.equal in
+    List.iter
+      (fun (p, _, _) -> Fib_trie.update trie p p)
+      t.announcements;
+    t.resolver <- Some (t.version, trie);
+    trie
+
+let resolve t prefix =
+  Option.map fst (Fib_trie.lookup_within (resolver t) prefix)
+
 let prefix_list t =
   List.sort_uniq compare (List.map (fun (p, _, _) -> p) t.announcements)
 
@@ -258,7 +278,10 @@ let build_view t =
   let sinks = Hashtbl.create (max 16 (2 * Array.length prefixes)) in
   Array.iter
     (fun prefix ->
-      let sink = Graph.add_node graph ~name:(Printf.sprintf "prefix:%s" prefix) in
+      let sink =
+        Graph.add_node graph
+          ~name:(Printf.sprintf "prefix:%s" (Prefix.to_string prefix))
+      in
       Hashtbl.replace sinks prefix sink)
     prefixes;
   List.iter

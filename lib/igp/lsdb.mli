@@ -123,6 +123,14 @@ val prefixes : t -> (Lsa.prefix * Netgraph.Graph.node * int) list
 val prefix_list : t -> Lsa.prefix list
 (** Distinct announced prefixes. *)
 
+val resolve : t -> Lsa.prefix -> Lsa.prefix option
+(** Longest announced prefix covering the given destination (the
+    announcement that governs its routes): exact announcements resolve
+    to themselves; a more-specific destination (a /32 inside an
+    announced /16, say) resolves to its covering announcement; [None]
+    when no announcement covers it. Backed by an LPM index cached per
+    LSDB version. *)
+
 val sequence : t -> key:string -> int option
 (** Current sequence number of the LSA with this [Lsa.key]; [None] if
     never installed. Sequence numbers survive retraction (as in OSPF,

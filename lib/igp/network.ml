@@ -114,6 +114,10 @@ let distance t ~router prefix = Spf_engine.distance t.engine ~router prefix
 let next_hops t ~router prefix =
   match fib t ~router prefix with None -> [] | Some f -> Fib.next_hops f
 
+let resolve t prefix = Lsdb.resolve t.lsdb prefix
+
+let lpm t ~router addr = Spf_engine.lpm t.engine ~router addr
+
 let warm t = Spf_engine.compute_all t.engine
 
 let engine t = t.engine

@@ -56,6 +56,16 @@ val fib_table : t -> Lsa.prefix -> Fib.t option array
 val fibs : t -> Lsa.prefix -> (Netgraph.Graph.node * Fib.t) list
 (** FIB of every router that can reach the prefix, by router id. *)
 
+val resolve : t -> Lsa.prefix -> Lsa.prefix option
+(** Longest announced prefix covering a destination (see
+    {!Lsdb.resolve}); how flows aimed at arbitrary destinations find
+    the announcement that routes them. *)
+
+val lpm :
+  t -> router:Netgraph.Graph.node -> int -> (Lsa.prefix * Fib.t) option
+(** Longest-prefix match of a destination address in the router's
+    aggregated FIB trie (see {!Spf_engine.lpm}). *)
+
 val distance : t -> router:Netgraph.Graph.node -> Lsa.prefix -> int option
 
 val next_hops : t -> router:Netgraph.Graph.node -> Lsa.prefix -> Netgraph.Graph.node list

@@ -38,7 +38,8 @@ let state_safe net ~prefix =
       |> List.map (Graph.name g)
     in
     Error
-      (Printf.sprintf "forwarding loop for %s through {%s}" prefix
+      (Printf.sprintf "forwarding loop for %s through {%s}"
+         (Prefix.to_string prefix)
          (String.concat ", " cyclic))
   end
   else begin
@@ -57,6 +58,6 @@ let state_safe net ~prefix =
     | Some router ->
       Error
         (Printf.sprintf "blackhole for %s at %s: a next hop has no route"
-           prefix (Graph.name g router))
+           (Prefix.to_string prefix) (Graph.name g router))
     | None -> Ok ()
   end

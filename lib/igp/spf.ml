@@ -45,7 +45,7 @@ let fib_of_first_hops (view : Lsdb.view) ~router ~prefix ~sink result =
     let entries =
       List.sort (fun a b -> compare a.Fib.next_hop b.Fib.next_hop) entries
     in
-    Some { Fib.router; prefix; distance; local; entries }
+    Some (Fib.make ~router ~prefix ~distance ~local entries)
 
 let compute_prefix (view : Lsdb.view) ~router prefix =
   check_router view router;

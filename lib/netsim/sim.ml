@@ -665,7 +665,10 @@ let step_body t =
       (fun (f : Igp.Lsa.fake) ->
         Obs.Timeline.record ~time:step_start ~source:"faults"
           ~kind:"lie_expired"
-          [ ("fake", String f.fake_id); ("prefix", String f.prefix) ])
+          [
+            ("fake", String f.fake_id);
+            ("prefix", String (Igp.Prefix.to_string f.prefix));
+          ])
       expired;
   (* 0. Run scheduled actions due now (failures, manual injections),
      ordered by time then registration order for equal timestamps. The
@@ -706,13 +709,26 @@ let step_body t =
     (fun (_, event) ->
       match event with
       | Start flow ->
+        (* Resolve the flow's destination against the announced prefixes
+           by longest-prefix match: a flow aimed inside an announced
+           block is governed by that block's announcement (exact matches
+           — every named prefix — resolve to themselves). The flow then
+           carries the governing prefix, so classes, FIB snapshots and
+           the controller all key on what the routers actually route. *)
+        let flow =
+          match Igp.Network.resolve t.net flow.Flow.prefix with
+          | Some governing
+            when not (Igp.Prefix.equal governing flow.Flow.prefix) ->
+            { flow with Flow.prefix = governing }
+          | Some _ | None -> flow
+        in
         Hashtbl.replace t.active flow.Flow.id flow;
         t.pending_starts <- flow :: t.pending_starts;
         if Obs.enabled () then
           Obs.Timeline.record ~time:step_start ~source:"sim" ~kind:"flow_start"
             [
               ("flow", Int flow.Flow.id);
-              ("prefix", String flow.Flow.prefix);
+              ("prefix", String (Igp.Prefix.to_string flow.Flow.prefix));
               ("demand", Float flow.Flow.demand);
             ]
       | Stop id ->

@@ -17,6 +17,7 @@ type kind =
   | Stale_lie
   | Dangling_lie
   | Link_overload
+  | Malformed_fib
 
 let kind_to_string = function
   | Forwarding_loop -> "forwarding_loop"
@@ -25,6 +26,7 @@ let kind_to_string = function
   | Stale_lie -> "stale_lie"
   | Dangling_lie -> "dangling_lie"
   | Link_overload -> "link_overload"
+  | Malformed_fib -> "malformed_fib"
 
 type violation = {
   time : float;
@@ -118,7 +120,7 @@ let report t ~time ~kind ?prefix ~subject detail =
        ]
       @
       match prefix with
-      | Some p -> [ ("prefix", Obs.Attr.String p) ]
+      | Some p -> [ ("prefix", Obs.Attr.String (Igp.Prefix.to_string p)) ]
       | None -> []);
   Queue.iter (fun hook -> hook v) t.violation_hooks;
   if t.config.fail_fast then raise (Tripped v)
@@ -212,6 +214,19 @@ let sweep_safety t sim ~time ~on_unsafe =
   Obs.Metrics.observe h_prefixes_checked (float_of_int (List.length prefixes));
   List.iter
     (fun prefix ->
+      (* Structural invariant first: [Safety] and the allocator both
+         assume canonical entries with positive multiplicities. *)
+      Array.iter
+        (function
+          | None -> ()
+          | Some (fib : Igp.Fib.t) -> (
+            match Igp.Fib.invariant fib with
+            | Ok () -> ()
+            | Error reason ->
+              report t ~time ~kind:Malformed_fib ~prefix
+                ~subject:(Graph.name (Igp.Network.graph net) fib.router)
+                reason))
+        (Igp.Network.fib_table net prefix);
       match Igp.Safety.state_safe net ~prefix with
       | Ok () -> ()
       | Error problem -> on_unsafe ~time prefix problem)
@@ -230,7 +245,8 @@ let check t sim =
   check_utilization t sim ~time;
   if routing_dirty t (Sim.network sim) then
     sweep_safety t sim ~time ~on_unsafe:(fun ~time prefix problem ->
-        report t ~time ~kind:(classify problem) ~prefix ~subject:prefix problem)
+        report t ~time ~kind:(classify problem) ~prefix
+          ~subject:(Igp.Prefix.to_string prefix) problem)
   else begin
     t.n_skipped <- t.n_skipped + 1;
     Obs.Metrics.incr m_safety_skipped
@@ -252,12 +268,12 @@ let guard t sim =
     sweep_safety t sim ~time:(Sim.time sim) ~on_unsafe:(fun ~time prefix problem ->
         let blamed =
           List.filter
-            (fun (f : Igp.Lsa.fake) -> String.equal f.prefix prefix)
+            (fun (f : Igp.Lsa.fake) -> Igp.Prefix.equal f.prefix prefix)
             (Igp.Lsdb.fakes lsdb)
         in
         if blamed = [] then
-          report t ~time ~kind:(classify problem) ~prefix ~subject:prefix
-            problem
+          report t ~time ~kind:(classify problem) ~prefix
+            ~subject:(Igp.Prefix.to_string prefix) problem
         else begin
           List.iter
             (fun (f : Igp.Lsa.fake) ->
@@ -268,7 +284,7 @@ let guard t sim =
           if Obs.enabled () then
             Obs.Timeline.record ~time ~source:"watchdog" ~kind:"quarantine"
               [
-                ("prefix", Obs.Attr.String prefix);
+                ("prefix", Obs.Attr.String (Igp.Prefix.to_string prefix));
                 ("fakes_purged", Obs.Attr.Int (List.length blamed));
                 ("reason", Obs.Attr.String problem);
               ];
@@ -279,8 +295,8 @@ let guard t sim =
           match Igp.Safety.state_safe net ~prefix with
           | Ok () -> ()
           | Error problem ->
-            report t ~time ~kind:(classify problem) ~prefix ~subject:prefix
-              problem
+            report t ~time ~kind:(classify problem) ~prefix
+              ~subject:(Igp.Prefix.to_string prefix) problem
         end);
     (* The purges themselves bumped the version; absorb them so the
        post-step check does not re-sweep an already-vetted state. *)
@@ -324,5 +340,7 @@ let pp_violation fmt v =
   Format.fprintf fmt "[%.2f] %s %s%s: %s" v.time
     (kind_to_string v.kind)
     v.subject
-    (match v.prefix with Some p -> " (prefix " ^ p ^ ")" | None -> "")
+    (match v.prefix with
+    | Some p -> " (prefix " ^ Igp.Prefix.to_string p ^ ")"
+    | None -> "")
     v.detail

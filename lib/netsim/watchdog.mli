@@ -43,6 +43,9 @@ type kind =
   | Stale_lie  (** Immortal, past-due, or over-aged fake. *)
   | Dangling_lie  (** Forwarding adjacency gone but fake still installed. *)
   | Link_overload
+  | Malformed_fib
+      (** An installed FIB violates {!Igp.Fib.invariant} (non-positive
+          multiplicity or non-canonical entries). *)
 
 val kind_to_string : kind -> string
 

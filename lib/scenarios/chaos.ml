@@ -28,7 +28,7 @@ let ok v =
   v.edges_restored && v.fakes_left = 0 && v.fibs_match
   && v.unroutable_at_end = [] && v.violations = []
 
-let prefix = "blue"
+let prefix = Igp.Prefix.v "blue"
 
 (* Controller tuned for short chaos runs: lies age out in [lie_ttl]
    seconds without refresh, calm withdrawal after [relax_after]. The

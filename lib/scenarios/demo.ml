@@ -10,7 +10,7 @@ type t = {
   dt : float;
 }
 
-let prefix = "blue"
+let prefix = Igp.Prefix.v "blue"
 
 let stream_rate = 131072. (* 1 Mbps *)
 

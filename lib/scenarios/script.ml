@@ -16,7 +16,7 @@ type model = Fairshare | Aimd_model
 
 type command =
   | Topology of string
-  | Prefix of { name : string; at : string; cost : int }
+  | Prefix of { name : Igp.Lsa.prefix; at : string; cost : int }
   | Capacity_default of float
   | Capacity of string * string * float
   | Monitor_cfg of { poll : float; threshold : float; clear : float; alpha : float }
@@ -26,7 +26,7 @@ type command =
   | Flows of {
       count : int;
       src : string;
-      prefix : string;
+      prefix : Igp.Lsa.prefix;
       rate : float;
       at : float;
       duration : float;
@@ -68,6 +68,12 @@ let int_of token =
   | Some i -> Ok i
   | None -> Error (Printf.sprintf "bad integer %S" token)
 
+(* Prefix tokens are validated at parse time: a typo'd CIDR used to
+   sail through as an exact-match string and become an unroutable
+   destination at runtime. [Prefix.of_string]'s error already names the
+   offending token; [parse] prepends the line number. *)
+let prefix_of token = Igp.Prefix.of_string token
+
 let link_of token =
   match String.split_on_char '-' token with
   | [ a; b ] when a <> "" && b <> "" -> Ok (a, b)
@@ -107,6 +113,7 @@ let parse_command = function
   | [] -> Ok None
   | [ "topology"; spec ] -> Ok (Some (Topology spec))
   | "prefix" :: name :: "at" :: at :: rest ->
+    let* name = prefix_of name in
     let* cost =
       match rest with
       | [] -> Ok 0
@@ -139,6 +146,7 @@ let parse_command = function
   | "flows" :: count :: "from" :: src :: "to" :: prefix :: "rate" :: rate
     :: "at" :: at :: rest ->
     let* count = int_of count in
+    let* prefix = prefix_of prefix in
     let* rate = float_of rate in
     let* at = float_of at in
     let* pairs = options [] rest in

@@ -90,7 +90,7 @@ let node_fractions edge_flows =
 let to_requirements net ~prefix edge_flows =
   let announcers =
     List.filter_map
-      (fun (p, origin, _) -> if String.equal p prefix then Some origin else None)
+      (fun (p, origin, _) -> if Igp.Prefix.equal p prefix then Some origin else None)
       (Igp.Lsdb.prefixes (Igp.Network.lsdb net))
   in
   let fractions = node_fractions (cancel_cycles edge_flows) in

@@ -58,7 +58,7 @@ let prepare ?(epsilon = 0.1) ?(max_entries = 16) net ~demands ~capacity
   let egress =
     match
       List.find_map
-        (fun (p, origin, _) -> if String.equal p prefix then Some origin else None)
+        (fun (p, origin, _) -> if Igp.Prefix.equal p prefix then Some origin else None)
         (Igp.Lsdb.prefixes (Igp.Network.lsdb net))
     with
     | Some origin -> origin

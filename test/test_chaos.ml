@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Robustness tests: seeded fault injection, fake-LSA aging, lossy
    flooding, controller crash/restart, and the chaos property — after
    every fault heals and every lie is withdrawn or aged out, routing is
@@ -10,7 +11,7 @@ module Faults = Netsim.Faults
 let demo_net () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   (d, net)
 
 let fake ~id ~at ~cost ~fwd : Igp.Lsa.fake =
@@ -18,7 +19,7 @@ let fake ~id ~at ~cost ~fwd : Igp.Lsa.fake =
     fake_id = id;
     attachment = at;
     attachment_cost = 1;
-    prefix = "blue";
+    prefix = pfx "blue";
     announced_cost = cost - 1;
     forwarding = fwd;
   }
@@ -348,7 +349,7 @@ let test_partition_inject_cuts_and_heals () =
     cut;
   (* The cut is atomic: A keeps no path to the prefix at C. *)
   Alcotest.(check bool) "A separated from C" true
-    (match Igp.Network.fib net ~router:d.a "blue" with
+    (match Igp.Network.fib net ~router:d.a (pfx "blue") with
     | None -> true
     | Some f -> Igp.Fib.next_hops f = []);
   Netsim.Sim.run_until sim 10.;
@@ -358,7 +359,7 @@ let test_partition_inject_cuts_and_heals () =
         (G.has_edge d.graph u v))
     cut;
   Alcotest.(check bool) "A routes to C again" true
-    (Igp.Network.fib net ~router:d.a "blue" <> None)
+    (Igp.Network.fib net ~router:d.a (pfx "blue") <> None)
 
 let test_random_plans_draw_new_kinds () =
   let g = (T.demo ()).graph in
@@ -397,7 +398,7 @@ let cheap ~id ~at ~fwd : Igp.Lsa.fake =
     fake_id = id;
     attachment = at;
     attachment_cost = 1;
-    prefix = "blue";
+    prefix = pfx "blue";
     announced_cost = 0;
     forwarding = fwd;
   }
@@ -416,7 +417,7 @@ let test_watchdog_quiet_on_safe_run () =
   let d, _net, sim = watchdog_sim () in
   let wd = W.arm sim in
   Netsim.Sim.add_flow sim
-    (Netsim.Flow.make ~id:1 ~src:d.a ~prefix:"blue" ~demand:10. ());
+    (Netsim.Flow.make ~id:1 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
   Netsim.Sim.run_until sim 20.;
   Alcotest.(check int) "no violations" 0 (W.violation_count wd);
   Alcotest.(check int) "no quarantines" 0 (W.quarantine_count wd);
@@ -497,14 +498,14 @@ let test_watchdog_guard_quarantines_on_timeline () =
   W.on_quarantine wd (fun ~prefix ~reason:_ ->
       quarantined := prefix :: !quarantined);
   Netsim.Sim.add_flow sim
-    (Netsim.Flow.make ~id:1 ~src:d.a ~prefix:"blue" ~demand:10. ());
+    (Netsim.Flow.make ~id:1 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
   Netsim.Sim.run_until sim 1.;
   inject_loop d net sim;
   Netsim.Sim.run_until sim 3.;
   Alcotest.(check int) "guard caught it pre-routing: zero violations" 0
     (W.violation_count wd);
   Alcotest.(check bool) "quarantine counted" true (W.quarantine_count wd > 0);
-  Alcotest.(check (list string)) "hook saw the prefix" [ "blue" ] !quarantined;
+  Alcotest.(check (list string)) "hook saw the prefix" [ "blue" ] (List.map Igp.Prefix.to_string !quarantined);
   Alcotest.(check int) "lies purged" 0
     (Igp.Lsdb.fake_count (Igp.Network.lsdb net));
   Alcotest.(check bool) "flow routable again" true
@@ -549,7 +550,7 @@ let stream = 131072.
 let controller_sim ?(config = Fibbing.Controller.default_config) () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   let caps = Netsim.Link.capacities ~default:(11. *. 1024. *. 1024.) in
   List.iter
     (fun link -> Netsim.Link.set_link caps link (2.75 *. 1024. *. 1024.))
@@ -566,7 +567,7 @@ let controller_sim ?(config = Fibbing.Controller.default_config) () =
 let surge (d : T.demo) sim =
   for i = 0 to 30 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ())
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:stream ())
   done
 
 let test_dead_controller_lies_age_out () =
@@ -590,12 +591,12 @@ let test_dead_controller_lies_age_out () =
   Netsim.Sim.run_until sim 20.;
   Alcotest.(check int) "all lies aged out" 0 (Igp.Lsdb.fake_count lsdb);
   let reference = Igp.Network.create (G.copy (T.demo ()).graph) in
-  Igp.Network.announce_prefix reference "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix reference (pfx "blue") ~origin:d.c ~cost:0;
   List.iter
     (fun router ->
       match
-        ( Igp.Network.fib net ~router "blue",
-          Igp.Network.fib reference ~router "blue" )
+        ( Igp.Network.fib net ~router (pfx "blue"),
+          Igp.Network.fib reference ~router (pfx "blue") )
       with
       | Some a, Some b ->
         Alcotest.(check bool) "FIB equals pure IGP" true

@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Tests for the Fibbing core: requirements, splitting, augmentation
    compilation (extension and override), verification, the merger, and
    the on-demand load-balancing controller. *)
@@ -10,7 +11,7 @@ module A = Fibbing.Augmentation
 let demo_net () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   (d, net)
 
 let ok_exn = function
@@ -23,42 +24,42 @@ let checkf = Alcotest.(check (float 1e-9))
 
 let test_requirements_validate_ok () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.b, [ (d.r2, 0.5); (d.r3, 0.5) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.b, [ (d.r2, 0.5); (d.r3, 0.5) ]) ] in
   Alcotest.(check bool) "valid" true (R.validate net reqs = Ok ())
 
 let test_requirements_even () =
   let d, _ = demo_net () in
-  let reqs = R.even ~prefix:"blue" ~router:d.b [ d.r2; d.r3 ] in
+  let reqs = R.even ~prefix:(pfx "blue") ~router:d.b [ d.r2; d.r3 ] in
   match reqs.routers with
   | [ { splits; _ } ] -> checkf "half" 0.5 (List.hd splits).fraction
   | _ -> Alcotest.fail "one router expected"
 
 let test_requirements_reject_non_neighbor () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.a, [ (d.c, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.a, [ (d.c, 1.0) ]) ] in
   Alcotest.(check bool) "rejected" true (Result.is_error (R.validate net reqs))
 
 let test_requirements_reject_bad_fractions () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.b, [ (d.r2, 0.5); (d.r3, 0.2) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.b, [ (d.r2, 0.5); (d.r3, 0.2) ]) ] in
   Alcotest.(check bool) "sum != 1 rejected" true (Result.is_error (R.validate net reqs))
 
 let test_requirements_reject_announcer () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.c, [ (d.r2, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.c, [ (d.r2, 1.0) ]) ] in
   Alcotest.(check bool) "announcer rejected" true (Result.is_error (R.validate net reqs))
 
 let test_requirements_reject_unknown_prefix () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"green" [ (d.b, [ (d.r2, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "green") [ (d.b, [ (d.r2, 1.0) ]) ] in
   Alcotest.(check bool) "unknown prefix rejected" true
     (Result.is_error (R.validate net reqs))
 
 let test_requirements_reject_duplicates () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.b, [ (d.r2, 1.0) ]); (d.b, [ (d.r3, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.b, [ (d.r2, 1.0) ]); (d.b, [ (d.r3, 1.0) ]) ] in
   Alcotest.(check bool) "dup router rejected" true (Result.is_error (R.validate net reqs));
-  let reqs2 = R.make ~prefix:"blue" [ (d.b, [ (d.r2, 0.5); (d.r2, 0.5) ]) ] in
+  let reqs2 = R.make ~prefix:(pfx "blue") [ (d.b, [ (d.r2, 0.5); (d.r2, 0.5) ]) ] in
   Alcotest.(check bool) "dup hop rejected" true (Result.is_error (R.validate net reqs2))
 
 (* ---------- Splitting ---------- *)
@@ -91,7 +92,7 @@ let test_extension_reproduces_demo_fakes () =
      1/3-2/3: two fakes at cost 3 (the paper's two fA). *)
   let d, net = demo_net () in
   let reqs =
-    R.make ~prefix:"blue"
+    R.make ~prefix:(pfx "blue")
       [
         (d.b, [ (d.r2, 0.5); (d.r3, 0.5) ]);
         (d.a, [ (d.b, 1. /. 3.); (d.r1, 2. /. 3.) ]);
@@ -115,24 +116,24 @@ let test_extension_reproduces_demo_fakes () =
 
 let test_extension_apply_changes_fibs () =
   let d, net = demo_net () in
-  let reqs = R.even ~prefix:"blue" ~router:d.b [ d.r2; d.r3 ] in
+  let reqs = R.even ~prefix:(pfx "blue") ~router:d.b [ d.r2; d.r3 ] in
   let plan = ok_exn (A.extension_plan net reqs) in
   A.apply net plan;
-  let fib = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  let fib = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
   Alcotest.(check (list int)) "ECMP installed" [ d.r2; d.r3 ] (Igp.Fib.next_hops fib);
   A.revert net plan;
-  let fib = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  let fib = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
   Alcotest.(check (list int)) "reverted" [ d.r2 ] (Igp.Fib.next_hops fib)
 
 let test_extension_cannot_remove_next_hop () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.b, [ (d.r3, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.b, [ (d.r3, 1.0) ]) ] in
   Alcotest.(check bool) "extension refuses" true
     (Result.is_error (A.extension_plan net reqs))
 
 let test_extension_requires_clean_state () =
   let d, net = demo_net () in
-  let reqs = R.even ~prefix:"blue" ~router:d.b [ d.r2; d.r3 ] in
+  let reqs = R.even ~prefix:(pfx "blue") ~router:d.b [ d.r2; d.r3 ] in
   let plan = ok_exn (A.extension_plan net reqs) in
   A.apply net plan;
   Alcotest.(check bool) "second compile rejected" true
@@ -142,25 +143,25 @@ let test_extension_requires_clean_state () =
 
 let test_override_replaces_next_hop () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.b, [ (d.r3, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.b, [ (d.r3, 1.0) ]) ] in
   let plan = ok_exn (A.override_plan net reqs) in
   A.apply net plan;
-  let fib = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  let fib = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
   Alcotest.(check (list int)) "only R3" [ d.r3 ] (Igp.Fib.next_hops fib);
   Alcotest.(check bool) "cheaper than 2" true (fib.distance < 2)
 
 let test_override_costs_below_current () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.a, [ (d.r1, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.a, [ (d.r1, 1.0) ]) ] in
   let plan = ok_exn (A.override_plan net reqs) in
   Alcotest.(check (list (pair int int))) "cost = D(A)-1 = 2" [ (d.a, 2) ] plan.costs
 
 let test_override_uneven () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.b, [ (d.r2, 0.25); (d.r3, 0.75) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.b, [ (d.r2, 0.25); (d.r3, 0.75) ]) ] in
   let plan = ok_exn (A.override_plan net reqs) in
   A.apply net plan;
-  let fib = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  let fib = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
   Alcotest.(check (list (pair int int))) "1:3" [ (d.r2, 1); (d.r3, 3) ]
     (Igp.Fib.weights fib)
 
@@ -169,39 +170,39 @@ let test_override_uneven () =
 let test_compile_demo_full () =
   let d, net = demo_net () in
   let reqs =
-    R.make ~prefix:"blue"
+    R.make ~prefix:(pfx "blue")
       [
         (d.b, [ (d.r2, 0.5); (d.r3, 0.5) ]);
         (d.a, [ (d.b, 1. /. 3.); (d.r1, 2. /. 3.) ]);
       ]
   in
-  let baseline = Fibbing.Verify.snapshot net "blue" in
+  let baseline = Fibbing.Verify.snapshot net (pfx "blue") in
   let plan = ok_exn (A.compile ~max_entries:4 net reqs) in
   A.apply net plan;
   let report =
-    Fibbing.Verify.check net ~prefix:"blue" ~expected:plan.expected ~baseline
+    Fibbing.Verify.check net ~prefix:(pfx "blue") ~expected:plan.expected ~baseline
   in
   Alcotest.(check bool) "verifies" true report.ok
 
 let test_compile_falls_back_to_override () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.b, [ (d.r3, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.b, [ (d.r3, 1.0) ]) ] in
   let plan = ok_exn (A.compile net reqs) in
   Alcotest.(check bool) "override mode" true (plan.mode = A.Override);
   A.apply net plan;
-  let fib = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  let fib = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
   Alcotest.(check (list int)) "requirement met" [ d.r3 ] (Igp.Fib.next_hops fib)
 
 let test_compile_is_surgical () =
   let d, net = demo_net () in
-  let baseline = Fibbing.Verify.snapshot net "blue" in
-  let reqs = R.make ~prefix:"blue" [ (d.b, [ (d.r3, 1.0) ]) ] in
+  let baseline = Fibbing.Verify.snapshot net (pfx "blue") in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.b, [ (d.r3, 1.0) ]) ] in
   let plan = ok_exn (A.compile net reqs) in
   A.apply net plan;
   List.iter
     (fun (router, before) ->
       if router <> d.b then begin
-        match Igp.Network.fib net ~router "blue" with
+        match Igp.Network.fib net ~router (pfx "blue") with
         | Some after ->
           Alcotest.(check bool)
             (Printf.sprintf "%s untouched" (G.name d.graph router))
@@ -216,18 +217,18 @@ let test_compile_repairs_collateral () =
      equal-cost echo would capture B (and transitively A and R1); the
      repair loop must pin them so only R3's forwarding changes. *)
   let d, net = demo_net () in
-  let baseline = Fibbing.Verify.snapshot net "blue" in
-  let reqs = R.make ~prefix:"blue" [ (d.r3, [ (d.b, 1.0) ]) ] in
+  let baseline = Fibbing.Verify.snapshot net (pfx "blue") in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.r3, [ (d.b, 1.0) ]) ] in
   match A.compile net reqs with
   | Error e -> Alcotest.failf "expected repair to succeed: %s" e
   | Ok plan ->
     A.apply net plan;
-    let fib_r3 = Option.get (Igp.Network.fib net ~router:d.r3 "blue") in
+    let fib_r3 = Option.get (Igp.Network.fib net ~router:d.r3 (pfx "blue")) in
     Alcotest.(check (list int)) "R3 via B" [ d.b ] (Igp.Fib.next_hops fib_r3);
     List.iter
       (fun (router, before) ->
         if router <> d.r3 then begin
-          match Igp.Network.fib net ~router "blue" with
+          match Igp.Network.fib net ~router (pfx "blue") with
           | Some after ->
             Alcotest.(check bool)
               (Printf.sprintf "%s preserved" (G.name d.graph router))
@@ -243,14 +244,14 @@ let test_compile_reports_impossible_undercut () =
      it, so forcing R2 away from C must fail with an explanation, never
      silently misroute. *)
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.r2, [ (d.b, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.r2, [ (d.b, 1.0) ]) ] in
   match A.compile net reqs with
   | Error e -> Alcotest.(check bool) "explains" true (String.length e > 0)
   | Ok _ -> Alcotest.fail "cost-1 undercut should be impossible"
 
 let test_compile_rejects_invalid () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.a, [ (d.c, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.a, [ (d.c, 1.0) ]) ] in
   Alcotest.(check bool) "invalid requirements" true (Result.is_error (A.compile net reqs))
 
 (* Property: on random topologies, a random even-ECMP requirement over
@@ -263,7 +264,7 @@ let prop_compile_verified_on_random =
       let g = T.random prng ~n ~extra_edges:n ~max_weight:3 in
       let announcer = Kit.Prng.int prng n in
       let net = Igp.Network.create g in
-      Igp.Network.announce_prefix net "p" ~origin:announcer ~cost:0;
+      Igp.Network.announce_prefix net (pfx "p") ~origin:announcer ~cost:0;
       let router =
         let r = ref (Kit.Prng.int prng n) in
         while !r = announcer do
@@ -272,7 +273,7 @@ let prop_compile_verified_on_random =
         !r
       in
       let neighbors = List.map fst (G.succ g router) in
-      let dist v = Igp.Network.distance net ~router:v "p" in
+      let dist v = Igp.Network.distance net ~router:v (pfx "p") in
       match dist router with
       | None -> true
       | Some d_r ->
@@ -284,13 +285,13 @@ let prop_compile_verified_on_random =
         if safe = [] then true
         else begin
           let chosen = List.filteri (fun i _ -> i < 3) (List.sort_uniq compare safe) in
-          let reqs = R.even ~prefix:"p" ~router chosen in
-          let baseline = Fibbing.Verify.snapshot net "p" in
+          let reqs = R.even ~prefix:(pfx "p") ~router chosen in
+          let baseline = Fibbing.Verify.snapshot net (pfx "p") in
           match A.compile net reqs with
           | Error _ -> true (* honest failure is acceptable *)
           | Ok plan ->
             A.apply net plan;
-            (Fibbing.Verify.check net ~prefix:"p" ~expected:plan.expected
+            (Fibbing.Verify.check net ~prefix:(pfx "p") ~expected:plan.expected
                ~baseline)
               .ok
         end)
@@ -299,7 +300,7 @@ let prop_compile_verified_on_random =
 
 let test_merger_keeps_needed_fake () =
   let d, net = demo_net () in
-  let reqs = R.even ~prefix:"blue" ~router:d.b [ d.r2; d.r3 ] in
+  let reqs = R.even ~prefix:(pfx "blue") ~router:d.b [ d.r2; d.r3 ] in
   let plan = ok_exn (A.compile net reqs) in
   let minimized = Fibbing.Merger.minimize net reqs plan in
   Alcotest.(check int) "still one fake" 1 (A.fake_count minimized);
@@ -308,18 +309,18 @@ let test_merger_keeps_needed_fake () =
 let test_merger_preserves_verification () =
   let d, net = demo_net () in
   let reqs =
-    R.make ~prefix:"blue"
+    R.make ~prefix:(pfx "blue")
       [
         (d.b, [ (d.r2, 0.5); (d.r3, 0.5) ]);
         (d.a, [ (d.b, 1. /. 3.); (d.r1, 2. /. 3.) ]);
       ]
   in
   let plan = ok_exn (A.compile ~max_entries:4 net reqs) in
-  let baseline = Fibbing.Verify.snapshot net "blue" in
+  let baseline = Fibbing.Verify.snapshot net (pfx "blue") in
   let minimized = Fibbing.Merger.minimize net reqs plan in
   A.apply net minimized;
   let report =
-    Fibbing.Verify.check net ~prefix:"blue" ~expected:minimized.expected ~baseline
+    Fibbing.Verify.check net ~prefix:(pfx "blue") ~expected:minimized.expected ~baseline
   in
   Alcotest.(check bool) "still verifies" true report.ok;
   Alcotest.(check int) "three fakes kept (ratios need them)" 3
@@ -327,14 +328,14 @@ let test_merger_preserves_verification () =
 
 let test_merger_drops_inert_fake () =
   let d, net = demo_net () in
-  let reqs = R.even ~prefix:"blue" ~router:d.b [ d.r2; d.r3 ] in
+  let reqs = R.even ~prefix:(pfx "blue") ~router:d.b [ d.r2; d.r3 ] in
   let plan = ok_exn (A.compile net reqs) in
   let inert : Igp.Lsa.fake =
     {
       fake_id = "inert";
       attachment = d.b;
       attachment_cost = 1;
-      prefix = "blue";
+      prefix = pfx "blue";
       announced_cost = 50;
       forwarding = d.r3;
     }
@@ -349,9 +350,9 @@ let test_merger_drops_inert_fake () =
 
 let test_verify_detects_requirement_miss () =
   let d, net = demo_net () in
-  let baseline = Fibbing.Verify.snapshot net "blue" in
+  let baseline = Fibbing.Verify.snapshot net (pfx "blue") in
   let report =
-    Fibbing.Verify.check net ~prefix:"blue"
+    Fibbing.Verify.check net ~prefix:(pfx "blue")
       ~expected:[ (d.b, [ (d.r2, 1); (d.r3, 1) ]) ]
       ~baseline
   in
@@ -361,25 +362,25 @@ let test_verify_detects_requirement_miss () =
 
 let test_verify_detects_collateral () =
   let d, net = demo_net () in
-  let baseline = Fibbing.Verify.snapshot net "blue" in
+  let baseline = Fibbing.Verify.snapshot net (pfx "blue") in
   Igp.Network.inject_fake net
     {
       fake_id = "rogue";
       attachment = d.r2;
       attachment_cost = 1;
-      prefix = "blue";
+      prefix = pfx "blue";
       announced_cost = 0;
       forwarding = d.b;
     };
-  let report = Fibbing.Verify.check net ~prefix:"blue" ~expected:[] ~baseline in
+  let report = Fibbing.Verify.check net ~prefix:(pfx "blue") ~expected:[] ~baseline in
   Alcotest.(check bool) "not ok" false report.ok;
   Alcotest.(check bool) "collateral flagged" true
     (List.exists (fun (i : Fibbing.Verify.issue) -> i.kind = `Collateral) report.issues)
 
 let test_verify_ok_baseline () =
   let _, net = demo_net () in
-  let baseline = Fibbing.Verify.snapshot net "blue" in
-  let report = Fibbing.Verify.check net ~prefix:"blue" ~expected:[] ~baseline in
+  let baseline = Fibbing.Verify.snapshot net (pfx "blue") in
+  let report = Fibbing.Verify.check net ~prefix:(pfx "blue") ~expected:[] ~baseline in
   Alcotest.(check bool) "trivially ok" true report.ok
 
 (* ---------- Controller ---------- *)
@@ -389,7 +390,7 @@ let stream = 131072.
 let controller_sim ?config () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   let caps = Netsim.Link.capacities ~default:(11. *. 1024. *. 1024.) in
   List.iter
     (fun link -> Netsim.Link.set_link caps link (2.75 *. 1024. *. 1024.))
@@ -407,19 +408,19 @@ let test_controller_reacts_to_surge () =
   let d, net, sim, controller = controller_sim () in
   for i = 0 to 30 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ())
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:stream ())
   done;
   Netsim.Sim.run_until sim 10.;
   Alcotest.(check bool) "installed fakes" true
     (Fibbing.Controller.fake_count controller > 0);
   Alcotest.(check bool) "actions logged" true (Fibbing.Controller.actions controller <> []);
-  let fib_b = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  let fib_b = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
   Alcotest.(check (list int)) "B ECMP" [ d.r2; d.r3 ] (Igp.Fib.next_hops fib_b)
 
 let test_controller_idle_when_uncongested () =
   let d, _, sim, controller = controller_sim () in
   Netsim.Sim.add_flow sim
-    (Netsim.Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:stream ());
+    (Netsim.Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:stream ());
   Netsim.Sim.run_until sim 10.;
   Alcotest.(check int) "no lies" 0 (Fibbing.Controller.fake_count controller);
   Alcotest.(check bool) "no actions" true (Fibbing.Controller.actions controller = [])
@@ -431,7 +432,7 @@ let test_controller_withdraws_after_calm () =
   let d, _, sim, controller = controller_sim ~config () in
   for i = 0 to 30 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ~duration:15. ())
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:stream ~duration:15. ())
   done;
   Netsim.Sim.run_until sim 12.;
   Alcotest.(check bool) "lies installed during surge" true
@@ -444,11 +445,11 @@ let test_controller_requirements_exposed () =
   let d, _, sim, controller = controller_sim () in
   for i = 0 to 30 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ())
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:stream ())
   done;
   Netsim.Sim.run_until sim 10.;
-  match Fibbing.Controller.requirements controller "blue" with
-  | Some reqs -> Alcotest.(check string) "prefix" "blue" reqs.prefix
+  match Fibbing.Controller.requirements controller (pfx "blue") with
+  | Some reqs -> Alcotest.(check string) "prefix" "blue" (Igp.Prefix.to_string reqs.prefix)
   | None -> Alcotest.fail "no requirements recorded"
 
 let test_controller_handles_anycast_prefix () =
@@ -457,8 +458,8 @@ let test_controller_handles_anycast_prefix () =
      must still defuse a surge without touching the anycast routing. *)
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
-  Igp.Network.announce_prefix net "blue" ~origin:d.r4 ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.r4 ~cost:0;
   let caps = Netsim.Link.capacities ~default:(11. *. 1024. *. 1024.) in
   List.iter
     (fun link -> Netsim.Link.set_link caps link (2.75 *. 1024. *. 1024.))
@@ -474,35 +475,35 @@ let test_controller_handles_anycast_prefix () =
      saturates B-R2 and must trigger ECMP towards R3. *)
   for i = 0 to 49 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.b ~prefix:"blue" ~demand:stream ())
+      (Netsim.Flow.make ~id:i ~src:d.b ~prefix:(pfx "blue") ~demand:stream ())
   done;
   Netsim.Sim.run_until sim 20.;
   Alcotest.(check bool) "reacted" true
     (Fibbing.Controller.fake_count controller > 0);
-  let fib_b = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  let fib_b = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
   Alcotest.(check (list int)) "B spread over R2 and R3" [ d.r2; d.r3 ]
     (Igp.Fib.next_hops fib_b);
   Alcotest.(check (list int)) "no starved flows" []
     (Netsim.Sim.unroutable_flows sim);
   (* Forwarding state stays safe under anycast. *)
   Alcotest.(check bool) "state safe" true
-    (Fibbing.Transient.state_safe net ~prefix:"blue" = Ok ())
+    (Fibbing.Transient.state_safe net ~prefix:(pfx "blue") = Ok ())
 
 let test_controller_escalates_upstream () =
   (* The paper's second surge: B exhausted, the fix must land at A. *)
   let d, net, sim, controller = controller_sim () in
   for i = 0 to 30 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ())
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:stream ())
   done;
   for i = 31 to 61 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.b ~prefix:"blue" ~demand:stream
+      (Netsim.Flow.make ~id:i ~src:d.b ~prefix:(pfx "blue") ~demand:stream
          ~start_time:15. ())
   done;
   Netsim.Sim.run_until sim 30.;
   ignore controller;
-  let fib_a = Option.get (Igp.Network.fib net ~router:d.a "blue") in
+  let fib_a = Option.get (Igp.Network.fib net ~router:d.a (pfx "blue")) in
   Alcotest.(check (list int)) "A now splits to B and R1" [ d.b; d.r1 ]
     (Igp.Fib.next_hops fib_a);
   (* and R1 gets the larger share *)
@@ -517,7 +518,7 @@ let test_controller_withdraw_all_then_fresh_cycle () =
   let d, net, sim, controller = controller_sim ~config () in
   for i = 0 to 30 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ())
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:stream ())
   done;
   Netsim.Sim.run_until sim 10.;
   Alcotest.(check bool) "lies installed" true
@@ -527,13 +528,13 @@ let test_controller_withdraw_all_then_fresh_cycle () =
   Alcotest.(check int) "LSDB agrees" 0
     (Igp.Lsdb.fake_count (Igp.Network.lsdb net));
   Alcotest.(check bool) "requirements forgotten" true
-    (Fibbing.Controller.requirements controller "blue" = None);
+    (Fibbing.Controller.requirements controller (pfx "blue") = None);
   (* The congestion has not gone anywhere: the controller must lie again. *)
   Netsim.Sim.run_until sim 25.;
   Alcotest.(check bool) "fresh reaction cycle" true
     (Fibbing.Controller.fake_count controller > 0);
   Alcotest.(check bool) "fresh requirements" true
-    (Fibbing.Controller.requirements controller "blue" <> None)
+    (Fibbing.Controller.requirements controller (pfx "blue") <> None)
 
 let test_controller_withdraws_when_monitor_goes_silent () =
   (* The calm detector must treat a silent monitor as calm: if every
@@ -545,7 +546,7 @@ let test_controller_withdraws_when_monitor_goes_silent () =
   let d, net, sim, controller = controller_sim ~config () in
   for i = 0 to 30 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ~duration:15. ())
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:stream ~duration:15. ())
   done;
   Netsim.Sim.run_until sim 12.;
   Alcotest.(check bool) "lies installed during surge" true
@@ -564,7 +565,7 @@ let test_controller_backs_off_when_ineffective () =
      reaction rate must fall well below the poll rate. *)
   let g = T.line ~n:3 in
   let net = Igp.Network.create g in
-  Igp.Network.announce_prefix net "sink" ~origin:2 ~cost:0;
+  Igp.Network.announce_prefix net (pfx "sink") ~origin:2 ~cost:0;
   let caps = Netsim.Link.capacities ~default:10. in
   let monitor =
     Netsim.Monitor.create ~poll_interval:2.0 ~threshold:0.85 ~clear_threshold:0.6
@@ -578,7 +579,7 @@ let test_controller_backs_off_when_ineffective () =
   Fibbing.Controller.attach controller sim;
   (* Permanent unfixable overload on the only path. *)
   Netsim.Sim.add_flow sim
-    (Netsim.Flow.make ~id:0 ~src:0 ~prefix:"sink" ~demand:20. ());
+    (Netsim.Flow.make ~id:0 ~src:0 ~prefix:(pfx "sink") ~demand:20. ());
   Netsim.Sim.run_until sim 60.;
   Alcotest.(check bool) "backoff engaged" true
     (Fibbing.Controller.consecutive_failures controller > 0);
@@ -672,14 +673,14 @@ let test_budget_compiles_via_pin () =
     ]
   in
   let allocation = Fibbing.Budget.allocate ~budget:4 requests in
-  let empty = { R.prefix = "blue"; routers = [] } in
+  let empty = { R.prefix = pfx "blue"; routers = [] } in
   match
     Fibbing.Augmentation.hybrid_plan ~pin:allocation.weighted net empty
   with
   | Error e -> Alcotest.failf "hybrid_plan: %s" e
   | Ok plan ->
     Fibbing.Augmentation.apply net plan;
-    let fib = Option.get (Igp.Network.fib net ~router:d.a "blue") in
+    let fib = Option.get (Igp.Network.fib net ~router:d.a (pfx "blue")) in
     Alcotest.(check (list (pair int int))) "1:2 installed"
       [ (d.b, 1); (d.r1, 2) ]
       (Igp.Fib.weights fib)
@@ -689,18 +690,18 @@ let test_budget_compiles_via_pin () =
 let test_transient_baseline_safe () =
   let _, net = demo_net () in
   Alcotest.(check bool) "IGP state safe" true
-    (Fibbing.Transient.state_safe net ~prefix:"blue" = Ok ())
+    (Fibbing.Transient.state_safe net ~prefix:(pfx "blue") = Ok ())
 
 let test_transient_detects_loop () =
   let d, net = demo_net () in
   (* Two mutually-attracting cheap lies: A -> B and B -> A. *)
   let cheap ~id ~at ~fwd : Igp.Lsa.fake =
-    { fake_id = id; attachment = at; attachment_cost = 1; prefix = "blue";
+    { fake_id = id; attachment = at; attachment_cost = 1; prefix = pfx "blue";
       announced_cost = 0; forwarding = fwd }
   in
   Igp.Network.inject_fake net (cheap ~id:"l1" ~at:d.a ~fwd:d.b);
   Igp.Network.inject_fake net (cheap ~id:"l2" ~at:d.b ~fwd:d.a);
-  match Fibbing.Transient.state_safe net ~prefix:"blue" with
+  match Fibbing.Transient.state_safe net ~prefix:(pfx "blue") with
   | Error reason ->
     Alcotest.(check bool) "mentions loop" true
       (String.length reason > 0)
@@ -713,7 +714,7 @@ let test_transient_detects_loop () =
    pin-first order; apply_safely must leave a verified state. *)
 let r3_via_b_plan net =
   let reqs =
-    Fibbing.Requirements.make ~prefix:"blue"
+    Fibbing.Requirements.make ~prefix:(pfx "blue")
       [ (Netgraph.Graph.find_node_exn (Igp.Network.graph net) "R3",
          [ (Netgraph.Graph.find_node_exn (Igp.Network.graph net) "B", 1.0) ]) ]
   in
@@ -741,7 +742,7 @@ let test_transient_unsafe_order_flagged () =
            a.fake_id))
       plan.fakes
   in
-  match Fibbing.Transient.check_order net ~prefix:"blue" r3_first with
+  match Fibbing.Transient.check_order net ~prefix:(pfx "blue") r3_first with
   | Error v ->
     Alcotest.(check bool) "violation at an early step" true (v.step >= 1)
   | Ok () ->
@@ -758,22 +759,22 @@ let test_transient_safe_order_found () =
     Alcotest.(check int) "all fakes ordered" (List.length plan.fakes)
       (List.length order);
     Alcotest.(check bool) "order verifies step by step" true
-      (Fibbing.Transient.check_order net ~prefix:"blue" order = Ok ())
+      (Fibbing.Transient.check_order net ~prefix:(pfx "blue") order = Ok ())
 
 let test_transient_apply_and_revert_safely () =
   let d, net = demo_net () in
-  let baseline = Fibbing.Verify.snapshot net "blue" in
+  let baseline = Fibbing.Verify.snapshot net (pfx "blue") in
   let plan = r3_via_b_plan net in
   (match Fibbing.Transient.apply_safely net plan with
   | Ok () -> ()
   | Error e -> Alcotest.failf "apply_safely: %s" e);
-  let fib_r3 = Option.get (Igp.Network.fib net ~router:d.r3 "blue") in
+  let fib_r3 = Option.get (Igp.Network.fib net ~router:d.r3 (pfx "blue")) in
   Alcotest.(check (list int)) "requirement holds" [ d.b ] (Igp.Fib.next_hops fib_r3);
   (match Fibbing.Transient.revert_safely net plan with
   | Ok () -> ()
   | Error e -> Alcotest.failf "revert_safely: %s" e);
   Alcotest.(check int) "all lies gone" 0 (List.length (Igp.Network.fakes net));
-  let report = Fibbing.Verify.check net ~prefix:"blue" ~expected:[] ~baseline in
+  let report = Fibbing.Verify.check net ~prefix:(pfx "blue") ~expected:[] ~baseline in
   Alcotest.(check bool) "back to baseline" true report.ok
 
 let test_transient_safe_removal_order_found () =
@@ -794,7 +795,7 @@ let test_transient_safe_removal_order_found () =
     List.iter
       (fun (f : Igp.Lsa.fake) ->
         Igp.Network.retract_fake scratch ~fake_id:f.fake_id;
-        match Fibbing.Transient.state_safe scratch ~prefix:"blue" with
+        match Fibbing.Transient.state_safe scratch ~prefix:(pfx "blue") with
         | Ok () -> ()
         | Error reason ->
           Alcotest.failf "unsafe after retracting %s: %s" f.fake_id reason)
@@ -811,7 +812,7 @@ let test_transient_removal_rejects_unsafe_start () =
   let plan = r3_via_b_plan net in
   Fibbing.Augmentation.apply net plan;
   let cheap ~id ~at ~fwd : Igp.Lsa.fake =
-    { fake_id = id; attachment = at; attachment_cost = 1; prefix = "blue";
+    { fake_id = id; attachment = at; attachment_cost = 1; prefix = pfx "blue";
       announced_cost = 0; forwarding = fwd }
   in
   Igp.Network.inject_fake net (cheap ~id:"x1" ~at:d.a ~fwd:d.b);
@@ -830,7 +831,7 @@ let prop_transient_safe_order_on_random =
       let g = T.random prng ~n ~extra_edges:n ~max_weight:3 in
       let announcer = Kit.Prng.int prng n in
       let net = Igp.Network.create g in
-      Igp.Network.announce_prefix net "p" ~origin:announcer ~cost:0;
+      Igp.Network.announce_prefix net (pfx "p") ~origin:announcer ~cost:0;
       let router =
         let r = ref (Kit.Prng.int prng n) in
         while !r = announcer do
@@ -838,7 +839,7 @@ let prop_transient_safe_order_on_random =
         done;
         !r
       in
-      let dist v = Igp.Network.distance net ~router:v "p" in
+      let dist v = Igp.Network.distance net ~router:v (pfx "p") in
       match dist router with
       | None -> true
       | Some d_r ->
@@ -851,12 +852,12 @@ let prop_transient_safe_order_on_random =
         in
         if safe = [] then true
         else begin
-          let reqs = R.even ~prefix:"p" ~router (List.filteri (fun i _ -> i < 3) safe) in
+          let reqs = R.even ~prefix:(pfx "p") ~router (List.filteri (fun i _ -> i < 3) safe) in
           match A.compile net reqs with
           | Error _ -> true
           | Ok plan ->
             (match Fibbing.Transient.safe_order net plan with
-            | Ok order -> Fibbing.Transient.check_order net ~prefix:"p" order = Ok ()
+            | Ok order -> Fibbing.Transient.check_order net ~prefix:(pfx "p") order = Ok ()
             | Error _ -> false)
         end)
 
@@ -871,7 +872,7 @@ let prop_transient_safe_removal_on_random =
       let g = T.random prng ~n ~extra_edges:n ~max_weight:3 in
       let announcer = Kit.Prng.int prng n in
       let net = Igp.Network.create g in
-      Igp.Network.announce_prefix net "p" ~origin:announcer ~cost:0;
+      Igp.Network.announce_prefix net (pfx "p") ~origin:announcer ~cost:0;
       let router =
         let r = ref (Kit.Prng.int prng n) in
         while !r = announcer do
@@ -879,7 +880,7 @@ let prop_transient_safe_removal_on_random =
         done;
         !r
       in
-      let dist v = Igp.Network.distance net ~router:v "p" in
+      let dist v = Igp.Network.distance net ~router:v (pfx "p") in
       match dist router with
       | None -> true
       | Some d_r ->
@@ -892,7 +893,7 @@ let prop_transient_safe_removal_on_random =
         in
         if safe = [] then true
         else begin
-          let reqs = R.even ~prefix:"p" ~router (List.filteri (fun i _ -> i < 3) safe) in
+          let reqs = R.even ~prefix:(pfx "p") ~router (List.filteri (fun i _ -> i < 3) safe) in
           match A.compile net reqs with
           | Error _ -> true
           | Ok plan ->
@@ -907,7 +908,7 @@ let prop_transient_safe_removal_on_random =
                 List.for_all
                   (fun (f : Igp.Lsa.fake) ->
                     Igp.Network.retract_fake scratch ~fake_id:f.fake_id;
-                    Fibbing.Transient.state_safe scratch ~prefix:"p" = Ok ())
+                    Fibbing.Transient.state_safe scratch ~prefix:(pfx "p") = Ok ())
                   order
                 && Igp.Network.fakes scratch = []))
         end)
@@ -919,12 +920,12 @@ let test_audit_empty () =
   let audit = Fibbing.Audit.run net in
   Alcotest.(check int) "no fakes" 0 audit.total_fakes;
   Alcotest.(check int) "no bytes" 0 audit.wire_bytes;
-  Alcotest.(check (list string)) "no prefixes" [] audit.prefixes
+  Alcotest.(check (list string)) "no prefixes" [] (List.map Igp.Prefix.to_string audit.prefixes)
 
 let test_audit_roundtrips_demo_plan () =
   let d, net = demo_net () in
   let reqs =
-    R.make ~prefix:"blue"
+    R.make ~prefix:(pfx "blue")
       [
         (d.b, [ (d.r2, 0.5); (d.r3, 0.5) ]);
         (d.a, [ (d.b, 1. /. 3.); (d.r1, 2. /. 3.) ]);
@@ -934,7 +935,7 @@ let test_audit_roundtrips_demo_plan () =
   A.apply net plan;
   let audit = Fibbing.Audit.run net in
   Alcotest.(check int) "three fakes" 3 audit.total_fakes;
-  Alcotest.(check (list string)) "one prefix" [ "blue" ] audit.prefixes;
+  Alcotest.(check (list string)) "one prefix" [ "blue" ] (List.map Igp.Prefix.to_string audit.prefixes);
   Alcotest.(check bool) "LSDB overhead accounted" true (audit.wire_bytes > 0);
   (* The audit recovers the plan's expected weights at each router. *)
   List.iter
@@ -955,7 +956,7 @@ let test_audit_roundtrips_demo_plan () =
 
 let test_audit_detects_override () =
   let d, net = demo_net () in
-  let reqs = R.make ~prefix:"blue" [ (d.b, [ (d.r3, 1.0) ]) ] in
+  let reqs = R.make ~prefix:(pfx "blue") [ (d.b, [ (d.r3, 1.0) ]) ] in
   let plan = ok_exn (A.compile net reqs) in
   A.apply net plan;
   let audit = Fibbing.Audit.run net in
@@ -978,7 +979,7 @@ let demo_fake d ~id : Igp.Lsa.fake =
     fake_id = id;
     attachment = d.Netgraph.Topologies.b;
     attachment_cost = 1;
-    prefix = "blue";
+    prefix = pfx "blue";
     announced_cost = 1;
     forwarding = d.Netgraph.Topologies.r3;
   }
@@ -1007,7 +1008,7 @@ let test_session_injects_when_full () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "inject: %s" e);
   Alcotest.(check (list string)) "tracked" [ "fB" ] (Fibbing.Session.injected s);
-  let fib = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  let fib = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
   Alcotest.(check (list int)) "ECMP via session" [ d.r2; d.r3 ]
     (Igp.Fib.next_hops fib)
 
@@ -1024,7 +1025,7 @@ let test_session_death_purges_lies () =
   Alcotest.(check bool) "back to Down" true (Fibbing.Session.state s = Down);
   Alcotest.(check (list string)) "lies purged" [] (Fibbing.Session.injected s);
   Alcotest.(check int) "network clean" 0 (List.length (Igp.Network.fakes net));
-  let fib = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  let fib = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
   Alcotest.(check (list int)) "plain IGP restored" [ d.r2 ] (Igp.Fib.next_hops fib)
 
 let test_session_survives_with_keepalives () =
@@ -1076,7 +1077,7 @@ let prop_controller_keeps_state_safe =
       let g = T.random prng ~n ~extra_edges:n ~max_weight:3 in
       let announcer = Kit.Prng.int prng n in
       let net = Igp.Network.create g in
-      Igp.Network.announce_prefix net "p" ~origin:announcer ~cost:0;
+      Igp.Network.announce_prefix net (pfx "p") ~origin:announcer ~cost:0;
       let caps = Netsim.Link.capacities ~default:10. in
       let monitor = Netsim.Monitor.create ~poll_interval:2.0 ~alpha:0.9 caps in
       let sim = Netsim.Sim.create ~dt:0.5 ~monitor net caps in
@@ -1084,7 +1085,7 @@ let prop_controller_keeps_state_safe =
       Fibbing.Controller.attach controller sim;
       let safe = ref true in
       Netsim.Sim.on_step sim (fun _ ->
-          if Fibbing.Transient.state_safe net ~prefix:"p" <> Ok () then
+          if Fibbing.Transient.state_safe net ~prefix:(pfx "p") <> Ok () then
             safe := false);
       (* A surge of random flows from random ingresses. *)
       let flow_count = 5 + Kit.Prng.int prng 15 in
@@ -1097,7 +1098,7 @@ let prop_controller_keeps_state_safe =
           !s
         in
         Netsim.Sim.add_flow sim
-          (Netsim.Flow.make ~id:i ~src ~prefix:"p"
+          (Netsim.Flow.make ~id:i ~src ~prefix:(pfx "p")
              ~demand:(2. +. Kit.Prng.float prng 6.)
              ~start_time:(Kit.Prng.float prng 10.) ())
       done;

@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Tests for the link-state IGP simulator: LSAs, LSDB views, SPF/FIB
    semantics (including the paper's fake-node behaviour) and flooding
    accounting. *)
@@ -8,7 +9,7 @@ module T = Netgraph.Topologies
 let demo_net () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   (d, net)
 
 let fib_exn net ~router prefix =
@@ -21,7 +22,7 @@ let fake ~id ~at ~cost ~fwd : Igp.Lsa.fake =
     fake_id = id;
     attachment = at;
     attachment_cost = 1;
-    prefix = "blue";
+    prefix = pfx "blue";
     announced_cost = cost - 1;
     forwarding = fwd;
   }
@@ -38,7 +39,7 @@ let test_lsa_keys () =
   let f = fake ~id:"f" ~at:d.b ~cost:2 ~fwd:d.r3 in
   Alcotest.(check string) "fake key" "fake:f" (Igp.Lsa.key (Fake f));
   Alcotest.(check string) "prefix key" "prefix:6:blue"
-    (Igp.Lsa.key (Prefix { origin = d.c; prefix = "blue"; cost = 0 }));
+    (Igp.Lsa.key (Prefix { origin = d.c; prefix = pfx "blue"; cost = 0 }));
   Alcotest.(check string) "router key" "router:0"
     (Igp.Lsa.key (Router { origin = d.a; links = [] }))
 
@@ -52,10 +53,10 @@ let test_lsdb_announce_and_view () =
   Alcotest.(check int) "real nodes" 7 view.real_nodes;
   Alcotest.(check int) "augmented nodes" 8 (G.node_count view.graph);
   Alcotest.(check bool) "sink fed by C" true
-    (match Igp.Lsdb.sink view "blue" with
+    (match Igp.Lsdb.sink view (pfx "blue") with
     | Some sink -> G.has_edge view.graph d.c sink
     | None -> false);
-  Alcotest.(check (array string)) "prefixes sorted" [| "blue" |] view.prefixes
+  Alcotest.(check (array string)) "prefixes sorted" [| "blue" |] (Array.map Igp.Prefix.to_string view.prefixes)
 
 let test_lsdb_install_fake_validation () =
   let d, net = demo_net () in
@@ -68,7 +69,7 @@ let test_lsdb_install_fake_validation () =
   Alcotest.(check bool) "unknown prefix rejected" true
     (try
        Igp.Lsdb.install_fake lsdb
-         { (fake ~id:"bad2" ~at:d.b ~cost:2 ~fwd:d.r3) with prefix = "green" };
+         { (fake ~id:"bad2" ~at:d.b ~cost:2 ~fwd:d.r3) with prefix = pfx "green" };
        false
      with Invalid_argument _ -> true)
 
@@ -103,9 +104,9 @@ let test_lsdb_version_bumps () =
 let test_lsdb_anycast () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "any" ~origin:d.c ~cost:0;
-  Igp.Network.announce_prefix net "any" ~origin:d.a ~cost:0;
-  let fib_b = fib_exn net ~router:d.b "any" in
+  Igp.Network.announce_prefix net (pfx "any") ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "any") ~origin:d.a ~cost:0;
+  let fib_b = fib_exn net ~router:d.b (pfx "any") in
   Alcotest.(check int) "B nearer to A" 1 fib_b.distance;
   Alcotest.(check (list int)) "B forwards to A" [ d.a ] (Igp.Fib.next_hops fib_b)
 
@@ -113,19 +114,19 @@ let test_lsdb_anycast () =
 
 let test_spf_baseline_routes () =
   let d, net = demo_net () in
-  let fib_a = fib_exn net ~router:d.a "blue" in
+  let fib_a = fib_exn net ~router:d.a (pfx "blue") in
   Alcotest.(check int) "A cost 3" 3 fib_a.distance;
   Alcotest.(check (list int)) "A via B" [ d.b ] (Igp.Fib.next_hops fib_a);
-  let fib_b = fib_exn net ~router:d.b "blue" in
+  let fib_b = fib_exn net ~router:d.b (pfx "blue") in
   Alcotest.(check int) "B cost 2" 2 fib_b.distance;
   Alcotest.(check (list int)) "B via R2" [ d.r2 ] (Igp.Fib.next_hops fib_b);
-  let fib_c = fib_exn net ~router:d.c "blue" in
+  let fib_c = fib_exn net ~router:d.c (pfx "blue") in
   Alcotest.(check bool) "C local" true fib_c.local
 
 let test_spf_fake_creates_ecmp () =
   let d, net = demo_net () in
   Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
-  let fib_b = fib_exn net ~router:d.b "blue" in
+  let fib_b = fib_exn net ~router:d.b (pfx "blue") in
   Alcotest.(check (list int)) "B ECMP" [ d.r2; d.r3 ] (Igp.Fib.next_hops fib_b);
   Alcotest.(check bool) "even split" true
     (Igp.Fib.weights fib_b = [ (d.r2, 1); (d.r3, 1) ]);
@@ -135,7 +136,7 @@ let test_spf_fake_multiplicity () =
   let d, net = demo_net () in
   Igp.Network.inject_fake net (fake ~id:"fA1" ~at:d.a ~cost:3 ~fwd:d.r1);
   Igp.Network.inject_fake net (fake ~id:"fA2" ~at:d.a ~cost:3 ~fwd:d.r1);
-  let fib_a = fib_exn net ~router:d.a "blue" in
+  let fib_a = fib_exn net ~router:d.a (pfx "blue") in
   Alcotest.(check bool) "weights B:1 R1:2" true
     (Igp.Fib.weights fib_a = [ (d.b, 1); (d.r1, 2) ]);
   let fractions = Igp.Fib.fractions fib_a in
@@ -145,13 +146,13 @@ let test_spf_fake_multiplicity () =
 let test_spf_fake_does_not_change_others () =
   let d, net = demo_net () in
   let before =
-    List.map (fun r -> (r, Igp.Network.fib net ~router:r "blue")) (G.nodes d.graph)
+    List.map (fun r -> (r, Igp.Network.fib net ~router:r (pfx "blue"))) (G.nodes d.graph)
   in
   Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
   List.iter
     (fun (r, fib_before) ->
       if r <> d.b then begin
-        match (fib_before, Igp.Network.fib net ~router:r "blue") with
+        match (fib_before, Igp.Network.fib net ~router:r (pfx "blue")) with
         | Some fb, Some fa ->
           Alcotest.(check bool)
             (Printf.sprintf "router %s unchanged" (G.name d.graph r))
@@ -164,26 +165,26 @@ let test_spf_fake_does_not_change_others () =
 let test_spf_cheaper_fake_overrides () =
   let d, net = demo_net () in
   Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:1 ~fwd:d.r3);
-  let fib_b = fib_exn net ~router:d.b "blue" in
+  let fib_b = fib_exn net ~router:d.b (pfx "blue") in
   Alcotest.(check (list int)) "only fake" [ d.r3 ] (Igp.Fib.next_hops fib_b);
   Alcotest.(check int) "distance lowered" 1 fib_b.distance
 
 let test_spf_expensive_fake_ignored () =
   let d, net = demo_net () in
   Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:9 ~fwd:d.r3);
-  let fib_b = fib_exn net ~router:d.b "blue" in
+  let fib_b = fib_exn net ~router:d.b (pfx "blue") in
   Alcotest.(check (list int)) "unchanged" [ d.r2 ] (Igp.Fib.next_hops fib_b);
   Alcotest.(check bool) "no fake used" false (Igp.Fib.uses_fake fib_b)
 
 let test_spf_fake_not_transit () =
   let d, net = demo_net () in
   Igp.Network.inject_fake net (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
-  let fib_r1 = fib_exn net ~router:d.r1 "blue" in
+  let fib_r1 = fib_exn net ~router:d.r1 (pfx "blue") in
   Alcotest.(check (list int)) "R1 via R4" [ d.r4 ] (Igp.Fib.next_hops fib_r1)
 
 let test_spf_unknown_prefix () =
   let d, net = demo_net () in
-  Alcotest.(check bool) "no fib" true (Igp.Network.fib net ~router:d.a "green" = None)
+  Alcotest.(check bool) "no fib" true (Igp.Network.fib net ~router:d.a (pfx "green") = None)
 
 let test_spf_unreachable_prefix () =
   let g = G.create () in
@@ -192,39 +193,40 @@ let test_spf_unreachable_prefix () =
   let c = G.add_node g ~name:"c" in
   G.add_link g a b ~weight:1;
   let net = Igp.Network.create g in
-  Igp.Network.announce_prefix net "p" ~origin:c ~cost:0;
-  Alcotest.(check bool) "unreachable" true (Igp.Network.fib net ~router:a "p" = None)
+  Igp.Network.announce_prefix net (pfx "p") ~origin:c ~cost:0;
+  Alcotest.(check bool) "unreachable" true (Igp.Network.fib net ~router:a (pfx "p") = None)
 
 let test_fib_fractions_empty_when_local () =
   let d, net = demo_net () in
-  let fib_c = fib_exn net ~router:d.c "blue" in
+  let fib_c = fib_exn net ~router:d.c (pfx "blue") in
   Alcotest.(check bool) "no fractions" true (Igp.Fib.fractions fib_c = [])
 
 let test_spf_distance_only () =
   let d, net = demo_net () in
   let view = Igp.Lsdb.view (Igp.Network.lsdb net) in
   Alcotest.(check (option int)) "distance A" (Some 3)
-    (Igp.Spf.distance view ~router:d.a "blue");
+    (Igp.Spf.distance view ~router:d.a (pfx "blue"));
   Alcotest.(check (option int)) "unknown" None
-    (Igp.Spf.distance view ~router:d.a "green")
+    (Igp.Spf.distance view ~router:d.a (pfx "green"))
 
 let test_spf_compute_all_prefixes () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
-  Igp.Network.announce_prefix net "red" ~origin:d.r4 ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "red") ~origin:d.r4 ~cost:0;
   let view = Igp.Lsdb.view (Igp.Network.lsdb net) in
   let fibs = Igp.Spf.compute view ~router:d.a in
   Alcotest.(check int) "two prefixes" 2 (List.length fibs);
   Alcotest.(check (list string)) "sorted" [ "blue"; "red" ]
-    (List.map (fun (f : Igp.Fib.t) -> f.prefix) fibs)
+    (List.sort compare
+       (List.map (fun (f : Igp.Fib.t) -> Igp.Prefix.to_string f.prefix) fibs))
 
 let test_prefix_cost_matters () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
-  Igp.Network.announce_prefix net "blue" ~origin:d.r4 ~cost:10;
-  let fib_r1 = fib_exn net ~router:d.r1 "blue" in
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.r4 ~cost:10;
+  let fib_r1 = fib_exn net ~router:d.r1 (pfx "blue") in
   Alcotest.(check int) "cost via C" 3 fib_r1.distance
 
 (* ---------- Flooding ---------- *)
@@ -270,9 +272,9 @@ let test_network_clone_independent () =
   let d, net = demo_net () in
   let clone = Igp.Network.clone net in
   Igp.Network.inject_fake clone (fake ~id:"f" ~at:d.b ~cost:2 ~fwd:d.r3);
-  let fib_orig = fib_exn net ~router:d.b "blue" in
+  let fib_orig = fib_exn net ~router:d.b (pfx "blue") in
   Alcotest.(check (list int)) "original untouched" [ d.r2 ] (Igp.Fib.next_hops fib_orig);
-  let fib_clone = fib_exn clone ~router:d.b "blue" in
+  let fib_clone = fib_exn clone ~router:d.b (pfx "blue") in
   Alcotest.(check (list int)) "clone changed" [ d.r2; d.r3 ]
     (Igp.Fib.next_hops fib_clone)
 
@@ -286,7 +288,7 @@ let test_network_set_weight_reconverges () =
   let d, net = demo_net () in
   Igp.Network.set_weight net d.b d.r2 ~weight:8;
   Igp.Network.set_weight net d.r2 d.b ~weight:8;
-  let fib_b = fib_exn net ~router:d.b "blue" in
+  let fib_b = fib_exn net ~router:d.b (pfx "blue") in
   Alcotest.(check (list int)) "B re-routes via R3" [ d.r3 ] (Igp.Fib.next_hops fib_b)
 
 let test_network_refresh_cost () =
@@ -307,7 +309,7 @@ let test_network_retract_all () =
   Igp.Network.inject_fake net (fake ~id:"f2" ~at:d.a ~cost:3 ~fwd:d.r1);
   Igp.Network.retract_all_fakes net;
   Alcotest.(check int) "all gone" 0 (List.length (Igp.Network.fakes net));
-  let fib_b = fib_exn net ~router:d.b "blue" in
+  let fib_b = fib_exn net ~router:d.b (pfx "blue") in
   Alcotest.(check (list int)) "back to baseline" [ d.r2 ] (Igp.Fib.next_hops fib_b)
 
 (* Property: on random topologies, injecting an equal-cost fake at a
@@ -321,7 +323,7 @@ let prop_equal_cost_fake_is_surgical =
       let g = Netgraph.Topologies.random prng ~n ~extra_edges:n ~max_weight:4 in
       let announcer = Kit.Prng.int prng n in
       let net = Igp.Network.create g in
-      Igp.Network.announce_prefix net "p" ~origin:announcer ~cost:0;
+      Igp.Network.announce_prefix net (pfx "p") ~origin:announcer ~cost:0;
       let router =
         let r = ref (Kit.Prng.int prng n) in
         while !r = announcer do
@@ -329,7 +331,7 @@ let prop_equal_cost_fake_is_surgical =
         done;
         !r
       in
-      match Igp.Network.fib net ~router "p" with
+      match Igp.Network.fib net ~router (pfx "p") with
       | None -> false (* random graphs are connected *)
       | Some fib ->
         let neighbors = List.map fst (G.succ g router) in
@@ -341,7 +343,7 @@ let prop_equal_cost_fake_is_surgical =
               else
                 Option.map
                   (fun f -> (r, Igp.Fib.weights f))
-                  (Igp.Network.fib net ~router:r "p"))
+                  (Igp.Network.fib net ~router:r (pfx "p")))
             (G.nodes g)
         in
         Igp.Network.inject_fake net
@@ -349,13 +351,13 @@ let prop_equal_cost_fake_is_surgical =
             fake_id = "f";
             attachment = router;
             attachment_cost = 1;
-            prefix = "p";
+            prefix = pfx "p";
             announced_cost = fib.Igp.Fib.distance - 1;
             forwarding = fwd;
           };
         List.for_all
           (fun (r, weights_before) ->
-            match Igp.Network.fib net ~router:r "p" with
+            match Igp.Network.fib net ~router:r (pfx "p") with
             | Some f -> Igp.Fib.weights f = weights_before
             | None -> false)
           before)
@@ -369,7 +371,7 @@ let prop_fakes_never_increase_distance =
       let g = Netgraph.Topologies.random prng ~n ~extra_edges:(n / 2) ~max_weight:4 in
       let announcer = Kit.Prng.int prng n in
       let net = Igp.Network.create g in
-      Igp.Network.announce_prefix net "p" ~origin:announcer ~cost:0;
+      Igp.Network.announce_prefix net (pfx "p") ~origin:announcer ~cost:0;
       let router =
         let r = ref (Kit.Prng.int prng n) in
         while !r = announcer do
@@ -382,7 +384,7 @@ let prop_fakes_never_increase_distance =
       let before =
         List.filter_map
           (fun r ->
-            Option.map (fun d -> (r, d)) (Igp.Network.distance net ~router:r "p"))
+            Option.map (fun d -> (r, d)) (Igp.Network.distance net ~router:r (pfx "p")))
           (G.nodes g)
       in
       Igp.Network.inject_fake net
@@ -390,13 +392,13 @@ let prop_fakes_never_increase_distance =
           fake_id = "f";
           attachment = router;
           attachment_cost = 1;
-          prefix = "p";
+          prefix = pfx "p";
           announced_cost = Kit.Prng.int prng 6;
           forwarding = fwd;
         };
       List.for_all
         (fun (r, d_before) ->
-          match Igp.Network.distance net ~router:r "p" with
+          match Igp.Network.distance net ~router:r (pfx "p") with
           | Some d_after -> d_after <= d_before
           | None -> false)
         before)
@@ -426,7 +428,7 @@ let test_engine_incremental_keeps_routers () =
     (s2.routers_dirtied > s1.routers_dirtied);
   Alcotest.(check bool) "but not everyone" true
     (s2.routers_kept > s1.routers_kept);
-  let fib_b = fib_exn net ~router:d.b "blue" in
+  let fib_b = fib_exn net ~router:d.b (pfx "blue") in
   Alcotest.(check (list int)) "B took the cheap fake" [ d.r3 ]
     (Igp.Fib.next_hops fib_b)
 
@@ -445,7 +447,7 @@ let prop_engine_matches_scratch =
       let g = entry.Netgraph.Zoo.graph in
       let n = G.node_count g in
       let net = Igp.Network.create g in
-      let prefixes = [ "p0"; "p1" ] in
+      let prefixes = [ pfx "p0"; pfx "p1" ] in
       List.iter
         (fun p ->
           Igp.Network.announce_prefix net p ~origin:(Kit.Prng.int prng n)
@@ -495,12 +497,12 @@ let prop_engine_matches_scratch =
         let view = Igp.Lsdb.view (Igp.Network.lsdb net) in
         (* p0 through per-router lookups, p1 through the batched
            (pool-backed) table, so both engine paths are checked. *)
-        let table1 = Igp.Network.fib_table net "p1" in
+        let table1 = Igp.Network.fib_table net (pfx "p1") in
         List.for_all
           (fun router ->
-            Igp.Network.fib net ~router "p0"
-            = Igp.Spf.compute_prefix view ~router "p0"
-            && table1.(router) = Igp.Spf.compute_prefix view ~router "p1")
+            Igp.Network.fib net ~router (pfx "p0")
+            = Igp.Spf.compute_prefix view ~router (pfx "p0")
+            && table1.(router) = Igp.Spf.compute_prefix view ~router (pfx "p1"))
           (G.nodes g)
       in
       let rec go k = k = 0 || (churn (); agrees () && go (k - 1)) in
@@ -529,7 +531,7 @@ let test_convergence_fake_injection_loop_free () =
   let after = Igp.Network.clone net in
   Igp.Network.inject_fake after (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3);
   let report =
-    Igp.Convergence.analyze ~before:net ~after ~origin:d.b ~prefix:"blue" ()
+    Igp.Convergence.analyze ~before:net ~after ~origin:d.b ~prefix:(pfx "blue") ()
   in
   Alcotest.(check int) "one router changes" 1 report.states;
   Alcotest.(check int) "no unsafe state" 0 report.unsafe_states;
@@ -549,7 +551,7 @@ let microloop_nets () =
   G.add_link g b a ~weight:1;
   G.add_link g a t ~weight:1;
   let before = Igp.Network.create g in
-  Igp.Network.announce_prefix before "p" ~origin:t ~cost:0;
+  Igp.Network.announce_prefix before (pfx "p") ~origin:t ~cost:0;
   let after = Igp.Network.clone before in
   Igp.Network.set_weight after a t ~weight:10;
   Igp.Network.set_weight after t a ~weight:10;
@@ -558,7 +560,7 @@ let microloop_nets () =
 let test_convergence_weight_change_microloops () =
   let before, after, a, _ = microloop_nets () in
   let report =
-    Igp.Convergence.analyze ~before ~after ~origin:a ~prefix:"p" ()
+    Igp.Convergence.analyze ~before ~after ~origin:a ~prefix:(pfx "p") ()
   in
   Alcotest.(check bool) "several routers change" true (report.states >= 2);
   Alcotest.(check bool)
@@ -575,7 +577,7 @@ let test_convergence_weight_change_microloops () =
 
 let test_convergence_verdict_direct () =
   let d, net = demo_net () in
-  let fib router = Igp.Network.fib net ~router "blue" in
+  let fib router = Igp.Network.fib net ~router (pfx "blue") in
   (match
      Igp.Convergence.forwarding_verdict ~nodes:(G.nodes d.graph) ~fib
    with
@@ -588,7 +590,7 @@ let test_convergence_verdict_direct () =
       Some
         {
           Igp.Fib.router = d.a;
-          prefix = "blue";
+          prefix = pfx "blue";
           distance = 1;
           local = false;
           entries = [ { next_hop = d.b; multiplicity = 1; via_fakes = [] } ];
@@ -597,7 +599,7 @@ let test_convergence_verdict_direct () =
       Some
         {
           Igp.Fib.router = d.b;
-          prefix = "blue";
+          prefix = pfx "blue";
           distance = 1;
           local = false;
           entries = [ { next_hop = d.a; multiplicity = 1; via_fakes = [] } ];
@@ -620,7 +622,7 @@ let test_convergence_blackhole_verdict () =
       Some
         {
           Igp.Fib.router = d.a;
-          prefix = "blue";
+          prefix = pfx "blue";
           distance = 1;
           local = false;
           entries = [ { next_hop = d.b; multiplicity = 1; via_fakes = [] } ];
@@ -650,8 +652,12 @@ let test_codec_roundtrip_router () =
   roundtrip (Igp.Lsa.Router { origin = 0; links = [] })
 
 let test_codec_roundtrip_prefix () =
-  roundtrip (Igp.Lsa.Prefix { origin = 6; prefix = "blue"; cost = 0 });
-  roundtrip (Igp.Lsa.Prefix { origin = 1; prefix = ""; cost = 0xFFFFFF })
+  roundtrip (Igp.Lsa.Prefix { origin = 6; prefix = pfx "blue"; cost = 0 });
+  roundtrip (Igp.Lsa.Prefix { origin = 1; prefix = pfx "10.1.0.0/16"; cost = 0xFFFFFF });
+  roundtrip (Igp.Lsa.Prefix { origin = 1; prefix = pfx "0.0.0.0/0"; cost = 1 });
+  (* The empty string is no longer a legal prefix: construction rejects it. *)
+  Alcotest.(check bool) "empty prefix rejected" true
+    (match Igp.Prefix.of_string "" with Error _ -> true | Ok _ -> false)
 
 let test_codec_roundtrip_fake () =
   roundtrip
@@ -660,14 +666,14 @@ let test_codec_roundtrip_fake () =
          fake_id = "fib:blue/B>R3#1";
          attachment = 1;
          attachment_cost = 1;
-         prefix = "blue";
+         prefix = pfx "blue";
          announced_cost = 1;
          forwarding = 4;
        })
 
 let test_codec_age_field () =
   let packet =
-    { Igp.Codec.lsa = Igp.Lsa.Prefix { origin = 1; prefix = "p"; cost = 3 };
+    { Igp.Codec.lsa = Igp.Lsa.Prefix { origin = 1; prefix = pfx "p"; cost = 3 };
       sequence = 7 }
   in
   let encoded = Igp.Codec.encode ~age:1200 packet in
@@ -679,7 +685,7 @@ let test_codec_age_field () =
 
 let test_codec_detects_corruption () =
   let packet =
-    { Igp.Codec.lsa = Igp.Lsa.Prefix { origin = 1; prefix = "blue"; cost = 3 };
+    { Igp.Codec.lsa = Igp.Lsa.Prefix { origin = 1; prefix = pfx "blue"; cost = 3 };
       sequence = 7 }
   in
   let encoded = Igp.Codec.encode packet in
@@ -710,7 +716,7 @@ let test_codec_rejects_oversize_fields () =
     (try
        ignore
          (Igp.Codec.encode
-            { lsa = Igp.Lsa.Prefix { origin = 1; prefix = "p"; cost = 1 lsl 24 };
+            { lsa = Igp.Lsa.Prefix { origin = 1; prefix = pfx "p"; cost = 1 lsl 24 };
               sequence = 0 });
        false
      with Invalid_argument _ -> true);
@@ -718,7 +724,7 @@ let test_codec_rejects_oversize_fields () =
     (try
        ignore
          (Igp.Codec.encode
-            { lsa = Igp.Lsa.Prefix { origin = 1; prefix = String.make 300 'x'; cost = 1 };
+            { lsa = Igp.Lsa.Prefix { origin = 1; prefix = pfx (String.make 300 'x'); cost = 1 };
               sequence = 0 });
        false
      with Invalid_argument _ -> true)
@@ -733,7 +739,7 @@ let test_network_wire_injection () =
             fake_id = "wire-fB";
             attachment = d.b;
             attachment_cost = 1;
-            prefix = "blue";
+            prefix = pfx "blue";
             announced_cost = 1;
             forwarding = d.r3;
           };
@@ -743,7 +749,7 @@ let test_network_wire_injection () =
   (match Igp.Network.inject_fake_wire net (Igp.Codec.encode packet) with
   | Ok () -> ()
   | Error e -> Alcotest.failf "wire injection failed: %s" e);
-  let fib_b = fib_exn net ~router:d.b "blue" in
+  let fib_b = fib_exn net ~router:d.b (pfx "blue") in
   Alcotest.(check (list int)) "ECMP via wire" [ d.r2; d.r3 ] (Igp.Fib.next_hops fib_b);
   (* Non-fake packets are refused. *)
   let router_packet =
@@ -769,6 +775,19 @@ let test_network_router_lsa () =
 let lsa_gen =
   let open QCheck.Gen in
   let name_gen = string_size ~gen:(char_range 'a' 'z') (0 -- 20) in
+  (* Prefixes are now structured: exercise both named prefixes and raw
+     CIDR blocks through the codec. *)
+  let prefix_gen =
+    oneof
+      [
+        (string_size ~gen:(char_range 'a' 'z') (1 -- 20) >|= Igp.Prefix.v);
+        ( 0 -- 32 >>= fun len ->
+          0 -- 0xFFFFFF >|= fun bits ->
+          let addr = (bits lsl 8) land 0xFFFFFFFF in
+          let addr = if len = 0 then 0 else addr land (0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF) in
+          Igp.Prefix.make ~addr ~len );
+      ]
+  in
   let node_gen = 0 -- 1000 in
   oneof
     [
@@ -776,12 +795,12 @@ let lsa_gen =
        list_size (0 -- 8) (pair node_gen (1 -- 65535)) >|= fun links ->
        Igp.Lsa.Router { origin; links });
       (node_gen >>= fun origin ->
-       name_gen >>= fun prefix ->
+       prefix_gen >>= fun prefix ->
        0 -- 0xFFFFFF >|= fun cost -> Igp.Lsa.Prefix { origin; prefix; cost });
       (name_gen >>= fun fake_id ->
        node_gen >>= fun attachment ->
        1 -- 65535 >>= fun attachment_cost ->
-       name_gen >>= fun prefix ->
+       prefix_gen >>= fun prefix ->
        0 -- 0xFFFFFF >>= fun announced_cost ->
        node_gen >|= fun forwarding ->
        Igp.Lsa.Fake
@@ -821,11 +840,335 @@ let prop_codec_single_bitflip_detected =
            but then the content must differ. Anything else is a miss. *)
         decoded.lsa <> lsa)
 
+(* ---------- Prefix: parsing, printing, containment ---------- *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_prefix_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      match Igp.Prefix.of_string s with
+      | Error e -> Alcotest.failf "%S rejected: %s" s e
+      | Ok p -> Alcotest.(check string) s s (Igp.Prefix.to_string p))
+    [ "10.0.0.0/8"; "192.168.1.0/24"; "0.0.0.0/0"; "255.255.255.255";
+      "172.16.128.0/17"; "blue"; "p07"; "some_name-2" ];
+  (* A /32 parses from and prints as a bare host address. *)
+  (match Igp.Prefix.of_string "192.168.1.7/32" with
+  | Ok p ->
+    Alcotest.(check int) "host len" 32 (Igp.Prefix.len p);
+    Alcotest.(check string) "host print" "192.168.1.7" (Igp.Prefix.to_string p)
+  | Error e -> Alcotest.failf "host route rejected: %s" e)
+
+let test_prefix_parse_rejects () =
+  let rejects s fragment =
+    match Igp.Prefix.of_string s with
+    | Ok _ -> Alcotest.failf "%S accepted" s
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error %S mentions %S" s e fragment)
+        true
+        (contains_sub e fragment)
+  in
+  rejects "" "empty";
+  rejects "10.0.0.256/8" "octet";
+  rejects "10.0.0/8" "four dot-separated octets";
+  rejects "010.0.0.0/8" "leading zero";
+  rejects "10.0.0.0/33" "mask length";
+  rejects "10.0.0.0/" "empty mask length";
+  rejects "10.0.1.0/8" "host bits";
+  rejects "2blue" "not a CIDR";
+  rejects "10.0.0.x/8" "not a number"
+
+let test_prefix_named_deterministic () =
+  let p = pfx "blue" and q = pfx "blue" in
+  Alcotest.(check bool) "same packing" true (Igp.Prefix.equal p q);
+  Alcotest.(check string) "prints name" "blue" (Igp.Prefix.to_string p);
+  Alcotest.(check int) "host route" 32 (Igp.Prefix.len p);
+  (* Named prefixes live in class E so they never collide with real CIDRs. *)
+  Alcotest.(check bool) "class E" true (Igp.Prefix.addr p lsr 28 = 0xF);
+  Alcotest.(check bool) "distinct names distinct" false
+    (Igp.Prefix.equal (pfx "blue") (pfx "red"))
+
+let test_prefix_containment () =
+  let p8 = pfx "10.0.0.0/8" and p16 = pfx "10.1.0.0/16" and p0 = Igp.Prefix.default_route in
+  Alcotest.(check bool) "/0 contains /8" true (Igp.Prefix.contains p0 p8);
+  Alcotest.(check bool) "/8 contains /16" true (Igp.Prefix.contains p8 p16);
+  Alcotest.(check bool) "/16 not contains /8" false (Igp.Prefix.contains p16 p8);
+  Alcotest.(check bool) "disjoint" false
+    (Igp.Prefix.contains (pfx "11.0.0.0/8") p16);
+  Alcotest.(check bool) "addr in" true
+    (Igp.Prefix.contains_addr p16 (Igp.Prefix.first_addr p16));
+  Alcotest.(check bool) "addr beyond" false
+    (Igp.Prefix.contains_addr p16 (Igp.Prefix.last_addr p16 + 1))
+
+let test_prefix_synthesize () =
+  let prng = Kit.Prng.create ~seed:42 in
+  let ps = Igp.Prefix.synthesize prng ~n:500 in
+  Alcotest.(check int) "count" 500 (List.length ps);
+  let seen = Hashtbl.create 512 in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "unique" false (Hashtbl.mem seen p);
+      Hashtbl.replace seen p ();
+      Alcotest.(check bool) "plausible len" true
+        (Igp.Prefix.len p >= 1 && Igp.Prefix.len p <= 32))
+    ps;
+  (* Zipf-nested: a healthy share of prefixes sits under another one. *)
+  let nested =
+    List.length
+      (List.filter
+         (fun p ->
+           List.exists
+             (fun q -> (not (Igp.Prefix.equal p q)) && Igp.Prefix.contains q p)
+             ps)
+         ps)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "nesting present (%d/500)" nested)
+    true (nested > 50)
+
+(* ---------- Fib_trie: LPM edge cases and aggregation ---------- *)
+
+let trie_of bindings =
+  let t = Igp.Fib_trie.create ~eq:Int.equal in
+  List.iter (fun (s, v) -> Igp.Fib_trie.update t (pfx s) v) bindings;
+  t
+
+let lookup_v t addr = Option.map snd (Igp.Fib_trie.lookup t addr)
+let lookup_av t addr = Option.map snd (Igp.Fib_trie.lookup_aggregated t addr)
+
+let addr_of s = Igp.Prefix.first_addr (pfx s)
+
+let test_trie_default_route () =
+  let t = trie_of [ ("0.0.0.0/0", 1); ("10.0.0.0/8", 2) ] in
+  Alcotest.(check (option int)) "inside /8" (Some 2) (lookup_v t (addr_of "10.9.9.9"));
+  Alcotest.(check (option int)) "outside /8 falls to /0" (Some 1)
+    (lookup_v t (addr_of "11.0.0.1"));
+  Alcotest.(check (option int)) "0.0.0.0 matches /0" (Some 1) (lookup_v t 0);
+  Alcotest.(check (option int)) "255.255.255.255 matches /0" (Some 1)
+    (lookup_v t 0xFFFFFFFF);
+  let empty = Igp.Fib_trie.create ~eq:Int.equal in
+  Alcotest.(check (option int)) "no routes: no match" None (lookup_v empty 42)
+
+let test_trie_host_route () =
+  let t = trie_of [ ("10.0.0.0/8", 1); ("10.1.2.3/32", 2) ] in
+  Alcotest.(check (option int)) "host exact" (Some 2) (lookup_v t (addr_of "10.1.2.3"));
+  Alcotest.(check (option int)) "neighbor address" (Some 1) (lookup_v t (addr_of "10.1.2.4"));
+  Igp.Fib_trie.remove t (pfx "10.1.2.3/32");
+  Alcotest.(check (option int)) "host removed" (Some 1) (lookup_v t (addr_of "10.1.2.3"))
+
+let test_trie_nested_overlap () =
+  (* Fake on the more-specific: /16 diverges from its /8 parent, then is
+     retracted and the parent's value shows through again. *)
+  let t = trie_of [ ("10.0.0.0/8", 1); ("10.1.0.0/16", 1) ] in
+  (* Same behavior: child aggregates away. *)
+  Alcotest.(check int) "aggregated to one" 1 (Igp.Fib_trie.installed t);
+  Alcotest.(check int) "two routes kept" 2 (Igp.Fib_trie.routes t);
+  Alcotest.(check (option int)) "flat" (Some 1) (lookup_v t (addr_of "10.1.2.3"));
+  Alcotest.(check (option int)) "aggregated" (Some 1) (lookup_av t (addr_of "10.1.2.3"));
+  (* A fake steers the /16 only: it must reappear as a barrier. *)
+  Igp.Fib_trie.update t (pfx "10.1.0.0/16") 7;
+  Alcotest.(check int) "barrier installed" 2 (Igp.Fib_trie.installed t);
+  Alcotest.(check (option int)) "steered inside" (Some 7) (lookup_av t (addr_of "10.1.2.3"));
+  Alcotest.(check (option int)) "outside untouched" (Some 1) (lookup_av t (addr_of "10.2.0.1"));
+  (* Retract: aggregation collapses again. *)
+  Igp.Fib_trie.update t (pfx "10.1.0.0/16") 1;
+  Alcotest.(check int) "collapsed" 1 (Igp.Fib_trie.installed t)
+
+let test_trie_sibling_barriers () =
+  (* Two siblings with different values under a common parent: both stay
+     installed (differing next-hop sets are aggregation barriers). *)
+  let t =
+    trie_of
+      [ ("10.0.0.0/8", 1); ("10.0.0.0/9", 2); ("10.128.0.0/9", 3) ]
+  in
+  Alcotest.(check int) "all barriers" 3 (Igp.Fib_trie.installed t);
+  Alcotest.(check (option int)) "low half" (Some 2) (lookup_av t (addr_of "10.1.0.0"));
+  Alcotest.(check (option int)) "high half" (Some 3) (lookup_av t (addr_of "10.200.0.0"));
+  (* Make one sibling equal to the parent: only it aggregates away. *)
+  Igp.Fib_trie.update t (pfx "10.0.0.0/9") 1;
+  Alcotest.(check int) "one aggregates" 2 (Igp.Fib_trie.installed t);
+  Alcotest.(check (option int)) "low half now parent" (Some 1)
+    (lookup_av t (addr_of "10.1.0.0"));
+  Alcotest.(check (option int)) "high half kept" (Some 3)
+    (lookup_av t (addr_of "10.200.0.0"))
+
+let test_trie_lookup_within () =
+  let t = trie_of [ ("10.0.0.0/8", 1); ("10.1.0.0/16", 2) ] in
+  let governing s =
+    Option.map
+      (fun (p, _) -> Igp.Prefix.to_string p)
+      (Igp.Fib_trie.lookup_within t (pfx s))
+  in
+  Alcotest.(check (option string)) "exact" (Some "10.1.0.0/16") (governing "10.1.0.0/16");
+  Alcotest.(check (option string)) "nested under /16" (Some "10.1.0.0/16")
+    (governing "10.1.2.0/24");
+  Alcotest.(check (option string)) "only /8 covers" (Some "10.0.0.0/8")
+    (governing "10.2.0.0/16");
+  Alcotest.(check (option string)) "nothing covers" None (governing "11.0.0.0/8")
+
+(* ---------- Fib: canonical weights, invariant ---------- *)
+
+let entry next_hop multiplicity : Igp.Fib.entry =
+  { next_hop; multiplicity; via_fakes = [] }
+
+let test_fib_equal_forwarding_canonical () =
+  (* Regression: entry order and duplicate next-hop splits used to make
+     behaviorally identical FIBs compare unequal. *)
+  let base = { Igp.Fib.router = 0; prefix = pfx "blue"; distance = 3;
+               local = false; entries = [ entry 1 2; entry 2 1 ] } in
+  let reordered = { base with entries = [ entry 2 1; entry 1 2 ] } in
+  let split = { base with entries = [ entry 1 1; entry 2 1; entry 1 1 ] } in
+  Alcotest.(check bool) "reordered equal" true
+    (Igp.Fib.equal_forwarding base reordered);
+  Alcotest.(check bool) "duplicate split equal" true
+    (Igp.Fib.equal_forwarding base split);
+  Alcotest.(check bool) "weights canonical" true
+    (Igp.Fib.weights split = [ (1, 2); (2, 1) ]);
+  Alcotest.(check bool) "different weights differ" false
+    (Igp.Fib.equal_forwarding base { base with entries = [ entry 1 1; entry 2 1 ] })
+
+let test_fib_make_rejects () =
+  let mk entries =
+    Igp.Fib.make ~router:0 ~prefix:(pfx "blue") ~distance:1 ~local:false entries
+  in
+  let rejects label entries =
+    Alcotest.(check bool) label true
+      (try ignore (mk entries); false with Invalid_argument _ -> true)
+  in
+  rejects "zero multiplicity" [ entry 1 0 ];
+  rejects "negative multiplicity" [ entry 1 (-3) ];
+  rejects "unsorted" [ entry 2 1; entry 1 1 ];
+  rejects "duplicate next hop" [ entry 1 1; entry 1 1 ];
+  (* Canonical input is accepted and satisfies the invariant. *)
+  let fib = mk [ entry 1 2; entry 2 1 ] in
+  Alcotest.(check bool) "invariant holds" true (Igp.Fib.invariant fib = Ok ());
+  let bad = { fib with entries = [ entry 1 0 ] } in
+  Alcotest.(check bool) "invariant catches" true (Igp.Fib.invariant bad <> Ok ())
+
+let test_codec_rejects_malformed_prefix () =
+  (* Forge a Prefix LSA whose on-wire name is not a valid prefix: decode
+     must fail with the offset and reason, not deliver the garbage. *)
+  let packet =
+    { Igp.Codec.lsa = Igp.Lsa.Prefix { origin = 1; prefix = pfx "blue"; cost = 1 };
+      sequence = 7 }
+  in
+  let buf = Igp.Codec.encode packet in
+  (* Body starts at 16; the prefix string is u8 length + bytes. *)
+  Bytes.set buf 17 '2' (* "blue" -> "2lue": neither name nor CIDR *);
+  let sum = Igp.Codec.fletcher16 (let c = Bytes.copy buf in Bytes.set_uint16_be c 14 0; c)
+      ~pos:2 ~len:(Bytes.length buf - 2) in
+  Bytes.set_uint16_be buf 14 sum;
+  match Igp.Codec.decode buf with
+  | Ok _ -> Alcotest.fail "malformed prefix decoded"
+  | Error e ->
+    let has frag = contains_sub e frag in
+    Alcotest.(check bool) (Printf.sprintf "%S names the field" e) true (has "prefix");
+    Alcotest.(check bool) (Printf.sprintf "%S carries the offset" e) true (has "offset");
+    Alcotest.(check bool) (Printf.sprintf "%S carries the token" e) true (has "2lue")
+
+(* ---------- Aggregated trie == flat FIB under churn (QCheck) ---------- *)
+
+(* The prefix pool deliberately mixes nesting depths so churn creates and
+   destroys aggregation barriers; values stand in for next-hop sets. *)
+let churn_pool =
+  [| "0.0.0.0/0"; "10.0.0.0/8"; "10.0.0.0/9"; "10.128.0.0/9"; "10.1.0.0/16";
+     "10.1.2.0/24"; "10.1.2.3/32"; "10.2.0.0/16"; "11.0.0.0/8"; "172.16.0.0/12";
+     "172.16.5.0/24"; "192.168.0.0/16"; "192.168.1.0/24"; "192.168.1.7/32" |]
+
+let prop_trie_matches_flat =
+  QCheck.Test.make ~name:"aggregated trie == flat FIB under churn" ~count:250
+    QCheck.(list_of_size Gen.(1 -- 60) (pair (int_bound (Array.length churn_pool - 1)) (int_bound 4)))
+    (fun ops ->
+      let t = Igp.Fib_trie.create ~eq:Int.equal in
+      let breakpoints =
+        Array.to_list churn_pool
+        |> List.concat_map (fun s ->
+               let p = pfx s in
+               [ Igp.Prefix.first_addr p; Igp.Prefix.last_addr p;
+                 (Igp.Prefix.last_addr p + 1) land 0xFFFFFFFF ])
+      in
+      List.for_all
+        (fun (i, v) ->
+          let p = pfx churn_pool.(i) in
+          (* v = 0 is a retraction; otherwise install/steer to value v. *)
+          if v = 0 then Igp.Fib_trie.remove t p else Igp.Fib_trie.update t p v;
+          Igp.Fib_trie.installed t <= Igp.Fib_trie.routes t
+          && List.for_all
+               (fun a -> lookup_v t a = lookup_av t a)
+               breakpoints)
+        ops)
+
+(* Network-level: after arbitrary fake churn, the aggregated per-router
+   trie must route every breakpoint address exactly like the flat FIB. *)
+let test_engine_lpm_matches_flat () =
+  let d = T.demo () in
+  let net = Igp.Network.create d.graph in
+  let announced = [ "10.0.0.0/8"; "10.1.0.0/16"; "10.1.2.0/24" ] in
+  List.iter (fun s -> Igp.Network.announce_prefix net (pfx s) ~origin:d.c ~cost:0)
+    announced;
+  let check_agree label =
+    List.iter
+      (fun router ->
+        List.iter
+          (fun s ->
+            let p = pfx s in
+            let flat = Igp.Network.fib net ~router p in
+            (match Igp.Network.lpm net ~router (Igp.Prefix.first_addr p) with
+            | None ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: router %d %s unreachable both ways" label router s)
+                true (flat = None)
+            | Some (_, agg) ->
+              let flat = Option.get flat in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: router %d %s same behavior" label router s)
+                true
+                (Igp.Fib.same_behavior flat agg)))
+          announced)
+      (G.nodes d.graph)
+  in
+  check_agree "baseline";
+  Igp.Network.inject_fake net
+    { fake_id = "f16"; attachment = d.b; attachment_cost = 1;
+      prefix = pfx "10.1.0.0/16"; announced_cost = 1; forwarding = d.r3 };
+  check_agree "fake on /16";
+  Igp.Network.retract_fake net ~fake_id:"f16";
+  check_agree "fake retracted";
+  (* Aggregation must be doing something: nested equal-behavior prefixes
+     collapse in the trie. *)
+  let stats = Igp.Spf_engine.aggregation (Igp.Network.engine net) ~router:d.a in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregates (%d/%d installed)" stats.installed stats.routes)
+    true
+    (stats.installed < stats.routes)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
   Alcotest.run "igp"
     [
+      ( "prefix",
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_prefix_parse_roundtrip;
+          Alcotest.test_case "parse rejects" `Quick test_prefix_parse_rejects;
+          Alcotest.test_case "named deterministic" `Quick test_prefix_named_deterministic;
+          Alcotest.test_case "containment" `Quick test_prefix_containment;
+          Alcotest.test_case "synthesize" `Quick test_prefix_synthesize;
+        ] );
+      ( "fib-trie",
+        [
+          Alcotest.test_case "default route" `Quick test_trie_default_route;
+          Alcotest.test_case "host route" `Quick test_trie_host_route;
+          Alcotest.test_case "nested overlap" `Quick test_trie_nested_overlap;
+          Alcotest.test_case "sibling barriers" `Quick test_trie_sibling_barriers;
+          Alcotest.test_case "lookup within" `Quick test_trie_lookup_within;
+          Alcotest.test_case "engine lpm matches flat" `Quick
+            test_engine_lpm_matches_flat;
+        ] );
       ( "lsa",
         [
           Alcotest.test_case "total cost" `Quick test_lsa_total_cost;
@@ -901,6 +1244,14 @@ let () =
           Alcotest.test_case "oversize fields" `Quick test_codec_rejects_oversize_fields;
           Alcotest.test_case "wire injection" `Quick test_network_wire_injection;
           Alcotest.test_case "router lsa" `Quick test_network_router_lsa;
+          Alcotest.test_case "malformed prefix rejected" `Quick
+            test_codec_rejects_malformed_prefix;
+        ] );
+      ( "fib-canonical",
+        [
+          Alcotest.test_case "equal_forwarding canonical" `Quick
+            test_fib_equal_forwarding_canonical;
+          Alcotest.test_case "make rejects" `Quick test_fib_make_rejects;
         ] );
       qsuite "codec-props"
         [
@@ -913,5 +1264,6 @@ let () =
           prop_equal_cost_fake_is_surgical;
           prop_fakes_never_increase_distance;
           prop_engine_matches_scratch;
+          prop_trie_matches_flat;
         ];
     ]

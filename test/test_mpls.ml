@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Tests for the MPLS RSVP-TE baseline: CSPF, tunnels, overhead
    accounting and the stateful head-end splitter. *)
 
@@ -187,10 +188,10 @@ let test_splitter_rejects_bad_weights () =
 let test_overhead_comparison_fibbing_wins () =
   let d = demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   (* Fibbing: the demo's three fakes. *)
   let reqs =
-    Fibbing.Requirements.make ~prefix:"blue"
+    Fibbing.Requirements.make ~prefix:(pfx "blue")
       [
         (d.b, [ (d.r2, 0.5); (d.r3, 0.5) ]);
         (d.a, [ (d.b, 1. /. 3.); (d.r1, 2. /. 3.) ]);

@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Tests for the data-plane simulator: loads, fair sharing, hashing,
    events, monitor and the stepped simulation. *)
 
@@ -9,7 +10,7 @@ module Flow = Netsim.Flow
 let demo_net () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   (d, net)
 
 let fake ~id ~at ~cost ~fwd : Igp.Lsa.fake =
@@ -17,7 +18,7 @@ let fake ~id ~at ~cost ~fwd : Igp.Lsa.fake =
     fake_id = id;
     attachment = at;
     attachment_cost = 1;
-    prefix = "blue";
+    prefix = pfx "blue";
     announced_cost = cost - 1;
     forwarding = fwd;
   }
@@ -46,7 +47,7 @@ let test_link_rejects_nonpositive () =
 (* ---------- Flow ---------- *)
 
 let test_flow_lifecycle () =
-  let f = Flow.make ~id:1 ~src:0 ~prefix:"p" ~demand:10. ~start_time:5. ~duration:10. () in
+  let f = Flow.make ~id:1 ~src:0 ~prefix:(pfx "p") ~demand:10. ~start_time:5. ~duration:10. () in
   checkf "end" 15. (Flow.end_time f);
   Alcotest.(check bool) "before" false (Flow.active_at f 4.9);
   Alcotest.(check bool) "at start" true (Flow.active_at f 5.);
@@ -55,7 +56,7 @@ let test_flow_lifecycle () =
 
 let test_flow_validation () =
   Alcotest.(check bool) "bad demand" true
-    (try ignore (Flow.make ~id:1 ~src:0 ~prefix:"p" ~demand:0. ()); false
+    (try ignore (Flow.make ~id:1 ~src:0 ~prefix:(pfx "p") ~demand:0. ()); false
      with Invalid_argument _ -> true)
 
 (* ---------- Loadmap: the paper's Fig. 1b / 1d tables ---------- *)
@@ -67,8 +68,8 @@ let test_loadmap_fig1b () =
   let loads =
     Netsim.Loadmap.propagate net
       [
-        { src = d.a; prefix = "blue"; amount = 100. };
-        { src = d.b; prefix = "blue"; amount = 100. };
+        { src = d.a; prefix = pfx "blue"; amount = 100. };
+        { src = d.b; prefix = pfx "blue"; amount = 100. };
       ]
   in
   checkf "A-B" 100. (Netsim.Loadmap.load loads (d.a, d.b));
@@ -92,8 +93,8 @@ let test_loadmap_fig1d () =
   let loads =
     Netsim.Loadmap.propagate net
       [
-        { src = d.a; prefix = "blue"; amount = 100. };
-        { src = d.b; prefix = "blue"; amount = 100. };
+        { src = d.a; prefix = pfx "blue"; amount = 100. };
+        { src = d.b; prefix = pfx "blue"; amount = 100. };
       ]
   in
   checkf "A-B third" (100. /. 3.) (Netsim.Loadmap.load loads (d.a, d.b));
@@ -110,7 +111,7 @@ let test_loadmap_utilization () =
   let d, net = demo_net () in
   let caps = Link.capacities ~default:100. in
   let loads =
-    Netsim.Loadmap.propagate net [ { src = d.b; prefix = "blue"; amount = 50. } ]
+    Netsim.Loadmap.propagate net [ { src = d.b; prefix = pfx "blue"; amount = 50. } ]
   in
   match Netsim.Loadmap.max_utilization loads caps with
   | Some (link, u) ->
@@ -125,12 +126,12 @@ let test_loadmap_unreachable () =
   let c = G.add_node g ~name:"c" in
   G.add_link g a b ~weight:1;
   let net = Igp.Network.create g in
-  Igp.Network.announce_prefix net "p" ~origin:c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "p") ~origin:c ~cost:0;
   Alcotest.(check bool) "raises" true
     (try
-       ignore (Netsim.Loadmap.propagate net [ { src = a; prefix = "p"; amount = 1. } ]);
+       ignore (Netsim.Loadmap.propagate net [ { src = a; prefix = pfx "p"; amount = 1. } ]);
        false
-     with Netsim.Loadmap.Unreachable "p" -> true)
+     with Netsim.Loadmap.Unreachable p -> Igp.Prefix.equal p (pfx "p"))
 
 let test_loadmap_conservation () =
   (* Total load on links into C equals total offered demand. *)
@@ -139,8 +140,8 @@ let test_loadmap_conservation () =
   let loads =
     Netsim.Loadmap.propagate net
       [
-        { src = d.a; prefix = "blue"; amount = 70. };
-        { src = d.b; prefix = "blue"; amount = 30. };
+        { src = d.a; prefix = pfx "blue"; amount = 70. };
+        { src = d.b; prefix = pfx "blue"; amount = 30. };
       ]
   in
   let into_c =
@@ -157,7 +158,7 @@ let test_hashing_respects_weights () =
   let d, net = demo_net () in
   Igp.Network.inject_fake net (fake ~id:"fA1" ~at:d.a ~cost:3 ~fwd:d.r1);
   Igp.Network.inject_fake net (fake ~id:"fA2" ~at:d.a ~cost:3 ~fwd:d.r1);
-  let fib = Option.get (Igp.Network.fib net ~router:d.a "blue") in
+  let fib = Option.get (Igp.Network.fib net ~router:d.a (pfx "blue")) in
   let n = 3000 in
   let to_r1 = ref 0 in
   for flow_id = 0 to n - 1 do
@@ -174,7 +175,7 @@ let test_hashing_respects_weights () =
 
 let test_hashing_stable () =
   let d, net = demo_net () in
-  let fib = Option.get (Igp.Network.fib net ~router:d.a "blue") in
+  let fib = Option.get (Igp.Network.fib net ~router:d.a (pfx "blue")) in
   let first = Netsim.Hashing.select ~flow_id:7 ~router:d.a fib in
   for _ = 1 to 10 do
     Alcotest.(check bool) "same choice" true
@@ -183,12 +184,12 @@ let test_hashing_stable () =
 
 let test_hashing_route_full_path () =
   let d, net = demo_net () in
-  (match Netsim.Hashing.route net ~flow_id:1 ~src:d.a "blue" with
+  (match Netsim.Hashing.route net ~flow_id:1 ~src:d.a (pfx "blue") with
   | Some path ->
     Alcotest.(check (list int)) "A-B-R2-C" [ d.a; d.b; d.r2; d.c ] path
   | None -> Alcotest.fail "no route");
   (* From the announcer itself: single-node path. *)
-  match Netsim.Hashing.route net ~flow_id:1 ~src:d.c "blue" with
+  match Netsim.Hashing.route net ~flow_id:1 ~src:d.c (pfx "blue") with
   | Some path -> Alcotest.(check (list int)) "local" [ d.c ] path
   | None -> Alcotest.fail "no local route"
 
@@ -199,11 +200,11 @@ let test_hashing_route_detects_loop () =
   Igp.Network.inject_fake net (fake ~id:"l1" ~at:d.b ~cost:1 ~fwd:d.a);
   Igp.Network.inject_fake net (fake ~id:"l2" ~at:d.a ~cost:1 ~fwd:d.b);
   Alcotest.(check bool) "loop detected" true
-    (Netsim.Hashing.route net ~flow_id:3 ~src:d.a "blue" = None)
+    (Netsim.Hashing.route net ~flow_id:3 ~src:d.a (pfx "blue") = None)
 
 (* ---------- Fairshare ---------- *)
 
-let mkflow id demand = Flow.make ~id ~src:0 ~prefix:"p" ~demand ()
+let mkflow id demand = Flow.make ~id ~src:0 ~prefix:(pfx "p") ~demand ()
 
 let test_fairshare_single_bottleneck () =
   let caps = Link.capacities ~default:10. in
@@ -295,7 +296,7 @@ let random_routes (n, seed) =
       let links = List.init hops (fun h -> (start + h, start + h + 1)) in
       {
         Netsim.Fairshare.flow =
-          Flow.make ~id:i ~src:0 ~prefix:"p"
+          Flow.make ~id:i ~src:0 ~prefix:(pfx "p")
             ~demand:(1. +. Kit.Prng.float prng 9.) ();
         links;
       })
@@ -630,7 +631,7 @@ let test_sim_single_flow_full_rate () =
   let d, net = demo_net () in
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:0.5 net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
   Netsim.Sim.run_until sim 5.;
   checkf "full demand" 10. (Netsim.Sim.flow_rate sim 0);
   (match Netsim.Sim.flow_path sim 0 with
@@ -644,7 +645,7 @@ let test_sim_congestion_throttles () =
   let caps = Link.capacities ~default:15. in
   let sim = Netsim.Sim.create ~dt:0.5 net caps in
   for i = 0 to 2 do
-    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:10. ())
+    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:10. ())
   done;
   Netsim.Sim.run_until sim 2.;
   (* 3 x 10 demand through 15-capacity path: each gets 5. *)
@@ -655,7 +656,7 @@ let test_sim_flow_arrival_departure () =
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:1. net caps in
   Netsim.Sim.add_flow sim
-    (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ~start_time:2. ~duration:3. ());
+    (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ~start_time:2. ~duration:3. ());
   Netsim.Sim.run_until sim 1.;
   Alcotest.(check int) "not yet active" 0 (List.length (Netsim.Sim.active_flows sim));
   Netsim.Sim.run_until sim 3.;
@@ -670,7 +671,7 @@ let test_sim_reroutes_on_fake_injection () =
   let sim = Netsim.Sim.create ~dt:1. net caps in
   (* Many flows so that some hash onto the new path. *)
   for i = 0 to 19 do
-    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.b ~prefix:"blue" ~demand:1. ())
+    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.b ~prefix:(pfx "blue") ~demand:1. ())
   done;
   Netsim.Sim.run_until sim 2.;
   let series_r3 = Netsim.Sim.link_series sim (d.b, d.r3) in
@@ -687,7 +688,7 @@ let test_sim_monitor_hook_fires () =
   let sim = Netsim.Sim.create ~dt:0.5 ~monitor net caps in
   let fired = ref 0 in
   Netsim.Sim.on_poll sim (fun _ alarms -> if alarms <> [] then incr fired);
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:50. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:50. ());
   Netsim.Sim.run_until sim 3.;
   Alcotest.(check bool) "alarm raised at least once" true (!fired >= 1)
 
@@ -695,10 +696,10 @@ let test_sim_rejects_duplicate_flow () =
   let d, net = demo_net () in
   let caps = Link.capacities ~default:10. in
   let sim = Netsim.Sim.create net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:1. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:1. ());
   Alcotest.(check bool) "duplicate rejected" true
     (try
-       Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:1. ());
+       Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:1. ());
        false
      with Invalid_argument _ -> true)
 
@@ -709,10 +710,10 @@ let test_sim_unroutable_flow_reported () =
   let c = G.add_node g ~name:"c" in
   G.add_link g a b ~weight:1;
   let net = Igp.Network.create g in
-  Igp.Network.announce_prefix net "p" ~origin:c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "p") ~origin:c ~cost:0;
   let caps = Link.capacities ~default:10. in
   let sim = Netsim.Sim.create ~dt:1. net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:a ~prefix:"p" ~demand:1. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:a ~prefix:(pfx "p") ~demand:1. ());
   Netsim.Sim.run_until sim 2.;
   Alcotest.(check (list int)) "unroutable" [ 0 ] (Netsim.Sim.unroutable_flows sim);
   checkf "zero rate" 0. (Netsim.Sim.flow_rate sim 0)
@@ -795,7 +796,7 @@ let test_sim_with_aimd_model () =
   let aimd = Netsim.Aimd.create () in
   let sim = Netsim.Sim.create ~dt:0.5 ~rate_model:(Aimd aimd) net caps in
   for i = 0 to 2 do
-    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:10. ())
+    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:10. ())
   done;
   (* Early: rates are still ramping (below the 5.0 fair share). *)
   Netsim.Sim.run_until sim 1.;
@@ -821,7 +822,7 @@ let test_sim_link_failure_reroutes () =
   let d, net = demo_net () in
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:1. net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
   (* Fail B-R2 at t=3: B must fall back to R3 (cost 3) and the flow
      keeps flowing on the new path. *)
   Netsim.Sim.fail_link sim ~time:3. (d.b, d.r2);
@@ -840,7 +841,7 @@ let test_sim_partition_starves_flow () =
   let d, net = demo_net () in
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:1. net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
   (* Cut every path: A-B and A-R1 isolate A. *)
   Netsim.Sim.fail_link sim ~time:2. (d.a, d.b);
   Netsim.Sim.fail_link sim ~time:2. (d.a, d.r1);
@@ -891,11 +892,11 @@ let test_sim_aggregation_invariant () =
     let sim = Netsim.Sim.create ~dt:0.5 ~aggregation net caps in
     for i = 0 to 9 do
       Netsim.Sim.add_flow sim
-        (Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:10. ())
+        (Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:10. ())
     done;
     for i = 10 to 14 do
       Netsim.Sim.add_flow sim
-        (Flow.make ~id:i ~src:d.b ~prefix:"blue" ~demand:2. ())
+        (Flow.make ~id:i ~src:d.b ~prefix:(pfx "blue") ~demand:2. ())
     done;
     Netsim.Sim.run_until sim 2.;
     sim
@@ -924,7 +925,7 @@ let test_sim_failure_then_fake_restores_split () =
   let caps = Link.capacities ~default:15. in
   let sim = Netsim.Sim.create ~dt:1. net caps in
   for i = 0 to 3 do
-    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.b ~prefix:"blue" ~demand:10. ())
+    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.b ~prefix:(pfx "blue") ~demand:10. ())
   done;
   Netsim.Sim.fail_link sim ~time:2. (d.b, d.r2);
   Netsim.Sim.schedule sim ~time:3. (fun sim ->
@@ -939,7 +940,7 @@ let test_sim_failure_then_fake_restores_split () =
           fake_id = "detour-B";
           attachment = d.b;
           attachment_cost = 1;
-          prefix = "blue";
+          prefix = pfx "blue";
           announced_cost = 2;
           forwarding = d.a;
         };
@@ -948,15 +949,15 @@ let test_sim_failure_then_fake_restores_split () =
           fake_id = "pin-A";
           attachment = d.a;
           attachment_cost = 1;
-          prefix = "blue";
+          prefix = pfx "blue";
           announced_cost = 2;
           forwarding = d.r1;
         });
   Netsim.Sim.run_until sim 6.;
-  let fib_b = Option.get (Igp.Network.fib net ~router:d.b "blue") in
+  let fib_b = Option.get (Igp.Network.fib net ~router:d.b (pfx "blue")) in
   Alcotest.(check (list int)) "B splits over A and R3" [ d.a; d.r3 ]
     (Igp.Fib.next_hops fib_b);
-  let fib_a = Option.get (Igp.Network.fib net ~router:d.a "blue") in
+  let fib_a = Option.get (Igp.Network.fib net ~router:d.a (pfx "blue")) in
   Alcotest.(check (list int)) "A overridden to R1" [ d.r1 ] (Igp.Fib.next_hops fib_a);
   Alcotest.(check (list int)) "no starved flows" [] (Netsim.Sim.unroutable_flows sim);
   (* Both exits of B now carry traffic. *)
@@ -973,7 +974,7 @@ let test_sim_restore_link_round_trip () =
   let pristine = edge_set d.graph in
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:1. net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
   (* Down: both of A's exits fail, the flow starves. *)
   Netsim.Sim.fail_link sim ~time:2. (d.a, d.b);
   Netsim.Sim.fail_link sim ~time:2. (d.a, d.r1);
@@ -1011,7 +1012,7 @@ let test_sim_crash_recover_router () =
   let pristine = edge_set d.graph in
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:1. net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
   Netsim.Sim.crash_router sim ~time:2. d.r2;
   Netsim.Sim.run_until sim 4.;
   Alcotest.(check bool) "crashed" true (Netsim.Sim.router_crashed sim d.r2);
@@ -1114,7 +1115,7 @@ let test_hashing_matches_loadmap () =
   (* Hash [flows] unit flows from A and count per-link volume. *)
   let loads = Hashtbl.create 16 in
   for flow_id = 0 to flows - 1 do
-    match Netsim.Hashing.route net ~flow_id ~src:d.a "blue" with
+    match Netsim.Hashing.route net ~flow_id ~src:d.a (pfx "blue") with
     | None -> Alcotest.fail "flow must route"
     | Some path ->
       let rec walk = function
@@ -1128,7 +1129,7 @@ let test_hashing_matches_loadmap () =
   done;
   let fluid =
     Netsim.Loadmap.propagate net
-      [ { src = d.a; prefix = "blue"; amount = float_of_int flows } ]
+      [ { src = d.a; prefix = pfx "blue"; amount = float_of_int flows } ]
   in
   List.iter
     (fun link ->
@@ -1161,14 +1162,14 @@ let microloop_chain () =
   G.add_link g b a ~weight:1;
   G.add_link g a t ~weight:1;
   let net = Igp.Network.create g in
-  Igp.Network.announce_prefix net "p" ~origin:t ~cost:0;
+  Igp.Network.announce_prefix net (pfx "p") ~origin:t ~cost:0;
   (net, a, b, c, t)
 
 let test_convergence_microloop_drops_traffic () =
   let net, a, _, c, t = microloop_chain () in
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:0.5 ~convergence:slow_timing net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:c ~prefix:"p" ~demand:10. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:c ~prefix:(pfx "p") ~demand:10. ());
   Netsim.Sim.schedule sim ~time:5. (fun sim ->
       let network = Netsim.Sim.network sim in
       Igp.Network.set_weight network a t ~weight:10;
@@ -1193,7 +1194,7 @@ let test_convergence_instant_without_model () =
   ignore c;
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:0.5 net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:c ~prefix:"p" ~demand:10. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:c ~prefix:(pfx "p") ~demand:10. ());
   Netsim.Sim.schedule sim ~time:5. (fun sim ->
       let network = Netsim.Sim.network sim in
       Igp.Network.set_weight network a t ~weight:10;
@@ -1210,7 +1211,7 @@ let test_convergence_fake_injection_lossless () =
   let d, net = demo_net () in
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:0.5 ~convergence:slow_timing net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
   Netsim.Sim.schedule sim ~time:5. (fun sim ->
       Igp.Network.inject_fake (Netsim.Sim.network sim)
         (fake ~id:"fB" ~at:d.b ~cost:2 ~fwd:d.r3));
@@ -1227,7 +1228,7 @@ let test_convergence_second_change_mid_window () =
   let d, net = demo_net () in
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:0.5 ~convergence:slow_timing net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
   Netsim.Sim.schedule sim ~time:5. (fun sim ->
       Igp.Network.inject_fake (Netsim.Sim.network sim)
         (fake ~id:"f1" ~at:d.b ~cost:2 ~fwd:d.r3));
@@ -1260,7 +1261,7 @@ let test_latency_grows_with_utilization () =
   let d, net = demo_net () in
   let caps = Link.capacities ~default:20. in
   let sim = Netsim.Sim.create ~dt:1. net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:19. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:19. ());
   Netsim.Sim.run_until sim 2.;
   let loaded = Netsim.Latency.link_delay_ms d.graph sim (d.a, d.b) in
   let idle = Netsim.Latency.link_delay_ms d.graph sim (d.a, d.r1) in
@@ -1275,7 +1276,7 @@ let test_latency_saturated_capped () =
   let caps = Link.capacities ~default:10. in
   let sim = Netsim.Sim.create ~dt:1. net caps in
   for i = 0 to 3 do
-    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:10. ())
+    Netsim.Sim.add_flow sim (Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:10. ())
   done;
   Netsim.Sim.run_until sim 2.;
   let config = Netsim.Latency.default_config in
@@ -1289,7 +1290,7 @@ let test_latency_flow_and_mean () =
   let d, net = demo_net () in
   let caps = Link.capacities ~default:100. in
   let sim = Netsim.Sim.create ~dt:1. net caps in
-  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:"blue" ~demand:10. ());
+  Netsim.Sim.add_flow sim (Flow.make ~id:0 ~src:d.a ~prefix:(pfx "blue") ~demand:10. ());
   Netsim.Sim.run_until sim 2.;
   (match Netsim.Latency.flow_delay_ms sim 0 with
   | Some delay ->

@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Parallel-equivalence tests: the worker-pool width must be
    unobservable in results. SPF/FIB tables, water-fill rates and chaos
    verdicts/timelines are computed at domains 1, 2 and 4 and compared
@@ -25,10 +26,10 @@ let fib_dump net =
       Array.iteri
         (fun router fib ->
           match fib with
-          | None -> Buffer.add_string buf (Printf.sprintf "%d/%s -\n" router prefix)
+          | None -> Buffer.add_string buf (Printf.sprintf "%d/%s -\n" router (Igp.Prefix.to_string prefix))
           | Some fib ->
             Buffer.add_string buf
-              (Format.asprintf "%d/%s %a@." router prefix
+              (Format.asprintf "%d/%s %a@." router (Igp.Prefix.to_string prefix)
                  (Igp.Fib.pp ~names:(G.name g))
                  fib))
         (Igp.Network.fib_table net prefix))
@@ -42,7 +43,7 @@ let replay_churn ~seed ~ops domains =
   let prng = Kit.Prng.create ~seed in
   let g = T.random prng ~n:12 ~extra_edges:12 ~max_weight:4 in
   let net = Igp.Network.create ~domains g in
-  Igp.Network.announce_prefix net "p0" ~origin:0 ~cost:0;
+  Igp.Network.announce_prefix net (pfx "p0") ~origin:0 ~cost:0;
   let n = G.node_count g in
   let installed = ref [] in
   let dumps = Buffer.create 4096 in
@@ -60,7 +61,7 @@ let replay_churn ~seed ~ops domains =
               fake_id;
               attachment = at;
               attachment_cost = 1;
-              prefix = "p0";
+              prefix = pfx "p0";
               announced_cost = 0;
               forwarding = fwd;
             };
@@ -72,7 +73,7 @@ let replay_churn ~seed ~ops domains =
           Igp.Network.retract_fake net ~fake_id;
           installed := rest)
       | _ ->
-        Igp.Network.announce_prefix net (Printf.sprintf "q%d" i) ~origin:(op mod n)
+        Igp.Network.announce_prefix net (pfx (Printf.sprintf "q%d" i)) ~origin:(op mod n)
           ~cost:0);
       Igp.Network.warm net;
       Buffer.add_string dumps (fib_dump net))

@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Integration tests: the full demo scenario must reproduce the paper's
    observable results (Fig. 2 shape, the specific fakes of Fig. 1c, and
    the smooth-vs-stutter QoE claim). These are the repository's
@@ -234,13 +235,13 @@ let test_multi_prefix_isolation () =
   (* Two prefixes: blue at C (surging) and red at R4 (background). The
      controller must fix blue without touching red's routing. *)
   let d = Demo.make ~fibbing:true () in
-  Igp.Network.announce_prefix d.Demo.net "red" ~origin:d.Demo.topology.r4 ~cost:0;
+  Igp.Network.announce_prefix d.Demo.net (pfx "red") ~origin:d.Demo.topology.r4 ~cost:0;
   let red_baseline =
     List.filter_map
       (fun router ->
         Option.map
           (fun fib -> (router, Igp.Fib.weights fib))
-          (Igp.Network.fib d.Demo.net ~router "red"))
+          (Igp.Network.fib d.Demo.net ~router (pfx "red")))
       (Igp.Network.routers d.Demo.net)
   in
   for i = 0 to 30 do
@@ -250,7 +251,7 @@ let test_multi_prefix_isolation () =
   done;
   (* A single background red flow. *)
   Netsim.Sim.add_flow d.Demo.sim
-    (Netsim.Flow.make ~id:100 ~src:d.Demo.topology.b ~prefix:"red"
+    (Netsim.Flow.make ~id:100 ~src:d.Demo.topology.b ~prefix:(pfx "red")
        ~demand:Demo.stream_rate ());
   Demo.run d ~until:30.;
   (match d.Demo.controller with
@@ -258,12 +259,12 @@ let test_multi_prefix_isolation () =
     Alcotest.(check bool) "blue got lies" true
       (Fibbing.Controller.requirements c Demo.prefix <> None);
     Alcotest.(check bool) "red got none" true
-      (Fibbing.Controller.requirements c "red" = None)
+      (Fibbing.Controller.requirements c (pfx "red") = None)
   | None -> Alcotest.fail "controller expected");
   (* Red routing identical to its baseline at every router. *)
   List.iter
     (fun (router, weights_before) ->
-      match Igp.Network.fib d.Demo.net ~router "red" with
+      match Igp.Network.fib d.Demo.net ~router (pfx "red") with
       | Some fib ->
         Alcotest.(check bool) "red untouched" true
           (Igp.Fib.weights fib = weights_before)
@@ -350,7 +351,14 @@ let test_script_parse_errors () =
   check_error "nonsense command" "line 1";
   check_error "topology demo\nflows x from A to blue rate 1 at 0" "bad integer";
   check_error "capacity A_R1 5" "bad link";
-  check_error "steer B to R2;0.5 at 1" "bad split"
+  check_error "steer B to R2;0.5 at 1" "bad split";
+  (* Prefix tokens are validated at parse time: the error carries the
+     line number and the offending token. *)
+  check_error "topology demo\nprefix 10.0.0.256/16 at C" "line 2";
+  check_error "topology demo\nprefix 10.0.0.256/16 at C" "10.0.0.256";
+  check_error "topology demo\nprefix 10.0.1.0/8 at C" "host bits";
+  check_error "topology demo\nflows 1 from A to 10.0.0.0/40 rate 1 at 0"
+    "mask length"
 
 let test_script_execution_errors () =
   (* Unknown router. *)

@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Tests for traffic-engineering algorithms: matrices, the max
    concurrent flow FPTAS, flow decomposition and weight optimization. *)
 
@@ -9,7 +10,7 @@ let checkf tol = Alcotest.(check (float tol))
 let demo_net () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   (d, net)
 
 (* ---------- Matrix ---------- *)
@@ -18,40 +19,41 @@ let test_matrix_aggregates () =
   let m =
     Te.Matrix.of_entries
       [
-        { src = 0; prefix = "p"; demand = 10. };
-        { src = 0; prefix = "p"; demand = 5. };
-        { src = 1; prefix = "q"; demand = 2. };
+        { src = 0; prefix = pfx "p"; demand = 10. };
+        { src = 0; prefix = pfx "p"; demand = 5. };
+        { src = 1; prefix = pfx "q"; demand = 2. };
       ]
   in
-  checkf 1e-9 "summed" 15. (Te.Matrix.demand m ~src:0 ~prefix:"p");
-  checkf 1e-9 "other" 2. (Te.Matrix.demand m ~src:1 ~prefix:"q");
-  checkf 1e-9 "absent" 0. (Te.Matrix.demand m ~src:3 ~prefix:"p");
+  checkf 1e-9 "summed" 15. (Te.Matrix.demand m ~src:0 ~prefix:(pfx "p"));
+  checkf 1e-9 "other" 2. (Te.Matrix.demand m ~src:1 ~prefix:(pfx "q"));
+  checkf 1e-9 "absent" 0. (Te.Matrix.demand m ~src:3 ~prefix:(pfx "p"));
   checkf 1e-9 "total" 17. (Te.Matrix.total m);
-  Alcotest.(check (list string)) "prefixes" [ "p"; "q" ] (Te.Matrix.prefixes m)
+  Alcotest.(check (list string)) "prefixes" [ "p"; "q" ]
+    (List.sort compare (List.map Igp.Prefix.to_string (Te.Matrix.prefixes m)))
 
 let test_matrix_scale_add () =
-  let m = Te.Matrix.of_entries [ { src = 0; prefix = "p"; demand = 10. } ] in
+  let m = Te.Matrix.of_entries [ { src = 0; prefix = pfx "p"; demand = 10. } ] in
   let m2 = Te.Matrix.scale m 3. in
-  checkf 1e-9 "scaled" 30. (Te.Matrix.demand m2 ~src:0 ~prefix:"p");
+  checkf 1e-9 "scaled" 30. (Te.Matrix.demand m2 ~src:0 ~prefix:(pfx "p"));
   let m3 = Te.Matrix.add m m2 in
-  checkf 1e-9 "added" 40. (Te.Matrix.demand m3 ~src:0 ~prefix:"p")
+  checkf 1e-9 "added" 40. (Te.Matrix.demand m3 ~src:0 ~prefix:(pfx "p"))
 
 let test_matrix_rejects_negative () =
   Alcotest.(check bool) "negative" true
     (try
-       ignore (Te.Matrix.of_entries [ { src = 0; prefix = "p"; demand = -1. } ]);
+       ignore (Te.Matrix.of_entries [ { src = 0; prefix = pfx "p"; demand = -1. } ]);
        false
      with Invalid_argument _ -> true)
 
 let test_matrix_of_flows () =
   let flows =
     [
-      Netsim.Flow.make ~id:0 ~src:2 ~prefix:"p" ~demand:4. ();
-      Netsim.Flow.make ~id:1 ~src:2 ~prefix:"p" ~demand:6. ();
+      Netsim.Flow.make ~id:0 ~src:2 ~prefix:(pfx "p") ~demand:4. ();
+      Netsim.Flow.make ~id:1 ~src:2 ~prefix:(pfx "p") ~demand:6. ();
     ]
   in
   let m = Te.Matrix.of_flows flows in
-  checkf 1e-9 "merged" 10. (Te.Matrix.demand m ~src:2 ~prefix:"p")
+  checkf 1e-9 "merged" 10. (Te.Matrix.demand m ~src:2 ~prefix:(pfx "p"))
 
 (* ---------- Mcf ---------- *)
 
@@ -61,7 +63,7 @@ let test_mcf_single_path () =
   let caps _ = 10. in
   let result =
     Te.Mcf.solve ~epsilon:0.05 g ~capacities:caps
-      [ { src = 0; dst = 2; prefix = "p"; demand = 5. } ]
+      [ { src = 0; dst = 2; prefix = pfx "p"; demand = 5. } ]
   in
   Alcotest.(check bool)
     (Printf.sprintf "lambda %.3f in [1.7, 2.0]" result.lambda)
@@ -85,11 +87,11 @@ let test_mcf_uses_both_diamond_arms () =
   let caps _ = 1. in
   let result =
     Te.Mcf.solve ~epsilon:0.05 g ~capacities:caps
-      [ { src = s; dst = t; prefix = "p"; demand = 2. } ]
+      [ { src = s; dst = t; prefix = pfx "p"; demand = 2. } ]
   in
   Alcotest.(check bool) "lambda close to 1" true
     (result.lambda > 0.85 && result.lambda <= 1.01);
-  let flows = List.assoc "p" result.flows in
+  let flows = List.assoc (pfx "p") result.flows in
   let on_a = Option.value ~default:0. (List.assoc_opt (s, a) flows) in
   let on_b = Option.value ~default:0. (List.assoc_opt (s, b) flows) in
   Alcotest.(check bool) "both arms used" true (on_a > 0.3 && on_b > 0.3);
@@ -105,8 +107,8 @@ let test_mcf_beats_single_shortest_path () =
   let result =
     Te.Mcf.solve ~epsilon:0.05 d.graph ~capacities:caps
       [
-        { src = d.a; dst = d.c; prefix = "blue"; demand = 100. };
-        { src = d.b; dst = d.c; prefix = "blue"; demand = 100. };
+        { src = d.a; dst = d.c; prefix = pfx "blue"; demand = 100. };
+        { src = d.b; dst = d.c; prefix = pfx "blue"; demand = 100. };
       ]
   in
   let util = Te.Mcf.max_utilization d.graph ~capacities:caps result in
@@ -121,7 +123,7 @@ let test_mcf_rejects_bad_inputs () =
     (try
        ignore
          (Te.Mcf.solve g ~capacities:(fun _ -> 1.)
-            [ { src = 0; dst = 2; prefix = "p"; demand = 0. } ]);
+            [ { src = 0; dst = 2; prefix = pfx "p"; demand = 0. } ]);
        false
      with Invalid_argument _ -> true);
   Alcotest.(check bool) "bad epsilon" true
@@ -138,7 +140,7 @@ let test_mcf_unroutable_commodity () =
     (try
        ignore
          (Te.Mcf.solve g ~capacities:(fun _ -> 1.)
-            [ { src = a; dst = b; prefix = "p"; demand = 1. } ]);
+            [ { src = a; dst = b; prefix = pfx "p"; demand = 1. } ]);
        false
      with Invalid_argument _ -> true)
 
@@ -169,7 +171,7 @@ let test_decompose_to_requirements_skips_conforming () =
   (* A flow pattern equal to current IGP routing yields no requirements. *)
   let d, net = demo_net () in
   let flows = [ ((d.a, d.b), 1.); ((d.b, d.r2), 1.); ((d.r2, d.c), 1.) ] in
-  let reqs = Te.Decompose.to_requirements net ~prefix:"blue" flows in
+  let reqs = Te.Decompose.to_requirements net ~prefix:(pfx "blue") flows in
   Alcotest.(check int) "no lies needed" 0 (List.length reqs.routers)
 
 let test_decompose_to_requirements_detects_deviation () =
@@ -178,14 +180,14 @@ let test_decompose_to_requirements_detects_deviation () =
   let flows =
     [ ((d.b, d.r2), 1.); ((d.b, d.r3), 1.); ((d.r2, d.c), 1.); ((d.r3, d.c), 1.) ]
   in
-  let reqs = Te.Decompose.to_requirements net ~prefix:"blue" flows in
+  let reqs = Te.Decompose.to_requirements net ~prefix:(pfx "blue") flows in
   Alcotest.(check int) "B needs a lie" 1 (List.length reqs.routers);
   (match reqs.routers with
   | [ rr ] -> Alcotest.(check int) "at B" d.b rr.router
   | _ -> ());
   (* Announcer C is never included even with outgoing flow. *)
   let flows2 = flows @ [ ((d.c, d.r2), 1.) ] in
-  let reqs2 = Te.Decompose.to_requirements net ~prefix:"blue" flows2 in
+  let reqs2 = Te.Decompose.to_requirements net ~prefix:(pfx "blue") flows2 in
   Alcotest.(check bool) "announcer skipped" true
     (List.for_all (fun (rr : Fibbing.Requirements.router_requirement) ->
          rr.router <> d.c)
@@ -198,12 +200,12 @@ let test_te_pipeline_end_to_end () =
   let result =
     Te.Mcf.solve ~epsilon:0.05 d.graph ~capacities:caps
       [
-        { src = d.a; dst = d.c; prefix = "blue"; demand = 100. };
-        { src = d.b; dst = d.c; prefix = "blue"; demand = 100. };
+        { src = d.a; dst = d.c; prefix = pfx "blue"; demand = 100. };
+        { src = d.b; dst = d.c; prefix = pfx "blue"; demand = 100. };
       ]
   in
   let reqs =
-    Te.Decompose.to_requirements net ~prefix:"blue" (List.assoc "blue" result.flows)
+    Te.Decompose.to_requirements net ~prefix:(pfx "blue") (List.assoc (pfx "blue") result.flows)
   in
   Alcotest.(check bool) "some lies needed" true (reqs.routers <> []);
   (match Fibbing.Augmentation.compile ~max_entries:16 net reqs with
@@ -214,8 +216,8 @@ let test_te_pipeline_end_to_end () =
     let loads =
       Netsim.Loadmap.propagate net
         [
-          { src = d.a; prefix = "blue"; amount = 100. };
-          { src = d.b; prefix = "blue"; amount = 100. };
+          { src = d.a; prefix = pfx "blue"; amount = 100. };
+          { src = d.b; prefix = pfx "blue"; amount = 100. };
         ]
     in
     match Netsim.Loadmap.max_load loads with
@@ -232,8 +234,8 @@ let test_weightopt_improves_demo () =
   let caps = Netsim.Link.capacities ~default:100. in
   let demands =
     [
-      { Netsim.Loadmap.src = d.a; prefix = "blue"; amount = 100. };
-      { Netsim.Loadmap.src = d.b; prefix = "blue"; amount = 100. };
+      { Netsim.Loadmap.src = d.a; prefix = pfx "blue"; amount = 100. };
+      { Netsim.Loadmap.src = d.b; prefix = pfx "blue"; amount = 100. };
     ]
   in
   let scratch = Igp.Network.clone net in
@@ -251,8 +253,8 @@ let test_weightopt_apply_cost_nonzero () =
   let caps = Netsim.Link.capacities ~default:100. in
   let demands =
     [
-      { Netsim.Loadmap.src = d.a; prefix = "blue"; amount = 100. };
-      { Netsim.Loadmap.src = d.b; prefix = "blue"; amount = 100. };
+      { Netsim.Loadmap.src = d.a; prefix = pfx "blue"; amount = 100. };
+      { Netsim.Loadmap.src = d.b; prefix = pfx "blue"; amount = 100. };
     ]
   in
   let scratch = Igp.Network.clone net in
@@ -264,7 +266,7 @@ let test_weightopt_noop_when_optimal () =
   (* A single small demand: nothing to improve. *)
   let d, net = demo_net () in
   let caps = Netsim.Link.capacities ~default:1000. in
-  let demands = [ { Netsim.Loadmap.src = d.a; prefix = "blue"; amount = 1. } ] in
+  let demands = [ { Netsim.Loadmap.src = d.a; prefix = pfx "blue"; amount = 1. } ] in
   let scratch = Igp.Network.clone net in
   let outcome = Te.Weightopt.optimize ~max_rounds:2 scratch demands caps in
   Alcotest.(check bool) "no worse" true
@@ -284,7 +286,7 @@ let prop_mcf_utilization_consistent =
       let demand = 5. +. Kit.Prng.float prng 10. in
       let result =
         Te.Mcf.solve ~epsilon:0.1 g ~capacities:caps
-          [ { src; dst; prefix = "p"; demand } ]
+          [ { src; dst; prefix = pfx "p"; demand } ]
       in
       let util = Te.Mcf.max_utilization g ~capacities:caps result in
       (* util should approximate 1/lambda (both describe the same
@@ -308,9 +310,9 @@ let test_oblivious_uses_multiple_paths () =
   G.add_link g b t ~weight:1;
   let flows =
     Te.Oblivious.spread ~k:2 g
-      [ { src = s; dst = t; prefix = "p"; demand = 10. } ]
+      [ { src = s; dst = t; prefix = pfx "p"; demand = 10. } ]
   in
-  let edges = List.assoc "p" flows in
+  let edges = List.assoc (pfx "p") flows in
   (* Two equal-cost paths: even split. *)
   checkf 1e-9 "half via a" 5. (List.assoc (s, a) edges);
   checkf 1e-9 "half via b" 5. (List.assoc (s, b) edges);
@@ -325,9 +327,9 @@ let test_oblivious_weights_by_inverse_cost () =
   let d = T.demo () in
   let flows =
     Te.Oblivious.spread ~k:3 d.graph
-      [ { src = d.a; dst = d.c; prefix = "p"; demand = 8. } ]
+      [ { src = d.a; dst = d.c; prefix = pfx "p"; demand = 8. } ]
   in
-  let edges = List.assoc "p" flows in
+  let edges = List.assoc (pfx "p") flows in
   let via_b = Option.value ~default:0. (List.assoc_opt (d.a, d.b) edges) in
   let via_r1 = Option.value ~default:0. (List.assoc_opt (d.a, d.r1) edges) in
   Alcotest.(check bool)
@@ -343,8 +345,8 @@ let test_oblivious_beats_single_path_under_surge () =
   let capacity _ = 100. in
   let commodities =
     [
-      { Te.Mcf.src = d.a; dst = d.c; prefix = "p"; demand = 100. };
-      { Te.Mcf.src = d.b; dst = d.c; prefix = "p"; demand = 100. };
+      { Te.Mcf.src = d.a; dst = d.c; prefix = pfx "p"; demand = 100. };
+      { Te.Mcf.src = d.b; dst = d.c; prefix = pfx "p"; demand = 100. };
     ]
   in
   let oblivious =
@@ -371,7 +373,7 @@ let test_oblivious_unroutable () =
   Alcotest.(check bool) "raises" true
     (try
        ignore
-         (Te.Oblivious.spread g [ { src = a; dst = b; prefix = "p"; demand = 1. } ]);
+         (Te.Oblivious.spread g [ { src = a; dst = b; prefix = pfx "p"; demand = 1. } ]);
        false
      with Invalid_argument _ -> true)
 
@@ -395,8 +397,8 @@ let test_planner_prepares_demo () =
   let d, net = demo_net () in
   let demands =
     [
-      { Netsim.Loadmap.src = d.a; prefix = "blue"; amount = 100. };
-      { Netsim.Loadmap.src = d.b; prefix = "blue"; amount = 100. };
+      { Netsim.Loadmap.src = d.a; prefix = pfx "blue"; amount = 100. };
+      { Netsim.Loadmap.src = d.b; prefix = pfx "blue"; amount = 100. };
     ]
   in
   let entries =
@@ -436,15 +438,15 @@ let test_planner_prepares_demo () =
 
 let test_planner_rejects_multi_prefix () =
   let d, net = demo_net () in
-  Igp.Network.announce_prefix net "red" ~origin:d.r4 ~cost:0;
+  Igp.Network.announce_prefix net (pfx "red") ~origin:d.r4 ~cost:0;
   Alcotest.(check bool) "rejected" true
     (try
        ignore
          (Te.Planner.prepare net
             ~demands:
               [
-                { Netsim.Loadmap.src = d.a; prefix = "blue"; amount = 1. };
-                { Netsim.Loadmap.src = d.a; prefix = "red"; amount = 1. };
+                { Netsim.Loadmap.src = d.a; prefix = pfx "blue"; amount = 1. };
+                { Netsim.Loadmap.src = d.a; prefix = pfx "red"; amount = 1. };
               ]
             ~capacity:100. ~scenarios:[ Te.Planner.No_failure ]);
        false
@@ -457,7 +459,7 @@ let stream = 131072.
 let strategy_sim ~strategy =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   let caps = Netsim.Link.capacities ~default:(11. *. 1024. *. 1024.) in
   List.iter
     (fun link -> Netsim.Link.set_link caps link (2.75 *. 1024. *. 1024.))
@@ -482,7 +484,7 @@ let test_global_strategy_resolves_surge () =
   in
   for i = 0 to 30 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ())
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:stream ())
   done;
   Netsim.Sim.run_until sim 20.;
   Alcotest.(check bool) "reacted" true
@@ -491,7 +493,7 @@ let test_global_strategy_resolves_surge () =
      within capacity (the optimum for 31 streams is ~0.74). *)
   let loads =
     Netsim.Loadmap.propagate net
-      [ { src = d.a; prefix = "blue"; amount = 31. *. stream } ]
+      [ { src = d.a; prefix = pfx "blue"; amount = 31. *. stream } ]
   in
   (match Netsim.Loadmap.max_utilization loads caps with
   | Some (_, u) ->
@@ -510,7 +512,7 @@ let test_global_strategy_resolves_surge () =
 let test_global_without_reoptimizer_degrades_gracefully () =
   let d = T.demo () in
   let net = Igp.Network.create d.graph in
-  Igp.Network.announce_prefix net "blue" ~origin:d.c ~cost:0;
+  Igp.Network.announce_prefix net (pfx "blue") ~origin:d.c ~cost:0;
   let caps = Netsim.Link.capacities ~default:(2.75 *. 1024. *. 1024.) in
   let monitor = Netsim.Monitor.create ~alpha:1.0 caps in
   let sim = Netsim.Sim.create ~dt:0.5 ~monitor net caps in
@@ -526,7 +528,7 @@ let test_global_without_reoptimizer_degrades_gracefully () =
   Fibbing.Controller.attach controller sim;
   for i = 0 to 30 do
     Netsim.Sim.add_flow sim
-      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ())
+      (Netsim.Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:stream ())
   done;
   Netsim.Sim.run_until sim 10.;
   Alcotest.(check int) "no lies installed" 0
@@ -541,7 +543,7 @@ let test_local_vs_global_fake_counts () =
     let d, _, sim, controller, _ = strategy_sim ~strategy in
     for i = 0 to 30 do
       Netsim.Sim.add_flow sim
-        (Netsim.Flow.make ~id:i ~src:d.a ~prefix:"blue" ~demand:stream ())
+        (Netsim.Flow.make ~id:i ~src:d.a ~prefix:(pfx "blue") ~demand:stream ())
     done;
     Netsim.Sim.run_until sim 20.;
     Fibbing.Controller.fake_count controller

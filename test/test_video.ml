@@ -1,3 +1,4 @@
+let pfx = Igp.Prefix.v
 (* Tests for the video workload and QoE models. *)
 
 let checkf = Alcotest.(check (float 1e-6))
@@ -66,7 +67,7 @@ let test_client_validation () =
 
 let test_workload_fig2_schedule () =
   let flows =
-    Video.Workload.fig2_schedule ~s1:0 ~s2:1 ~prefix:"blue" ~rate:100.
+    Video.Workload.fig2_schedule ~s1:0 ~s2:1 ~prefix:(pfx "blue") ~rate:100.
       ~video_duration:300.
   in
   Alcotest.(check int) "62 flows" 62 (List.length flows);
@@ -82,7 +83,7 @@ let test_workload_fig2_schedule () =
 let test_workload_burst_jitter () =
   let prng = Kit.Prng.create ~seed:1 in
   let spec =
-    { Video.Workload.src = 0; prefix = "p"; rate = 10.; video_duration = 60. }
+    { Video.Workload.src = 0; prefix = pfx "p"; rate = 10.; video_duration = 60. }
   in
   let flows = Video.Workload.burst ~jitter:2. prng spec ~first_id:10 ~count:5 ~at:7. in
   Alcotest.(check int) "count" 5 (List.length flows);
@@ -97,7 +98,7 @@ let test_workload_burst_jitter () =
 let test_workload_poisson () =
   let prng = Kit.Prng.create ~seed:3 in
   let spec =
-    { Video.Workload.src = 0; prefix = "p"; rate = 10.; video_duration = 60. }
+    { Video.Workload.src = 0; prefix = pfx "p"; rate = 10.; video_duration = 60. }
   in
   let flows =
     Video.Workload.poisson prng spec ~first_id:0 ~rate_per_s:2. ~from:0. ~until:100.
@@ -248,7 +249,7 @@ let test_catalog_day_surge_density () =
   let catalog = Video.Catalog.catalog ~size:10 ~rate:100. ~duration:60. in
   let surge = { Video.Catalog.at = 100.; length = 50.; boost = 20.; item_rank = 1 } in
   let flows =
-    Video.Catalog.day prng ~src:0 ~prefix:"p" ~catalog ~base_rate_per_s:0.1
+    Video.Catalog.day prng ~src:0 ~prefix:(pfx "p") ~catalog ~base_rate_per_s:0.1
       ~horizon:300. ~surges:[ surge ] ~first_id:0
   in
   let in_window =
@@ -281,7 +282,7 @@ let test_catalog_day_deterministic () =
   let mk () =
     let prng = Kit.Prng.create ~seed:7 in
     let catalog = Video.Catalog.catalog ~size:5 ~rate:100. ~duration:60. in
-    Video.Catalog.day prng ~src:0 ~prefix:"p" ~catalog ~base_rate_per_s:0.2
+    Video.Catalog.day prng ~src:0 ~prefix:(pfx "p") ~catalog ~base_rate_per_s:0.2
       ~horizon:100. ~surges:[] ~first_id:0
   in
   Alcotest.(check bool) "same flows" true (mk () = mk ())
